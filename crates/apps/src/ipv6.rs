@@ -1,0 +1,443 @@
+//! The IPv6 router: binary search on prefix lengths over hash tables
+//! (Waldvogel et al., SIGCOMM'97), as in PacketShader and the paper's IPv6
+//! application.
+//!
+//! Real prefixes live in per-length hash tables; *markers* are inserted at
+//! the lengths the binary search probes on the way to longer prefixes, each
+//! carrying the best matching prefix seen so far, so search never
+//! backtracks. A lookup probes at most `ceil(log2(#lengths)) ≈ 7` tables —
+//! the paper's "at most seven random memory accesses".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use nba_core::batch::{anno, Anno, PacketResult};
+use nba_core::element::{
+    DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess,
+};
+use nba_io::proto::ether::ETHER_HDR_LEN;
+use nba_io::Packet;
+use nba_sim::{CpuProfile, GpuProfile};
+
+/// A route: prefix, length, next hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteV6 {
+    /// Network prefix (upper `len` bits significant).
+    pub prefix: u128,
+    /// Prefix length, 0..=128.
+    pub len: u8,
+    /// Next-hop id.
+    pub next_hop: u16,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Next hop if a real prefix ends here.
+    real: Option<u16>,
+    /// Best matching real prefix shorter than this marker.
+    bmp: Option<u16>,
+}
+
+/// The compiled binary-search-on-lengths table.
+pub struct RoutingTableV6 {
+    /// Distinct prefix lengths, ascending (search domain).
+    lengths: Vec<u8>,
+    /// Hash tables per length: key = prefix bits truncated to that length.
+    tables: Vec<HashMap<u128, Entry>>,
+    /// Next hop of a zero-length (default) route.
+    default_hop: Option<u16>,
+    routes: Vec<RouteV6>,
+}
+
+fn truncate(addr: u128, len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else if len >= 128 {
+        addr
+    } else {
+        addr >> (128 - u32::from(len)) << (128 - u32::from(len))
+    }
+}
+
+impl RoutingTableV6 {
+    /// Builds the search structure from a route list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prefix length exceeds 128.
+    pub fn build(routes: &[RouteV6]) -> RoutingTableV6 {
+        let mut default_hop = None;
+        let mut lengths: Vec<u8> = Vec::new();
+        for r in routes {
+            assert!(r.len <= 128, "prefix length {} out of range", r.len);
+            if r.len == 0 {
+                default_hop = Some(r.next_hop);
+            } else if !lengths.contains(&r.len) {
+                lengths.push(r.len);
+            }
+        }
+        lengths.sort_unstable();
+        let idx_of = |l: u8| lengths.binary_search(&l).expect("length present");
+        let mut tables: Vec<HashMap<u128, Entry>> = vec![HashMap::new(); lengths.len()];
+
+        // Insert real prefixes.
+        for r in routes {
+            if r.len == 0 {
+                continue;
+            }
+            let t = &mut tables[idx_of(r.len)];
+            let e = t.entry(truncate(r.prefix, r.len)).or_insert(Entry {
+                real: None,
+                bmp: None,
+            });
+            e.real = Some(r.next_hop);
+        }
+
+        // Insert markers along each prefix's binary-search path.
+        let marker_path = |target: usize, lengths: &[u8]| -> Vec<usize> {
+            let mut path = Vec::new();
+            let (mut lo, mut hi) = (0isize, lengths.len() as isize - 1);
+            while lo <= hi {
+                let mid = ((lo + hi) / 2) as usize;
+                match mid.cmp(&target) {
+                    std::cmp::Ordering::Less => {
+                        path.push(mid);
+                        lo = mid as isize + 1;
+                    }
+                    std::cmp::Ordering::Equal => break,
+                    std::cmp::Ordering::Greater => hi = mid as isize - 1,
+                }
+            }
+            path
+        };
+        for r in routes {
+            if r.len == 0 {
+                continue;
+            }
+            let target = idx_of(r.len);
+            for mid in marker_path(target, &lengths) {
+                let mlen = lengths[mid];
+                let key = truncate(r.prefix, mlen);
+                tables[mid].entry(key).or_insert(Entry {
+                    real: None,
+                    bmp: None,
+                });
+            }
+        }
+
+        // Fill best-matching-prefix info on every entry (marker or real):
+        // the longest real prefix strictly shorter than the entry's length
+        // that covers it, falling back to the default route at lookup time.
+        let snapshot: Vec<HashMap<u128, Entry>> = tables.clone();
+        for (li, table) in tables.iter_mut().enumerate() {
+            for (key, entry) in table.iter_mut() {
+                for shorter in (0..li).rev() {
+                    let skey = truncate(*key, lengths[shorter]);
+                    if let Some(se) = snapshot[shorter].get(&skey) {
+                        if let Some(h) = se.real {
+                            entry.bmp = Some(h);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        RoutingTableV6 {
+            lengths,
+            tables,
+            default_hop,
+            routes: routes.to_vec(),
+        }
+    }
+
+    /// Generates a random-but-reproducible table with a default route and
+    /// `n` prefixes over lengths 16..=64 within the same /16 pools the
+    /// traffic generator uses (2001:db8::/32 and random).
+    pub fn random(seed: u64, n: usize, next_hops: u16) -> RoutingTableV6 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut routes = vec![RouteV6 {
+            prefix: 0,
+            len: 0,
+            next_hop: rng.gen_range(0..next_hops),
+        }];
+        // Coverage layer over the traffic pool: every 2001:db8:XX00::/40 is
+        // routed so pool traffic spreads across all next hops.
+        for b in 0u128..=255 {
+            routes.push(RouteV6 {
+                prefix: (0x2001_0db8u128 << 96) | (b << 88),
+                len: 40,
+                next_hop: rng.gen_range(0..next_hops),
+            });
+        }
+        for i in 0..n {
+            let len: u8 = *[16u8, 24, 32, 40, 48, 52, 56, 60, 64]
+                [..]
+                .get(rng.gen_range(0..9))
+                .unwrap();
+            // Half the prefixes land in the generator's 2001:db8::/32 pool
+            // so traffic actually exercises deep prefixes.
+            let base: u128 = if i % 2 == 0 {
+                0x2001_0db8u128 << 96 | (rng.gen::<u128>() >> 32)
+            } else {
+                rng.gen::<u128>()
+            };
+            routes.push(RouteV6 {
+                prefix: truncate(base, len),
+                len,
+                next_hop: rng.gen_range(0..next_hops),
+            });
+        }
+        RoutingTableV6::build(&routes)
+    }
+
+    /// Longest-prefix-match lookup by binary search over lengths.
+    pub fn lookup(&self, dst: u128) -> Option<u16> {
+        let mut best = self.default_hop;
+        let (mut lo, mut hi) = (0isize, self.lengths.len() as isize - 1);
+        while lo <= hi {
+            let mid = ((lo + hi) / 2) as usize;
+            let key = truncate(dst, self.lengths[mid]);
+            match self.tables[mid].get(&key) {
+                Some(e) => {
+                    if let Some(h) = e.real {
+                        best = Some(h);
+                    } else if let Some(h) = e.bmp {
+                        best = Some(h);
+                    }
+                    lo = mid as isize + 1;
+                }
+                None => hi = mid as isize - 1,
+            }
+        }
+        best
+    }
+
+    /// Worst-case number of hash probes per lookup.
+    pub fn max_probes(&self) -> u32 {
+        (usize::BITS - self.lengths.len().leading_zeros()).max(1)
+    }
+
+    /// Linear-scan longest-prefix match (test oracle).
+    pub fn lookup_linear(&self, dst: u128) -> Option<u16> {
+        let mut best: Option<(u8, u16)> = None;
+        for r in &self.routes {
+            if truncate(dst, r.len) == truncate(r.prefix, r.len) {
+                // Ties resolve to the later route, matching build order.
+                match best {
+                    Some((l, _)) if l > r.len => {}
+                    _ => best = Some((r.len, r.next_hop)),
+                }
+            }
+        }
+        best.map(|(_, h)| h)
+    }
+}
+
+impl std::fmt::Debug for RoutingTableV6 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutingTableV6")
+            .field("routes", &self.routes.len())
+            .field("lengths", &self.lengths)
+            .finish()
+    }
+}
+
+/// Byte offset of the IPv6 destination address in an Ethernet frame.
+const DST_OFFSET: usize = ETHER_HDR_LEN + 24;
+
+/// The IPv6 lookup element (offloadable).
+pub struct LookupIP6 {
+    table: Arc<RoutingTableV6>,
+    ports: u16,
+}
+
+impl LookupIP6 {
+    /// Creates a lookup element over a shared table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(table: Arc<RoutingTableV6>, ports: u16) -> LookupIP6 {
+        assert!(ports > 0);
+        LookupIP6 { table, ports }
+    }
+}
+
+impl Element for LookupIP6 {
+    fn class_name(&self) -> &'static str {
+        "LookupIP6"
+    }
+
+    fn process(&mut self, _: &mut ElemCtx<'_>, pkt: &mut Packet, anno: &mut Anno) -> PacketResult {
+        let data = pkt.data();
+        if data.len() < DST_OFFSET + 16 {
+            return PacketResult::Drop;
+        }
+        let dst = u128::from_be_bytes(data[DST_OFFSET..DST_OFFSET + 16].try_into().unwrap());
+        match self.table.lookup(dst) {
+            Some(hop) => {
+                anno.set(anno::IFACE_OUT, u64::from(hop % self.ports));
+                PacketResult::Out(0)
+            }
+            None => PacketResult::Drop,
+        }
+    }
+
+    fn cpu_profile(&self) -> CpuProfile {
+        // Up to seven dependent hash probes: memory- and compute-intensive.
+        CpuProfile::fixed(520)
+    }
+
+    fn offload(&self) -> Option<OffloadSpec> {
+        let table = self.table.clone();
+        let ports = self.ports;
+        Some(OffloadSpec {
+            input: DbInput::PartialPacket {
+                offset: DST_OFFSET,
+                len: 16,
+            },
+            output: DbOutput::PerItem { len: 8 },
+            gpu: GpuProfile {
+                // Up to seven dependent global-memory reads per lane.
+                fixed_ns: 2_800.0,
+                ns_per_byte: 0.0,
+            },
+            kernel: Arc::new(move |io: KernelIo<'_>| {
+                for i in 0..io.items {
+                    let item = io.item_in(i);
+                    let hop = if item.len() == 16 {
+                        let dst = u128::from_be_bytes(item.try_into().unwrap());
+                        table.lookup(dst).map(|h| h % ports)
+                    } else {
+                        None
+                    };
+                    let v = hop.map_or(u64::MAX, u64::from);
+                    let r = io.item_out_range(i);
+                    io.output[r].copy_from_slice(&v.to_le_bytes());
+                }
+            }),
+            heavy: false,
+            postprocess: Postprocess::Annotation(anno::IFACE_OUT),
+        })
+    }
+
+    fn post_offload(&mut self, _: &mut ElemCtx<'_>, batch: &mut nba_core::batch::PacketBatch) {
+        // The kernel marks lookup misses with u64::MAX: drop those.
+        let live: Vec<usize> = batch.live_indices().collect();
+        for i in live {
+            if batch.anno(i).get(anno::IFACE_OUT) == u64::MAX {
+                batch.set_result(i, PacketResult::Drop);
+            } else {
+                batch.set_result(i, PacketResult::Out(0));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for LookupIP6 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LookupIP6")
+            .field("table", &self.table)
+            .field("ports", &self.ports)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{ctx_harness, run_one_anno};
+    use nba_io::proto::FrameBuilder;
+
+    fn r(prefix: u128, len: u8, hop: u16) -> RouteV6 {
+        RouteV6 {
+            prefix: truncate(prefix, len),
+            len,
+            next_hop: hop,
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins_across_search_tree() {
+        let base = 0x2001_0db8u128 << 96;
+        let t = RoutingTableV6::build(&[
+            r(0, 0, 9),
+            r(base, 32, 1),
+            r(base | (0xaa << 88), 40, 2),
+            r(base | (0xaa << 88) | (0xbb << 80), 48, 3),
+            r(base | (0xaa << 88) | (0xbb << 80) | (0xcc << 72), 56, 4),
+        ]);
+        assert_eq!(t.lookup(0x1111u128 << 112), Some(9));
+        assert_eq!(t.lookup(base | 42), Some(1));
+        assert_eq!(t.lookup(base | (0xaa << 88) | 7), Some(2));
+        assert_eq!(t.lookup(base | (0xaa << 88) | (0xbb << 80) | 1), Some(3));
+        assert_eq!(
+            t.lookup(base | (0xaa << 88) | (0xbb << 80) | (0xcc << 72) | 5),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn marker_without_real_prefix_does_not_match() {
+        // A /48 creates a marker at /32; a dst matching only the marker
+        // must fall back to the default, not claim the /48's hop.
+        let base = 0x2001_0db8u128 << 96;
+        let t = RoutingTableV6::build(&[
+            r(0, 0, 9),
+            r(base | (0xaa << 88) | (0xbb << 80), 48, 3),
+            // A second length so the search actually probes /32 first.
+            r(0x3000u128 << 112, 32, 7),
+        ]);
+        // Shares the /32 bits with the /48 but diverges later.
+        let dst = base | (0xaa << 88) | (0xdd << 80);
+        assert_eq!(t.lookup(dst), Some(9));
+    }
+
+    #[test]
+    fn matches_linear_oracle_on_random_tables() {
+        let t = RoutingTableV6::random(21, 800, 32);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for i in 0..4_000 {
+            // Mix pool-local and fully random addresses.
+            let dst = if i % 2 == 0 {
+                0x2001_0db8u128 << 96 | (rng.gen::<u128>() >> 32)
+            } else {
+                rng.gen()
+            };
+            assert_eq!(t.lookup(dst), t.lookup_linear(dst), "dst = {dst:#x}");
+        }
+    }
+
+    #[test]
+    fn probe_budget_is_paper_sized() {
+        let t = RoutingTableV6::random(5, 10_000, 16);
+        assert!(t.max_probes() <= 7, "probes = {}", t.max_probes());
+    }
+
+    #[test]
+    fn element_routes_and_gpu_kernel_agrees() {
+        let t = Arc::new(RoutingTableV6::random(8, 500, 16));
+        let mut el = LookupIP6::new(t.clone(), 8);
+        let (nls, insp) = ctx_harness();
+        let dst = 0x2001_0db8u128 << 96 | 0x1234;
+        let mut f = vec![0u8; 80];
+        FrameBuilder::default().build_ipv6(&mut f, 80, 1, dst);
+        let mut pkt = Packet::from_bytes(&f);
+        let (res, anno_set) = run_one_anno(&mut el, &nls, &insp, &mut pkt);
+        assert_eq!(res, PacketResult::Out(0));
+        let expect = u64::from(t.lookup(dst).unwrap() % 8);
+        assert_eq!(anno_set.get(anno::IFACE_OUT), expect);
+
+        // Same dst through the kernel.
+        let spec = el.offload().unwrap();
+        let seg = dst.to_be_bytes();
+        let (staged, out_len) = KernelIo::stage(&[&seg], &[8]);
+        let mut out = vec![0u8; out_len];
+        (spec.kernel)(KernelIo::parse(&staged, &mut out));
+        assert_eq!(u64::from_le_bytes(out[0..8].try_into().unwrap()), expect);
+    }
+}

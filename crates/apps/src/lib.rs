@@ -1,0 +1,28 @@
+//! `nba-apps`: the paper's sample applications on top of the framework.
+//!
+//! Four applications with "various performance characteristics" (§4.1):
+//!
+//! * [`ipv4`] — IPv4 router (DIR-24-8 lookup; memory-intensive),
+//! * [`ipv6`] — IPv6 router (binary search on prefix lengths; memory- and
+//!   compute-intensive),
+//! * [`ipsec`] — ESP encryption gateway (AES-128-CTR + HMAC-SHA1;
+//!   compute- and IO-intensive),
+//! * [`ids`] — intrusion detection (Aho-Corasick + regex DFAs;
+//!   compute-intensive, host-to-device copies only),
+//!
+//! plus [`common`] elements (L2 forwarding, header checks, TTL, the
+//! synthetic branch of Figures 1/10) and [`pipelines`] assembling them into
+//! runnable [`nba_core::runtime::PipelineBuilder`]s and registering every
+//! element with the configuration language.
+
+pub mod common;
+pub mod ids;
+pub mod ipsec;
+pub mod ipv4;
+pub mod ipv6;
+pub mod pipelines;
+
+#[cfg(test)]
+pub(crate) mod test_util;
+
+pub use pipelines::{registry, AppConfig};

@@ -1,0 +1,45 @@
+//! Shared helpers for element unit tests.
+
+use std::sync::Arc;
+
+use nba_core::batch::{Anno, PacketResult};
+use nba_core::element::{ComputeMode, ElemCtx, Element};
+use nba_core::nls::NodeLocalStorage;
+use nba_core::stats::{Counters, SystemInspector};
+use nba_io::Packet;
+use nba_sim::Time;
+
+/// Builds the context plumbing an element needs.
+pub fn ctx_harness() -> (NodeLocalStorage, SystemInspector) {
+    let counters = Arc::new(Counters::default());
+    (NodeLocalStorage::new(), SystemInspector::new(vec![counters]))
+}
+
+/// Runs one packet through an element with full computation enabled.
+pub fn run_one(
+    el: &mut dyn Element,
+    nls: &NodeLocalStorage,
+    insp: &SystemInspector,
+    pkt: &mut Packet,
+) -> PacketResult {
+    run_one_anno(el, nls, insp, pkt).0
+}
+
+/// Like [`run_one`] but also returns the packet's annotations.
+pub fn run_one_anno(
+    el: &mut dyn Element,
+    nls: &NodeLocalStorage,
+    insp: &SystemInspector,
+    pkt: &mut Packet,
+) -> (PacketResult, Anno) {
+    let mut ctx = ElemCtx {
+        now: Time::ZERO,
+        compute: ComputeMode::Full,
+        nls,
+        worker: 0,
+        inspector: insp,
+    };
+    let mut anno = Anno::default();
+    let r = el.process(&mut ctx, pkt, &mut anno);
+    (r, anno)
+}

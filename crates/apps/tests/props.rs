@@ -1,0 +1,111 @@
+//! Property tests of the application substrates: routing tables against
+//! oracles, ESP round trips for arbitrary payloads.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use nba_apps::ipsec::{open_esp, IPsecAES, IPsecAuthHMAC, IPsecESPEncap, SaTable};
+use nba_apps::ipv4::{RouteV4, RoutingTableV4};
+use nba_apps::ipv6::{RouteV6, RoutingTableV6};
+use nba_core::batch::{Anno, PacketResult};
+use nba_core::element::{ComputeMode, ElemCtx, Element};
+use nba_core::nls::NodeLocalStorage;
+use nba_core::stats::{Counters, SystemInspector};
+use nba_io::proto::FrameBuilder;
+use nba_io::Packet;
+use nba_sim::Time;
+
+fn route_v4() -> impl Strategy<Value = RouteV4> {
+    (any::<u32>(), 0u8..=32, 0u16..1000).prop_map(|(p, len, hop)| RouteV4 {
+        prefix: if len == 0 { 0 } else { p >> (32 - u32::from(len)) << (32 - u32::from(len)) },
+        len,
+        next_hop: hop,
+    })
+}
+
+fn route_v6() -> impl Strategy<Value = RouteV6> {
+    (any::<u128>(), 0u8..=64, 0u16..1000).prop_map(|(p, len, hop)| RouteV6 {
+        prefix: if len == 0 { 0 } else { p >> (128 - u32::from(len)) << (128 - u32::from(len)) },
+        len,
+        next_hop: hop,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DIR-24-8 equals the linear-scan oracle for arbitrary route sets.
+    #[test]
+    fn dir24_8_equals_oracle(
+        routes in proptest::collection::vec(route_v4(), 1..40),
+        probes in proptest::collection::vec(any::<u32>(), 1..50),
+    ) {
+        let t = RoutingTableV4::build(&routes);
+        for dst in probes {
+            prop_assert_eq!(t.lookup(dst), t.lookup_linear(dst), "dst {:#x}", dst);
+        }
+        // Probing near the inserted prefixes stresses boundaries.
+        for r in &routes {
+            for delta in [0u32, 1, 255, 256] {
+                let dst = r.prefix.wrapping_add(delta);
+                prop_assert_eq!(t.lookup(dst), t.lookup_linear(dst), "dst {:#x}", dst);
+            }
+        }
+    }
+
+    /// Binary-search-on-lengths equals the linear-scan oracle.
+    #[test]
+    fn waldvogel_equals_oracle(
+        routes in proptest::collection::vec(route_v6(), 1..30),
+        probes in proptest::collection::vec(any::<u128>(), 1..30),
+    ) {
+        let t = RoutingTableV6::build(&routes);
+        for dst in probes {
+            prop_assert_eq!(t.lookup(dst), t.lookup_linear(dst), "dst {:#x}", dst);
+        }
+        for r in &routes {
+            for delta in [0u128, 1, 1 << 64, 1 << 96] {
+                let dst = r.prefix.wrapping_add(delta);
+                prop_assert_eq!(t.lookup(dst), t.lookup_linear(dst), "dst {:#x}", dst);
+            }
+        }
+    }
+
+    /// The full encap+encrypt+auth pipeline round-trips any payload.
+    #[test]
+    fn esp_round_trip(
+        payload in proptest::collection::vec(any::<u8>(), 8..1200),
+        dst in any::<u32>(),
+    ) {
+        let frame_len = 42 + payload.len();
+        let mut f = vec![0u8; frame_len];
+        FrameBuilder::default().build_ipv4(&mut f, frame_len, 0x0a000001, dst);
+        f[42..].copy_from_slice(&payload);
+        let original_ip_payload = f[34..].to_vec();
+        let mut pkt = Packet::from_bytes(&f);
+
+        let sa = Arc::new(SaTable::new(5));
+        let counters = Arc::new(Counters::default());
+        let insp = SystemInspector::new(vec![counters]);
+        let nls = NodeLocalStorage::new();
+        let mut ctx = ElemCtx {
+            now: Time::ZERO,
+            compute: ComputeMode::Full,
+            nls: &nls,
+            worker: 0,
+            inspector: &insp,
+        };
+        let mut anno = Anno::default();
+        let mut encap = IPsecESPEncap::new(sa.clone());
+        let mut aes = IPsecAES::new(sa.clone());
+        let mut auth = IPsecAuthHMAC::new(sa.clone());
+        prop_assert_eq!(encap.process(&mut ctx, &mut pkt, &mut anno), PacketResult::Out(0));
+        prop_assert_eq!(aes.process(&mut ctx, &mut pkt, &mut anno), PacketResult::Out(0));
+        prop_assert_eq!(auth.process(&mut ctx, &mut pkt, &mut anno), PacketResult::Out(0));
+
+        let (proto, recovered) = open_esp(pkt.data(), &sa).expect("open");
+        prop_assert_eq!(proto, nba_io::proto::IPPROTO_UDP);
+        prop_assert_eq!(recovered, original_ip_payload);
+    }
+}

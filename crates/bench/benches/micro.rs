@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the substrates: crypto, matching, lookup,
+//! checksums, RSS hashing, and batch operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use nba_apps::ipv4::RoutingTableV4;
+use nba_apps::ipv6::RoutingTableV6;
+use nba_crypto::{Aes128Ctr, HmacSha1, Sha1};
+use nba_io::checksum;
+use nba_io::toeplitz::Toeplitz;
+use nba_matcher::{AhoCorasick, Regex};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    for size in [64usize, 1024] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        let ctr = Aes128Ctr::new(&[7u8; 16]);
+        g.bench_with_input(BenchmarkId::new("aes128-ctr", size), &data, |b, d| {
+            let mut buf = d.clone();
+            b.iter(|| ctr.apply_keystream(&[9u8; 16], &mut buf));
+        });
+        g.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| Sha1::digest(d));
+        });
+        let mac = HmacSha1::new(b"benchkey");
+        g.bench_with_input(BenchmarkId::new("hmac-sha1", size), &data, |b, d| {
+            b.iter(|| mac.mac_truncated_96(d));
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    let rules = nba_apps::ids::RuleSet::synthetic(3, 256, 8);
+    let mut rng = SmallRng::seed_from_u64(1);
+    for size in [64usize, 1024] {
+        let hay: Vec<u8> = (0..size).map(|_| b'a' + rng.gen::<u8>() % 26).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("aho-corasick", size), &hay, |b, h| {
+            b.iter(|| rules.ac().first_match(h));
+        });
+    }
+    let ac = AhoCorasick::new(&["needle", "haystack", "pattern"]);
+    g.bench_function("aho-corasick/small-set-256B", |b| {
+        let hay = vec![b'x'; 256];
+        b.iter(|| ac.is_match(&hay));
+    });
+    let re = Regex::new(r"GET /[\w/]+\.php\?id=\d+").unwrap();
+    g.bench_function("regex-dfa/http-256B", |b| {
+        let hay = b"GET /a/b/c.php?id=12345 HTTP/1.1".repeat(8);
+        b.iter(|| re.is_match(&hay));
+    });
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup");
+    let v4 = RoutingTableV4::random(5, 65_536, 32);
+    let v6 = RoutingTableV6::random(5, 16_384, 32);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let dsts4: Vec<u32> = (0..1024).map(|_| rng.gen()).collect();
+    let dsts6: Vec<u128> = (0..1024)
+        .map(|_| 0x2001_0db8u128 << 96 | u128::from(rng.gen::<u64>()))
+        .collect();
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("dir-24-8/ipv4", |b| {
+        b.iter(|| dsts4.iter().filter_map(|&d| v4.lookup(d)).count())
+    });
+    g.bench_function("binary-search/ipv6", |b| {
+        b.iter(|| dsts6.iter().filter_map(|&d| v6.lookup(d)).count())
+    });
+    g.finish();
+}
+
+fn bench_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("io");
+    let data = vec![0x5au8; 1500];
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("internet-checksum/1500B", |b| {
+        b.iter(|| checksum::internet_checksum(&data))
+    });
+    let t = Toeplitz::default();
+    g.bench_function("toeplitz/ipv4-4tuple", |b| {
+        b.iter(|| t.hash_ipv4_l4(0x0a000001, 0xc0a80001, 1234, 53))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_matching, bench_lookup, bench_io);
+criterion_main!(benches);

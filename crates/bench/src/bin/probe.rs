@@ -1,0 +1,42 @@
+//! Calibration probe: prints detailed counters for one configuration.
+use nba_apps::{pipelines, AppConfig};
+use nba_core::lb;
+use nba_core::runtime::{des, traffic_per_port, RuntimeConfig};
+use nba_io::{IpVersion, SizeDist, TrafficConfig};
+use nba_sim::Time;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("v6");
+    let size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let mode = args.get(2).map(String::as_str).unwrap_or("cpu");
+
+    let cfg = RuntimeConfig { warmup: Time::from_ms(14), measure: Time::from_ms(28), ..RuntimeConfig::default() };
+    let app = AppConfig { ports: 8, ..AppConfig::default() };
+    let (pipeline, v6) = match which {
+        "v4" => (pipelines::ipv4_router(&app), false),
+        "v6" => (pipelines::ipv6_router(&app), true),
+        "ipsec" => (pipelines::ipsec_gateway(&app), false),
+        "ids" => (pipelines::ids(&app).0, false),
+        _ => panic!("unknown app"),
+    };
+    let traffic = traffic_per_port(&cfg.topology, &TrafficConfig {
+        offered_gbps: 10.0,
+        size: SizeDist::Fixed(size),
+        ip_version: if v6 { IpVersion::V6 } else { IpVersion::V4 },
+        ..TrafficConfig::default()
+    });
+    let balancer: lb::SharedBalancer = match mode {
+        "cpu" => lb::shared(Box::new(lb::CpuOnly)),
+        "gpu" => lb::shared(Box::new(lb::GpuOnly)),
+        w => lb::shared(Box::new(lb::FixedFraction::new(w.parse().unwrap()))),
+    };
+    let r = des::run(&cfg, &pipeline, &balancer, &traffic);
+    println!("{which} {size}B {mode}: {:.2} Gbps ({:.2} Mpps)", r.tx_gbps, r.tx_mpps());
+    println!("  window {:?}", r.window);
+    println!("  rx_dropped {} offered {}", r.rx_dropped, r.offered_packets);
+    for (i, g) in r.gpu.iter().enumerate() {
+        println!("  gpu{i}: tasks {} h2d {}MB d2h {}MB kbusy {} cbusy {}", g.tasks, g.h2d_bytes/1_000_000, g.d2h_bytes/1_000_000, g.kernel_busy, g.copy_busy);
+    }
+    println!("  lat p50 {} p999 {}", r.latency.percentile(50.0), r.latency.percentile(99.9));
+}

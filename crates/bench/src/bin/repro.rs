@@ -1,0 +1,35 @@
+//! Regenerates a single experiment:
+//!
+//! ```sh
+//! cargo run --release -p nba-bench --bin repro -- fig12
+//! cargo run --release -p nba-bench --bin repro            # everything
+//! ```
+
+use nba_bench::experiments::{self, ExpOpts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = ExpOpts::from_env();
+    if args.is_empty() {
+        experiments::all(opts);
+        return;
+    }
+    for a in &args {
+        match a.as_str() {
+            "table3" => experiments::table3(),
+            "fig1" => drop(experiments::fig1(opts)),
+            "fig2" => drop(experiments::fig2(opts)),
+            "fig9" => drop(experiments::fig9(opts)),
+            "fig10" => drop(experiments::fig10(opts)),
+            "fig11" => drop(experiments::fig11(opts)),
+            "fig12" => drop(experiments::fig12(opts)),
+            "fig13" => drop(experiments::fig13(opts)),
+            "fig14" => drop(experiments::fig14(opts)),
+            "composition" => drop(experiments::composition(opts)),
+            "aggregation" => drop(experiments::ablation_aggregation(opts)),
+            "datablock" => drop(experiments::ablation_datablock(opts)),
+            "bounded" => drop(experiments::bounded_latency(opts)),
+            other => eprintln!("unknown experiment {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! `nba-bench`: the harness that regenerates every table and figure of the
+//! paper's evaluation (§4) on the simulated testbed.
+//!
+//! * [`experiments`] — one function per figure/table, each printing the
+//!   rows the paper plots and returning them for shape assertions,
+//! * `benches/figures.rs` (`cargo bench`) runs all of them,
+//! * `src/bin/repro.rs` runs a single one (`cargo run -p nba-bench --bin
+//!   repro -- fig12`).
+
+pub mod experiments;
+pub mod table;

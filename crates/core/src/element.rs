@@ -1,0 +1,319 @@
+//! The element abstraction (§3.2, §3.3).
+//!
+//! NBA reuses Click's element model with three changes:
+//!
+//! * batches are the universal I/O unit, but elements expose only a
+//!   **per-packet** interface — the framework runs the iteration loop and
+//!   handles branch bookkeeping ("hiding computation batching"),
+//! * **per-batch** elements exist for coarse-grained operations (queues,
+//!   load-balancer decisions),
+//! * **offloadable** elements additionally declare an accelerator-side
+//!   function with declarative input/output formats (datablocks, Table 2).
+//!
+//! Push/pull is unified into push-only processing; *schedulable* elements
+//! (`FromInput`-likes) are driven by the IO loop instead.
+
+use std::sync::Arc;
+
+use nba_io::Packet;
+use nba_sim::{CpuProfile, GpuProfile, Time};
+
+use crate::batch::{Anno, PacketBatch, PacketResult};
+use crate::nls::NodeLocalStorage;
+
+/// How the framework should invoke an element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementKind {
+    /// The framework iterates over packets calling [`Element::process`].
+    PerPacket,
+    /// The framework calls [`Element::process_batch`] once per batch.
+    PerBatch,
+}
+
+/// Execution context handed to elements.
+pub struct ElemCtx<'a> {
+    /// Current virtual time.
+    pub now: Time,
+    /// Whether heavy payload computation (crypto, matching) really runs.
+    pub compute: ComputeMode,
+    /// Node-local storage shared by workers on this NUMA node (§3.2).
+    pub nls: &'a NodeLocalStorage,
+    /// Index of the executing worker thread.
+    pub worker: usize,
+    /// Live throughput/queue statistics (the "system inspector", §3.4).
+    pub inspector: &'a crate::stats::SystemInspector,
+}
+
+/// Whether elements execute heavy payload transformations.
+///
+/// The discrete-event clock charges modeled costs either way; `Full` also
+/// performs the real computation (so tests can verify ciphertexts and
+/// detections), `HeadersOnly` skips payload-body work during long timing
+/// sweeps. Routing decisions and header rewrites always really happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeMode {
+    /// Perform all computation (default for tests and examples).
+    Full,
+    /// Skip payload-body transforms; charge their modeled cost only.
+    HeadersOnly,
+}
+
+/// A packet-processing operator composed into a pipeline.
+pub trait Element: Send {
+    /// The class name used by the configuration language.
+    fn class_name(&self) -> &'static str;
+
+    /// Number of output ports (edges) this element has.
+    fn output_count(&self) -> usize {
+        1
+    }
+
+    /// Per-packet or per-batch invocation.
+    fn kind(&self) -> ElementKind {
+        ElementKind::PerPacket
+    }
+
+    /// Processes one packet (per-packet elements).
+    ///
+    /// The default implementation forwards to output 0.
+    fn process(&mut self, _ctx: &mut ElemCtx<'_>, _pkt: &mut Packet, _anno: &mut Anno) -> PacketResult {
+        PacketResult::Out(0)
+    }
+
+    /// Processes a whole batch (per-batch elements). Per-packet results in
+    /// the batch are respected by the framework afterwards.
+    ///
+    /// The default is a pass-through (all packets continue to output 0);
+    /// the framework never calls this for [`ElementKind::PerPacket`]
+    /// elements — it runs the iteration loop itself so batching costs stay
+    /// under its control (§3.2 "hiding computation batching").
+    fn process_batch(&mut self, _ctx: &mut ElemCtx<'_>, _batch: &mut PacketBatch) {}
+
+    /// The modeled CPU cost of processing one packet of `len` bytes.
+    fn cpu_profile(&self) -> CpuProfile {
+        CpuProfile::default()
+    }
+
+    /// The accelerator-side description, if this element is offloadable.
+    fn offload(&self) -> Option<OffloadSpec> {
+        None
+    }
+
+    /// Derives per-packet results after accelerator processing scattered
+    /// its output (annotations/payloads) back into the batch.
+    ///
+    /// The default sends every packet out of port 0. Offloadable elements
+    /// whose output edge or drop decision depends on the kernel verdict
+    /// (lookup miss, match hit) override this so the CPU and GPU paths
+    /// route identically.
+    fn post_offload(&mut self, _ctx: &mut ElemCtx<'_>, batch: &mut PacketBatch) {
+        let live: Vec<usize> = batch.live_indices().collect();
+        for i in live {
+            batch.set_result(i, PacketResult::Out(0));
+        }
+    }
+}
+
+/// The items a kernel iterates over, parsed from a staged task buffer.
+///
+/// Layout of the staged input buffer (what "device memory" holds):
+///
+/// ```text
+/// [u32 items][u32 in_off[items+1]][u32 out_off[items+1]][input bytes...]
+/// ```
+///
+/// Output buffer: `out_off[items]` bytes of writable results.
+#[derive(Debug)]
+pub struct KernelIo<'a> {
+    /// Number of data-parallel items.
+    pub items: usize,
+    /// Input byte offsets (items + 1 entries).
+    pub in_off: Vec<u32>,
+    /// Output byte offsets (items + 1 entries).
+    pub out_off: Vec<u32>,
+    /// Concatenated input item bytes.
+    pub input: &'a [u8],
+    /// Concatenated output item bytes.
+    pub output: &'a mut [u8],
+}
+
+impl<'a> KernelIo<'a> {
+    /// Serializes the header + offsets in front of item data.
+    pub fn stage(in_segments: &[&[u8]], out_lens: &[usize]) -> (Vec<u8>, usize) {
+        assert_eq!(in_segments.len(), out_lens.len());
+        let items = in_segments.len();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(items as u32).to_le_bytes());
+        let mut off = 0u32;
+        for seg in in_segments {
+            buf.extend_from_slice(&off.to_le_bytes());
+            off += seg.len() as u32;
+        }
+        buf.extend_from_slice(&off.to_le_bytes());
+        let mut ooff = 0u32;
+        for len in out_lens {
+            buf.extend_from_slice(&ooff.to_le_bytes());
+            ooff += *len as u32;
+        }
+        buf.extend_from_slice(&ooff.to_le_bytes());
+        for seg in in_segments {
+            buf.extend_from_slice(seg);
+        }
+        (buf, ooff as usize)
+    }
+
+    /// Parses a staged buffer (the kernel-side view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is malformed — staging and parsing are both
+    /// framework-internal, so a mismatch is a bug, not input error.
+    pub fn parse(staged: &'a [u8], output: &'a mut [u8]) -> KernelIo<'a> {
+        let items = u32::from_le_bytes(staged[0..4].try_into().unwrap()) as usize;
+        let mut pos = 4;
+        let read_offsets = |pos: &mut usize| {
+            let mut v = Vec::with_capacity(items + 1);
+            for _ in 0..=items {
+                v.push(u32::from_le_bytes(staged[*pos..*pos + 4].try_into().unwrap()));
+                *pos += 4;
+            }
+            v
+        };
+        let in_off = read_offsets(&mut pos);
+        let out_off = read_offsets(&mut pos);
+        KernelIo {
+            items,
+            in_off,
+            out_off,
+            input: &staged[pos..],
+            output,
+        }
+    }
+
+    /// Input bytes of item `i`.
+    pub fn item_in(&self, i: usize) -> &[u8] {
+        &self.input[self.in_off[i] as usize..self.in_off[i + 1] as usize]
+    }
+
+    /// Byte range of item `i` in the output buffer.
+    pub fn item_out_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.out_off[i] as usize..self.out_off[i + 1] as usize
+    }
+}
+
+/// An accelerator kernel: transforms the staged input into the output.
+pub type Kernel = Arc<dyn Fn(KernelIo<'_>) + Send + Sync>;
+
+/// Declarative input format of an offloadable element's datablock (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbInput {
+    /// A fixed byte range of each packet (`partial_pkt`).
+    PartialPacket {
+        /// Byte offset into the frame.
+        offset: usize,
+        /// Range length; shorter packets contribute what they have.
+        len: usize,
+    },
+    /// Everything from `offset` to the end of the frame (`whole_pkt`).
+    WholePacket {
+        /// Byte offset into the frame.
+        offset: usize,
+    },
+}
+
+/// Declarative output format of an offloadable element's datablock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbOutput {
+    /// Kernel output overwrites the same packet range the input came from,
+    /// possibly extended to `extra` additional bytes (size-delta).
+    InPlace {
+        /// Extra output bytes appended per item beyond the input length.
+        extra: usize,
+    },
+    /// A fixed number of result bytes per item, written into per-packet
+    /// annotations / consumed by the postprocess step.
+    PerItem {
+        /// Output bytes per item.
+        len: usize,
+    },
+}
+
+/// The accelerator-side half of an offloadable element (§3.3).
+#[derive(Clone)]
+pub struct OffloadSpec {
+    /// Input datablock declaration.
+    pub input: DbInput,
+    /// Output datablock declaration.
+    pub output: DbOutput,
+    /// Modeled per-item device cost.
+    pub gpu: GpuProfile,
+    /// The device function (functionally executed on the host).
+    pub kernel: Kernel,
+    /// `true` for heavy payload transforms (crypto, matching) that
+    /// [`ComputeMode::HeadersOnly`] may skip; `false` for kernels whose
+    /// results drive routing and must always run (lookups).
+    pub heavy: bool,
+    /// How the output is applied back to each packet.
+    pub postprocess: Postprocess,
+}
+
+impl std::fmt::Debug for OffloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffloadSpec")
+            .field("input", &self.input)
+            .field("output", &self.output)
+            .finish()
+    }
+}
+
+/// What the framework does with kernel output during postprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Postprocess {
+    /// Copy output bytes back over the packet's input range (encryption).
+    WriteBack,
+    /// Interpret each item's output as a little-endian u64 and store it in
+    /// the given per-packet annotation slot (lookups, match verdicts).
+    Annotation(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_round_trips() {
+        let a = b"hello".as_slice();
+        let b = b"world!!".as_slice();
+        let (staged, out_len) = KernelIo::stage(&[a, b], &[4, 8]);
+        assert_eq!(out_len, 12);
+        let mut out = vec![0u8; out_len];
+        let io = KernelIo::parse(&staged, &mut out);
+        assert_eq!(io.items, 2);
+        assert_eq!(io.item_in(0), b"hello");
+        assert_eq!(io.item_in(1), b"world!!");
+        assert_eq!(io.item_out_range(0), 0..4);
+        assert_eq!(io.item_out_range(1), 4..12);
+    }
+
+    #[test]
+    fn kernel_writes_through_ranges() {
+        let (staged, out_len) = KernelIo::stage(&[b"abc", b"de"], &[3, 2]);
+        let mut out = vec![0u8; out_len];
+        let io = KernelIo::parse(&staged, &mut out);
+        for i in 0..io.items {
+            let r = io.item_out_range(i);
+            let src: Vec<u8> = io.item_in(i).iter().map(|b| b.to_ascii_uppercase()).collect();
+            io.output[r].copy_from_slice(&src);
+        }
+        assert_eq!(&out, b"ABCDE");
+    }
+
+    #[test]
+    fn empty_stage_parses() {
+        let (staged, out_len) = KernelIo::stage(&[], &[]);
+        let mut out = vec![0u8; out_len];
+        let io = KernelIo::parse(&staged, &mut out);
+        assert_eq!(io.items, 0);
+        assert!(io.input.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! `nba-core`: the NBA framework — a batch-oriented modular packet
+//! processing framework with declarative GPU offloading and adaptive
+//! CPU/GPU load balancing (EuroSys'15).
+//!
+//! The crate mirrors the paper's design (§3):
+//!
+//! * [`batch`] — packet batches as first-class objects: pointer arrays,
+//!   per-packet results, cache-line annotation sets, exclusion masks,
+//! * [`element`] — Click-style elements with per-packet/per-batch kinds and
+//!   declarative offloading ([`element::OffloadSpec`], datablocks),
+//! * [`graph`] — the `ElementGraph`: batch traversal, the batch-split
+//!   problem, and batch-level branch prediction,
+//! * [`config`] — the Click configuration language dialect (quoted
+//!   parameters) with an element registry,
+//! * [`offload`] — datablock gather/scatter between batches and devices,
+//! * [`lb`] — load balancers, including the paper's adaptive algorithm,
+//! * [`nls`] — node-local storage for shared read-mostly tables,
+//! * [`stats`] — counters, the system inspector, latency histograms,
+//! * [`runtime`] — the discrete-event runtime (all experiments) and a live
+//!   multi-threaded runtime.
+
+pub mod batch;
+pub mod config;
+pub mod element;
+pub mod graph;
+pub mod lb;
+pub mod nls;
+pub mod offload;
+pub mod runtime;
+pub mod stats;
+
+pub use batch::{anno, Anno, PacketBatch, PacketResult};
+pub use config::{build_graph, ConfigError, ElementRegistry};
+pub use element::{
+    ComputeMode, DbInput, DbOutput, ElemCtx, Element, ElementKind, Kernel, KernelIo, OffloadSpec,
+    Postprocess,
+};
+pub use graph::{BranchPolicy, ElementGraph, GraphBuilder, NodeId, OutEdge, RunOutcome};
+pub use lb::{
+    Adaptive, AlbConfig, CpuOnly, FixedFraction, GpuOnly, LatencyBounded, LoadBalancer,
+    SharedBalancer,
+};
+pub use nls::NodeLocalStorage;
+pub use runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
+pub use stats::{Counters, LatencyHistogram, Snapshot, SystemInspector};

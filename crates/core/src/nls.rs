@@ -1,0 +1,142 @@
+//! Node-local storage (§3.2).
+//!
+//! Worker threads are shared-nothing, but large read-dominant data
+//! structures (forwarding tables, IDS automata) would blow the cache if
+//! replicated per worker. NBA lets elements "define and access a shared
+//! memory buffer using unique names" per NUMA node; this is that registry.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A per-NUMA-node named registry of shared read-mostly state.
+///
+/// Values are immutable once published (`Arc<T>`); elements needing mutable
+/// shared state store interior-mutability types themselves (the "optional
+/// read-write locks" of the paper).
+#[derive(Clone, Default)]
+pub struct NodeLocalStorage {
+    map: Arc<RwLock<HashMap<String, Arc<dyn Any + Send + Sync>>>>,
+}
+
+impl NodeLocalStorage {
+    /// Creates an empty registry.
+    pub fn new() -> NodeLocalStorage {
+        NodeLocalStorage::default()
+    }
+
+    /// Returns the value under `name`, initializing it with `init` on first
+    /// access. The first worker to configure an element builds the table;
+    /// replicas on the same node reuse it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` exists with a different type.
+    pub fn get_or_init<T, F>(&self, name: &str, init: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        if let Some(v) = self.map.read().get(name) {
+            return Arc::clone(v)
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("node-local entry {name:?} has a different type"));
+        }
+        let mut w = self.map.write();
+        // Double-checked: another worker may have initialized meanwhile.
+        if let Some(v) = w.get(name) {
+            return Arc::clone(v)
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("node-local entry {name:?} has a different type"));
+        }
+        let value = Arc::new(init());
+        w.insert(name.to_owned(), value.clone());
+        value
+    }
+
+    /// Returns the value under `name` if present and of type `T`.
+    pub fn get<T: Any + Send + Sync>(&self, name: &str) -> Option<Arc<T>> {
+        self.map
+            .read()
+            .get(name)
+            .and_then(|v| Arc::clone(v).downcast::<T>().ok())
+    }
+
+    /// Number of published entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// `true` if nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for NodeLocalStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NodeLocalStorage({} entries)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_once_then_shared() {
+        let nls = NodeLocalStorage::new();
+        let mut builds = 0;
+        let a = nls.get_or_init("table", || {
+            builds += 1;
+            vec![1u32, 2, 3]
+        });
+        let b = nls.get_or_init("table", || {
+            builds += 1;
+            vec![9u32]
+        });
+        assert_eq!(builds, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn get_respects_type() {
+        let nls = NodeLocalStorage::new();
+        nls.get_or_init("x", || 42u64);
+        assert_eq!(nls.get::<u64>("x").as_deref(), Some(&42));
+        assert!(nls.get::<String>("x").is_none());
+        assert!(nls.get::<u64>("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflict_panics() {
+        let nls = NodeLocalStorage::new();
+        nls.get_or_init("x", || 1u8);
+        let _ = nls.get_or_init("x", || "oops".to_owned());
+    }
+
+    #[test]
+    fn clones_share_the_map() {
+        let nls = NodeLocalStorage::new();
+        let nls2 = nls.clone();
+        nls.get_or_init("k", || 7i32);
+        assert_eq!(nls2.get::<i32>("k").as_deref(), Some(&7));
+        assert_eq!(nls2.len(), 1);
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let nls = NodeLocalStorage::new();
+        let nls2 = nls.clone();
+        let t = std::thread::spawn(move || {
+            let v = nls2.get_or_init("shared", || 123u32);
+            *v
+        });
+        assert_eq!(t.join().unwrap(), 123);
+        assert_eq!(nls.get::<u32>("shared").as_deref(), Some(&123));
+    }
+}

@@ -1,0 +1,722 @@
+//! The discrete-event runtime: workers, device threads, NICs, and traffic
+//! sources as engine entities (§3.2's thread/core mapping, Figure 6).
+//!
+//! Per socket: `workers_per_socket` worker entities (replicated pipelines,
+//! run-to-completion, shared-nothing) plus one device-thread entity driving
+//! the socket's GPU. Each NIC port has one RX queue per worker on its
+//! socket; RSS spreads flows across them. Traffic-source entities convert
+//! offered load into RX arrivals.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use nba_gpu::Gpu;
+use nba_io::{Mempool, Packet, PacketSource, Port, PortHandle, TrafficConfig, TrafficGen};
+use nba_sim::{Ctx, Engine, Entity, EntityId, SimQueue, Time, Wake};
+
+use crate::batch::{anno, PacketBatch};
+use crate::element::{ComputeMode, ElemCtx, KernelIo, OffloadSpec};
+use crate::element::{DbInput, DbOutput, Postprocess};
+use crate::graph::{ElementGraph, NodeId, OutEdge, RunOutcome};
+use crate::lb::SharedBalancer;
+use crate::nls::NodeLocalStorage;
+use crate::offload::{self, CompletedTask, OffloadTask};
+use crate::runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
+use crate::stats::{Counters, LatencyHistogram, SystemInspector};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A traffic source feeding one port (synthetic generator or trace replay).
+struct SourceEntity {
+    gen: Box<dyn PacketSource>,
+    port: PortHandle,
+    pool: Mempool,
+    window: Time,
+    horizon: Time,
+}
+
+impl Entity for SourceEntity {
+    fn step(&mut self, now: Time, _ctx: &mut Ctx) -> Wake {
+        let port = Rc::clone(&self.port);
+        self.gen
+            .generate(now, &self.pool, &mut |p: Packet| port.borrow_mut().deliver(p));
+        if now >= self.horizon {
+            Wake::Done
+        } else {
+            Wake::At(now + self.window)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "traffic-source"
+    }
+}
+
+/// One simulated worker core running a pipeline replica.
+struct WorkerEntity {
+    id: usize,
+    cfg: RuntimeConfig,
+    graph: ElementGraph,
+    nls: NodeLocalStorage,
+    inspector: SystemInspector,
+    counters: Arc<Counters>,
+    /// RX queues this worker polls (queue `local_idx` of each local port).
+    rx: Vec<SimQueue<Packet>>,
+    rx_rr: usize,
+    /// All ports, for TX by the IFACE_OUT annotation.
+    ports: Vec<PortHandle>,
+    /// Inbound completions from the device thread.
+    completions: SimQueue<CompletedTask>,
+    /// Outbound offload tasks to the node's device thread.
+    offload_q: SimQueue<OffloadTask>,
+    device_entity: EntityId,
+    latency: Rc<RefCell<LatencyHistogram>>,
+    warmup_until: Time,
+    /// The worker core is busy until this time; early wakes are deferred
+    /// (the engine may deliver completion wakes mid-"computation").
+    busy_until: Time,
+}
+
+impl WorkerEntity {
+    /// Applies a traversal outcome. `cycles_before` is the work already
+    /// charged this step: packets hit the wire only after the core spent
+    /// that time, so TX (and therefore latency) reflects pipeline depth.
+    fn handle_outcome(
+        &mut self,
+        now: Time,
+        cycles_before: u64,
+        outcome: RunOutcome,
+        ctx: &mut Ctx,
+    ) -> u64 {
+        let mut cycles = outcome.cycles;
+        let cost = &self.cfg.cost;
+        let tx_at = now + cost.cycles(cycles_before + cycles);
+        // Transmit packets that reached the pipeline exit.
+        let mut burst_ports = 0u64;
+        for (pkt, anno_set) in outcome.tx {
+            let out_port = anno_set.get(anno::IFACE_OUT) as usize % self.ports.len();
+            burst_ports |= 1 << (out_port % 64);
+            cycles += cost.tx_per_packet;
+            let outcome = self.ports[out_port].borrow_mut().transmit(tx_at, &pkt);
+            if let nba_io::TxOutcome::Sent { done_at } = outcome {
+                Counters::add(&self.counters.tx_packets, 1);
+                // Input-normalized bits: encapsulating gateways report the
+                // traffic they absorbed, not the ESP-inflated output.
+                let bits = match anno_set.get(anno::ORIG_BITS) {
+                    0 => pkt.frame_bits(),
+                    b => b,
+                };
+                Counters::add(&self.counters.tx_frame_bits, bits);
+                if now >= self.warmup_until {
+                    let lat = done_at.saturating_sub(Time::from_ps(
+                        anno_set.get(anno::TIMESTAMP),
+                    )) + self.cfg.external_latency;
+                    self.latency.borrow_mut().record(lat);
+                    self.counters.observe_latency(lat.as_ns());
+                }
+            }
+            // TX-ring drops are counted by the port.
+        }
+        cycles += cost.tx_burst_fixed * burst_ports.count_ones() as u64;
+        // Ship suspended batches to the device thread.
+        for req in outcome.offloads {
+            cycles += cost.offload_enqueue;
+            Counters::add(&self.counters.offloaded_batches, 1);
+            let task = OffloadTask {
+                node: req.node,
+                worker: self.id,
+                batch: req.batch,
+            };
+            // The queue is unbounded; overload is prevented upstream by
+            // gating RX on its depth, so in-chain batches (e.g. AES->HMAC)
+            // are never dropped mid-pipeline.
+            self.offload_q
+                .push(task)
+                .unwrap_or_else(|_| unreachable!("offload queue is unbounded"));
+            ctx.wake(self.device_entity, now);
+        }
+        cycles
+    }
+}
+
+impl Entity for WorkerEntity {
+    fn step(&mut self, now: Time, ctx: &mut Ctx) -> Wake {
+        if now < self.busy_until {
+            return Wake::At(self.busy_until);
+        }
+        let cost = self.cfg.cost.clone();
+        let mut cycles = cost.sched_iteration;
+        let mut did_work = false;
+
+        // 1. Reap offload completions (the IO loop checks these first).
+        while let Some(done) = self.completions.pop() {
+            did_work = true;
+            cycles += cost.completion_check;
+            let mut ectx = ElemCtx {
+                now,
+                compute: self.cfg.compute,
+                nls: &self.nls,
+                worker: self.id,
+                inspector: &self.inspector,
+            };
+            let outcome = self.graph.resume_offloaded(
+                &mut ectx,
+                &cost,
+                &self.counters,
+                done.node,
+                done.batch,
+            );
+            cycles += self.handle_outcome(now, cycles, outcome, ctx);
+        }
+
+        // 2. Poll RX queues round-robin and fetch one IO burst — unless the
+        // offload path is backed up (run-to-completion backpressure: the
+        // RX rings then overflow and the NIC drops, like real overload).
+        let gate = self.offload_q.len() >= self.cfg.device_backlog_batches;
+        let mut pkts: Vec<Packet> = Vec::with_capacity(self.cfg.io_batch);
+        if !self.rx.is_empty() && !gate {
+            let nq = self.rx.len();
+            for k in 0..nq {
+                let q = &self.rx[(self.rx_rr + k) % nq];
+                let want = self.cfg.io_batch - pkts.len();
+                if want == 0 {
+                    break;
+                }
+                q.pop_into(&mut pkts, want);
+            }
+            self.rx_rr = (self.rx_rr + 1) % nq;
+        }
+
+        if pkts.is_empty() {
+            if did_work {
+                self.busy_until = now + cost.cycles(cycles);
+                return Wake::At(self.busy_until);
+            }
+            return Wake::At(now + self.cfg.poll_interval);
+        }
+
+        cycles += cost.rx_burst_fixed + cost.rx_per_packet * pkts.len() as u64;
+        Counters::add(&self.counters.rx_packets, pkts.len() as u64);
+
+        // 3. Wrap into computation batches and run the pipeline.
+        let mut iter = pkts.into_iter().peekable();
+        while iter.peek().is_some() {
+            let mut batch = PacketBatch::with_capacity(self.cfg.comp_batch);
+            for _ in 0..self.cfg.comp_batch {
+                match iter.next() {
+                    Some(p) => {
+                        batch.push(p);
+                    }
+                    None => break,
+                }
+            }
+            cycles += cost.batch_alloc;
+            Counters::add(&self.counters.batches, 1);
+            let mut ectx = ElemCtx {
+                now,
+                compute: self.cfg.compute,
+                nls: &self.nls,
+                worker: self.id,
+                inspector: &self.inspector,
+            };
+            let outcome = self
+                .graph
+                .run_batch(&mut ectx, &cost, &self.counters, batch);
+            cycles += self.handle_outcome(now, cycles, outcome, ctx);
+        }
+        self.busy_until = now + cost.cycles(cycles);
+        Wake::At(self.busy_until)
+    }
+
+    fn name(&self) -> &str {
+        "worker"
+    }
+}
+
+/// A task staged through the GPU whose postprocessing is pending.
+struct InFlight {
+    node: NodeId,
+    batches: Vec<(usize, PacketBatch)>,
+    output: Vec<u8>,
+    items: usize,
+    out_bytes: usize,
+    d2h_done: Time,
+    skipped_kernel: bool,
+}
+
+/// The device thread of one NUMA node (§3.2: one per node per device).
+struct DeviceEntity {
+    cfg: RuntimeConfig,
+    tasks: SimQueue<OffloadTask>,
+    /// Aggregation buffers per offloadable node id, with the arrival time
+    /// of each buffer's oldest batch (the launch deadline anchor).
+    agg: HashMap<usize, (Time, Vec<OffloadTask>)>,
+    specs: HashMap<usize, OffloadSpec>,
+    /// Datablock-reuse chains: node -> immediately following offloadable
+    /// node whose datablock is identical (empty unless enabled).
+    fuse_next: HashMap<usize, usize>,
+    gpu: Rc<RefCell<Gpu>>,
+    inflight: Vec<InFlight>,
+    /// Per-worker completion queues + entity ids for wake-ups.
+    completions: Vec<(SimQueue<CompletedTask>, EntityId)>,
+    counters: Arc<Counters>,
+    /// The device-thread core is busy until this time.
+    busy_until: Time,
+}
+
+impl DeviceEntity {
+    /// Batches currently buffered across aggregates.
+    fn backlog(&self) -> usize {
+        self.agg.values().map(|(_, v)| v.len()).sum()
+    }
+}
+
+impl DeviceEntity {
+    fn flush(&mut self, now: Time, cycles: &mut u64, node: usize, tasks: Vec<OffloadTask>) {
+        let cost = &self.cfg.cost;
+        let spec = self.specs.get(&node).expect("offloadable node spec").clone();
+        // Datablock reuse: a fused follower runs on the GPU-resident data
+        // in the same round trip (one H2D, one D2H, two kernels).
+        let fused = self
+            .fuse_next
+            .get(&node)
+            .map(|&m| (m, self.specs.get(&m).expect("fused node spec").clone()));
+        let batches: Vec<(usize, PacketBatch)> =
+            tasks.into_iter().map(|t| (t.worker, t.batch)).collect();
+        let refs: Vec<&PacketBatch> = batches.iter().map(|(_, b)| b).collect();
+        let staged = offload::stage(&spec, &refs);
+        // Preprocessing cost: gather into the page-locked datablock (paid
+        // once even for fused chains — the point of the optimization).
+        *cycles += cost.device_task_fixed
+            + cost.preproc_per_packet * staged.items as u64
+            + (cost.preproc_per_byte * staged.in_bytes as f64) as u64;
+        let element_passes = 1 + u64::from(fused.is_some());
+        Counters::add(
+            &self.counters.gpu_processed,
+            staged.items as u64 * element_passes,
+        );
+
+        let submit_at = now + cost.cycles(*cycles);
+        let mut output = vec![0u8; staged.out_len];
+        let skip = spec.heavy && self.cfg.compute == ComputeMode::HeadersOnly;
+        let kernel = spec.kernel.clone();
+        let fused_kernel = fused.as_ref().map(|(_, s)| s.kernel.clone());
+        let lane_ns =
+            staged.lane_ns + fused.as_ref().map_or(0.0, |(_, s)| chained_lane_ns(s, &refs));
+        // Offsets header length: everything before the item bytes.
+        let hdr_len = staged.input.len() - staged.in_bytes;
+        let timing = {
+            let mut gpu = self.gpu.borrow_mut();
+            gpu.run_task(
+                submit_at,
+                &staged.input,
+                staged.items,
+                lane_ns,
+                &mut output,
+                &move |i: &[u8], o: &mut [u8], _n: usize| {
+                    if skip {
+                        return;
+                    }
+                    kernel(KernelIo::parse(i, o));
+                    if let Some(k2) = &fused_kernel {
+                        // Re-stage in place: same offsets, stage-1 output
+                        // as the next kernel's resident input.
+                        let mut chained = Vec::with_capacity(i.len());
+                        chained.extend_from_slice(&i[..hdr_len]);
+                        chained.extend_from_slice(o);
+                        k2(KernelIo::parse(&chained, o));
+                    }
+                },
+            )
+            .expect("device memory exhausted")
+        };
+        self.inflight.push(InFlight {
+            // The batch resumes after the LAST element of a fused chain.
+            node: NodeId(fused.map_or(node, |(m, _)| m)),
+            batches,
+            output,
+            items: staged.items,
+            out_bytes: staged.out_len,
+            d2h_done: timing.d2h_done,
+            skipped_kernel: skip,
+        });
+    }
+}
+
+/// Single-lane kernel nanoseconds a chained element adds over the same
+/// staged items.
+fn chained_lane_ns(spec: &OffloadSpec, batches: &[&PacketBatch]) -> f64 {
+    let mut ns = 0.0;
+    for b in batches {
+        for i in b.live_indices() {
+            let len = b.packet(i).expect("live index").len();
+            ns += spec.gpu.item_ns(len);
+        }
+    }
+    ns
+}
+
+impl Entity for DeviceEntity {
+    fn step(&mut self, now: Time, ctx: &mut Ctx) -> Wake {
+        if now < self.busy_until {
+            return Wake::At(self.busy_until);
+        }
+        let cost = self.cfg.cost.clone();
+        let mut cycles: u64 = 0;
+
+        // 1. Postprocess tasks whose D2H copy has landed.
+        let mut i = 0;
+        while i < self.inflight.len() {
+            if self.inflight[i].d2h_done <= now {
+                let mut t = self.inflight.swap_remove(i);
+                cycles += cost.postproc_per_packet * t.items as u64
+                    + (cost.postproc_per_byte * t.out_bytes as f64) as u64;
+                let spec = self.specs.get(&t.node.0).expect("spec").clone();
+                if !t.skipped_kernel {
+                    let mut only: Vec<PacketBatch> =
+                        t.batches.iter_mut().map(|(_, b)| std::mem::take(b)).collect();
+                    offload::scatter(&spec, &mut only, &t.output);
+                    for ((_, slot), b) in t.batches.iter_mut().zip(only) {
+                        *slot = b;
+                    }
+                }
+                let done_at = now + cost.cycles(cycles);
+                for (worker, batch) in t.batches {
+                    let (q, eid) = &self.completions[worker];
+                    if let Err(lost) = q.push(CompletedTask {
+                        node: t.node,
+                        worker,
+                        batch,
+                        done_at,
+                    }) {
+                        Counters::add(&self.counters.dropped, lost.batch.len() as u64);
+                    }
+                    ctx.wake(*eid, done_at);
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Drain newly arrived tasks into per-node aggregation buffers,
+        // unless the buffered backlog already exceeds the cap (then tasks
+        // stay in the bounded queue, which eventually overflows into drops
+        // at the workers — overload backpressure).
+        while self.backlog() < self.cfg.device_backlog_batches {
+            let Some(task) = self.tasks.pop() else {
+                break;
+            };
+            cycles += cost.offload_dequeue;
+            let entry = self.agg.entry(task.node.0).or_insert_with(|| (now, Vec::new()));
+            if entry.1.is_empty() {
+                entry.0 = now;
+            }
+            entry.1.push(task);
+        }
+
+        // 3. Launch aggregates: full ones immediately, partial ones once
+        // their oldest batch has waited out the aggregation timeout — and
+        // only while the GPU compute engine is not too far behind (§3.3
+        // aggregation; the backlog cap turns saturation into queue growth
+        // rather than unbounded in-flight work).
+        let nodes: Vec<usize> = self.agg.keys().copied().collect();
+        let mut next_deadline: Option<Time> = None;
+        for node in nodes {
+            loop {
+                let gpu_behind = self.inflight.len() >= self.cfg.gpu_max_inflight;
+                let (oldest, buf) = self.agg.get_mut(&node).expect("agg buffer");
+                if buf.is_empty() {
+                    break;
+                }
+                let full = buf.len() >= self.cfg.offload_aggregate;
+                let expired = now >= *oldest + self.cfg.offload_agg_timeout;
+                if gpu_behind || !(full || expired) {
+                    if !gpu_behind {
+                        let dl = *oldest + self.cfg.offload_agg_timeout;
+                        next_deadline = Some(next_deadline.map_or(dl, |d: Time| d.min(dl)));
+                    }
+                    break;
+                }
+                let take = buf.len().min(self.cfg.offload_aggregate);
+                let rest = buf.split_off(take);
+                let chunk = std::mem::replace(buf, rest);
+                *oldest = now;
+                self.flush(now, &mut cycles, node, chunk);
+            }
+        }
+
+        // 4. Sleep until the next D2H completion, aggregation deadline, or
+        // GPU-backlog relief — whichever comes first.
+        let next_pp = self.inflight.iter().map(|t| t.d2h_done).min();
+        let busy_until = now + cost.cycles(cycles);
+        let mut wake: Option<Time> = next_pp;
+        if let Some(dl) = next_deadline {
+            wake = Some(wake.map_or(dl, |w| w.min(dl)));
+        }
+        if (self.backlog() > 0 || !self.tasks.is_empty())
+            && self.inflight.len() >= self.cfg.gpu_max_inflight
+        {
+            // Blocked on in-flight tasks: the next D2H completion (already
+            // in `wake`) frees a slot. Nothing further to schedule.
+        } else if self.backlog() > 0 || !self.tasks.is_empty() {
+            // Work remains and slots are free: re-run shortly.
+            let soon = now + Time::from_us(5);
+            wake = Some(wake.map_or(soon, |w| w.min(soon)));
+        }
+        self.busy_until = busy_until;
+        match wake {
+            Some(t) => Wake::At(t.max(busy_until)),
+            None if cycles > 0 => Wake::At(busy_until),
+            None => Wake::Idle,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "device-thread"
+    }
+}
+
+/// Runs one experiment end to end and reports the measurement window.
+///
+/// `traffic` holds one configuration per port (see
+/// [`crate::runtime::traffic_per_port`]).
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration (more workers than cores, traffic
+/// list not matching the port count).
+pub fn run(
+    cfg: &RuntimeConfig,
+    build: &PipelineBuilder,
+    balancer: &SharedBalancer,
+    traffic: &[TrafficConfig],
+) -> RunReport {
+    let offered: f64 = traffic.iter().map(|t| t.offered_gbps).sum();
+    let sources: Vec<Box<dyn PacketSource>> = traffic
+        .iter()
+        .map(|t| Box::new(TrafficGen::new(t.clone())) as Box<dyn PacketSource>)
+        .collect();
+    run_with_sources(cfg, build, balancer, sources, offered)
+}
+
+/// Like [`run`], but over arbitrary packet sources — one per port — such as
+/// [`nba_io::Replay`] trace replays. `offered_gbps` is the total offered
+/// load reported back in the [`RunReport`].
+///
+/// # Panics
+///
+/// Panics on inconsistent configuration (more workers than cores, source
+/// list not matching the port count).
+pub fn run_with_sources(
+    cfg: &RuntimeConfig,
+    build: &PipelineBuilder,
+    balancer: &SharedBalancer,
+    sources: Vec<Box<dyn PacketSource>>,
+    offered_gbps: f64,
+) -> RunReport {
+    let topo = &cfg.topology;
+    assert_eq!(
+        sources.len(),
+        topo.ports.len(),
+        "need one packet source per port"
+    );
+    for s in &topo.sockets {
+        assert!(
+            cfg.workers_per_socket < s.cores || s.cores == 1,
+            "reserve one core per socket for the device thread"
+        );
+    }
+
+    let mut engine = Engine::new();
+    let sockets = topo.sockets.len();
+    let wps = cfg.workers_per_socket as usize;
+    let total_workers = sockets * wps;
+
+    // Shared infrastructure.
+    let pools: Vec<Mempool> = (0..sockets).map(|_| Mempool::new(cfg.pool_size)).collect();
+    let nls: Vec<NodeLocalStorage> = (0..sockets).map(|_| NodeLocalStorage::new()).collect();
+    let counters: Vec<Arc<Counters>> = (0..total_workers)
+        .map(|_| Arc::new(Counters::default()))
+        .collect();
+    let inspector = SystemInspector::new(counters.clone());
+    let ports: Vec<PortHandle> = topo
+        .ports
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Port::new(i as u16, p.speed_gbps, wps as u16, cfg.rxq_depth).into_handle())
+        .collect();
+
+    // Queues between workers and device threads.
+    let offload_qs: Vec<SimQueue<OffloadTask>> =
+        (0..sockets).map(|_| SimQueue::unbounded()).collect();
+    let completion_qs: Vec<SimQueue<CompletedTask>> =
+        (0..total_workers).map(|_| SimQueue::bounded(8192)).collect();
+
+    // Build pipeline replicas and capture the offload specs from a replica.
+    let latencies: Vec<Rc<RefCell<LatencyHistogram>>> = (0..total_workers)
+        .map(|_| Rc::new(RefCell::new(LatencyHistogram::new())))
+        .collect();
+    let mut graphs: Vec<ElementGraph> = Vec::with_capacity(total_workers);
+    for w in 0..total_workers {
+        let socket = w / wps;
+        let bctx = BuildCtx {
+            worker: w,
+            socket,
+            nls: nls[socket].clone(),
+            balancer: balancer.clone(),
+            policy: cfg.branch_policy,
+        };
+        graphs.push(build(&bctx));
+    }
+    let mut specs: HashMap<usize, OffloadSpec> = HashMap::new();
+    let mut fuse_next: HashMap<usize, usize> = HashMap::new();
+    {
+        let g = &mut graphs[0];
+        for n in 0..g.len() {
+            if let Some(spec) = g.element_mut(NodeId(n)).offload() {
+                specs.insert(n, spec);
+            }
+        }
+        if cfg.datablock_reuse {
+            // Fuse N -> M when M directly follows N and consumes exactly
+            // the datablock N produced in place.
+            for (&n, spec) in &specs {
+                let Some(OutEdge::Node(m)) = g.out_edge(NodeId(n), 0) else {
+                    continue;
+                };
+                let Some(next) = specs.get(&m.0) else {
+                    continue;
+                };
+                let in_place = matches!(spec.output, DbOutput::InPlace { extra: 0 })
+                    && matches!(next.output, DbOutput::InPlace { extra: 0 })
+                    && spec.postprocess == Postprocess::WriteBack
+                    && next.postprocess == Postprocess::WriteBack;
+                let same_block = matches!(
+                    (&spec.input, &next.input),
+                    (DbInput::WholePacket { offset: a }, DbInput::WholePacket { offset: b }) if a == b
+                );
+                if in_place && same_block {
+                    fuse_next.insert(n, m.0);
+                }
+            }
+        }
+    }
+
+    // Device entities (placeholder ids patched after workers are added:
+    // engine ids are assigned in insertion order, so compute them upfront).
+    // Entity layout: [workers 0..W) [devices W..W+S) [sources ...].
+    let gpus: Vec<Rc<RefCell<Gpu>>> = (0..sockets)
+        .map(|_| Rc::new(RefCell::new(Gpu::gtx680(cfg.cost.gpu.clone()))))
+        .collect();
+    let device_ids: Vec<EntityId> = (0..sockets).map(|s| EntityId(total_workers + s)).collect();
+
+    // Workers.
+    for w in 0..total_workers {
+        let socket = w / wps;
+        let local = w % wps;
+        let rx: Vec<SimQueue<Packet>> = topo
+            .ports_on_socket(socket)
+            .into_iter()
+            .map(|p| ports[p].borrow().rx_queue(local as u16))
+            .collect();
+        let graph = graphs.remove(0);
+        let entity = WorkerEntity {
+            id: w,
+            cfg: cfg.clone(),
+            graph,
+            nls: nls[socket].clone(),
+            inspector: inspector.clone(),
+            counters: counters[w].clone(),
+            rx,
+            rx_rr: w,
+            ports: ports.clone(),
+            completions: completion_qs[w].clone(),
+            offload_q: offload_qs[socket].clone(),
+            device_entity: device_ids[socket],
+            latency: latencies[w].clone(),
+            warmup_until: cfg.warmup,
+            busy_until: Time::ZERO,
+        };
+        let id = engine.add(Box::new(entity), Time::ZERO);
+        debug_assert_eq!(id.0, w);
+    }
+
+    // Device threads.
+    for (s, gpu) in gpus.iter().enumerate() {
+        let completions: Vec<(SimQueue<CompletedTask>, EntityId)> = (0..total_workers)
+            .map(|w| (completion_qs[w].clone(), EntityId(w)))
+            .collect();
+        let entity = DeviceEntity {
+            cfg: cfg.clone(),
+            tasks: offload_qs[s].clone(),
+            agg: HashMap::new(),
+            specs: specs.clone(),
+            fuse_next: fuse_next.clone(),
+            gpu: gpu.clone(),
+            inflight: Vec::new(),
+            completions,
+            counters: counters[s * wps].clone(),
+            busy_until: Time::ZERO,
+        };
+        let id = engine.add_idle(Box::new(entity));
+        debug_assert_eq!(id, device_ids[s]);
+    }
+
+    // Traffic sources (offered-load statistics come from the port
+    // counters: delivered + dropped).
+    let horizon = cfg.warmup + cfg.measure;
+    for (p, gen) in sources.into_iter().enumerate() {
+        let socket = topo.ports[p].socket;
+        let entity = SourceEntity {
+            gen,
+            port: ports[p].clone(),
+            pool: pools[socket].clone(),
+            window: cfg.gen_window,
+            horizon,
+        };
+        engine.add(Box::new(entity), Time::ZERO);
+    }
+
+    // Warmup, snapshot, measure, snapshot.
+    engine.run_until(cfg.warmup);
+    let start = inspector.snapshot();
+    let offered_start: u64 = ports
+        .iter()
+        .map(|p| {
+            let c = p.borrow().counters();
+            c.rx_delivered + c.rx_dropped
+        })
+        .sum();
+    engine.run_until(horizon);
+    let end = inspector.snapshot();
+    let offered_end: u64 = ports
+        .iter()
+        .map(|p| {
+            let c = p.borrow().counters();
+            c.rx_delivered + c.rx_dropped
+        })
+        .sum();
+    let rx_dropped: u64 = ports.iter().map(|p| p.borrow().counters().rx_dropped).sum();
+
+    let window = end - start;
+    let dur = cfg.measure;
+    let mut latency = LatencyHistogram::new();
+    for l in &latencies {
+        latency.merge(&l.borrow());
+    }
+    let offered_packets = offered_end - offered_start;
+
+    RunReport {
+        duration: dur,
+        tx_gbps: window.tx_frame_bits as f64 / dur.as_secs_f64() / 1e9,
+        tx_packets: window.tx_packets,
+        offered_packets,
+        offered_gbps,
+        rx_dropped,
+        window,
+        latency,
+        final_w: balancer.lock().offload_fraction(),
+        gpu: gpus.iter().map(|g| g.borrow().stats()).collect(),
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests of framework data structures.
+
+use proptest::prelude::*;
+
+use nba_core::batch::PacketBatch;
+use nba_core::config::{build_graph, ElementRegistry};
+use nba_core::element::KernelIo;
+use nba_core::graph::BranchPolicy;
+use nba_io::Packet;
+
+proptest! {
+    /// Batch mask/take bookkeeping: live count always equals the number of
+    /// occupied slots, under any operation sequence.
+    #[test]
+    fn batch_mask_take_algebra(ops in proptest::collection::vec((0u8..3, any::<usize>()), 0..100)) {
+        let mut b = PacketBatch::with_capacity(16);
+        for _ in 0..16 {
+            b.push(Packet::from_bytes(&[0u8; 64]));
+        }
+        let mut model: Vec<bool> = vec![true; 16];
+        for (op, idx) in ops {
+            let i = idx % 16;
+            match op {
+                0 => {
+                    b.mask(i);
+                    model[i] = false;
+                }
+                1 => {
+                    let took = b.take(i).is_some();
+                    prop_assert_eq!(took, model[i]);
+                    model[i] = false;
+                }
+                _ => {
+                    // Read-only probes.
+                    prop_assert_eq!(b.packet(i).is_some(), model[i]);
+                }
+            }
+            prop_assert_eq!(b.len(), model.iter().filter(|&&x| x).count());
+            let live: Vec<usize> = b.live_indices().collect();
+            let expect: Vec<usize> =
+                model.iter().enumerate().filter(|(_, &x)| x).map(|(k, _)| k).collect();
+            prop_assert_eq!(live, expect);
+        }
+    }
+
+    /// Kernel staging round-trips arbitrary segments.
+    #[test]
+    fn kernel_staging_round_trip(
+        segments in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..50), 0..20),
+        out_len in 1usize..16,
+    ) {
+        let refs: Vec<&[u8]> = segments.iter().map(|s| s.as_slice()).collect();
+        let out_lens = vec![out_len; segments.len()];
+        let (staged, total_out) = KernelIo::stage(&refs, &out_lens);
+        prop_assert_eq!(total_out, out_len * segments.len());
+        let mut out = vec![0u8; total_out];
+        let io = KernelIo::parse(&staged, &mut out);
+        prop_assert_eq!(io.items, segments.len());
+        for (i, seg) in segments.iter().enumerate() {
+            prop_assert_eq!(io.item_in(i), &seg[..]);
+            prop_assert_eq!(io.item_out_range(i).len(), out_len);
+        }
+    }
+
+    /// The configuration parser is total: any input yields Ok or Err,
+    /// never a panic.
+    #[test]
+    fn config_parser_total(src in "\\PC{0,200}") {
+        let reg = ElementRegistry::new();
+        let _ = build_graph(&src, &reg, BranchPolicy::Predict);
+    }
+
+    /// The lexer handles arbitrary bytes including comment openers.
+    #[test]
+    fn config_parser_handles_comment_like_noise(
+        noise in proptest::collection::vec(
+            proptest::sample::select(vec!["//", "/*", "*/", "\"", ";", "->", "::", "a", "\n", "#", "[", "]"]),
+            0..40),
+    ) {
+        let src: String = noise.concat();
+        let reg = ElementRegistry::new();
+        let _ = build_graph(&src, &reg, BranchPolicy::Predict);
+    }
+}

@@ -1,0 +1,20 @@
+//! `nba-crypto`: the cryptographic substrate of the IPsec gateway.
+//!
+//! The paper's gateway encrypts with AES-128-CTR (via OpenSSL + AES-NI on
+//! the CPU, a CUDA kernel on the GPU) and authenticates with HMAC-SHA1
+//! (RFC 2404 truncation). This crate implements those primitives from
+//! scratch so the reproduced gateway really encrypts and authenticates —
+//! integration tests decrypt its output and verify the ICVs. Performance
+//! *costs* of the hardware paths are modeled in `nba-sim`'s cost model; the
+//! implementations here provide the functional behaviour.
+//!
+//! Verified against FIPS-197 appendices, NIST SP 800-38A CTR vectors,
+//! FIPS 180-4 SHA-1 vectors, and RFC 2202 HMAC vectors.
+
+pub mod aes;
+pub mod hmac;
+pub mod sha1;
+
+pub use aes::{Aes128, Aes128Ctr};
+pub use hmac::HmacSha1;
+pub use sha1::Sha1;

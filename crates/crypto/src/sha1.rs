@@ -1,0 +1,181 @@
+//! SHA-1 (FIPS 180-4).
+//!
+//! Used by the IPsec gateway's HMAC-SHA1 authentication. SHA-1 is broken for
+//! collision resistance but remains what RFC 2404 specifies for ESP
+//! authentication and what the paper's gateway computes.
+
+/// SHA-1 digest length in bytes.
+pub const DIGEST_LEN: usize = 20;
+/// SHA-1 block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// Streaming SHA-1 state.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    /// Bytes buffered until a full block is available.
+    buffer: [u8; BLOCK_LEN],
+    buffered: usize,
+    /// Total message length in bytes.
+    total: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Sha1::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Sha1 {
+        Sha1 {
+            h: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            buffer: [0u8; BLOCK_LEN],
+            buffered: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buffered > 0 {
+            let take = rest.len().min(BLOCK_LEN - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered < BLOCK_LEN {
+                // Partial fill: nothing more to consume.
+                return;
+            }
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffered = 0;
+        }
+        let mut chunks = rest.chunks_exact(BLOCK_LEN);
+        for block in &mut chunks {
+            self.compress(block.try_into().unwrap());
+        }
+        let tail = chunks.remainder();
+        self.buffer[..tail.len()].copy_from_slice(tail);
+        self.buffered = tail.len();
+    }
+
+    /// Finishes and returns the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // Appending the length must not count toward the message length,
+        // but update() already mixed in the padding; the stored bit_len was
+        // captured before padding, so this is consistent.
+        let mut lenb = [0u8; 8];
+        lenb.copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&lenb);
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience digest.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut s = Sha1::new();
+        s.update(data);
+        s.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5a827999),
+                20..=39 => (b ^ c ^ d, 0x6ed9eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_180_vectors() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let mut s = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            s.update(&chunk);
+        }
+        assert_eq!(hex(&s.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_all_split_points() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(300).collect();
+        let whole = Sha1::digest(&data);
+        for split in [0, 1, 55, 56, 63, 64, 65, 128, 299, 300] {
+            let mut s = Sha1::new();
+            s.update(&data[..split]);
+            s.update(&data[split..]);
+            assert_eq!(s.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths_pad_correctly() {
+        // Lengths around the 56-byte padding boundary.
+        for len in 54..=66 {
+            let data = vec![0x5au8; len];
+            // Must not panic and must be deterministic.
+            assert_eq!(Sha1::digest(&data), Sha1::digest(&data));
+        }
+    }
+}

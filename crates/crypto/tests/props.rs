@@ -1,0 +1,95 @@
+//! Property tests of the cryptographic primitives.
+
+use proptest::prelude::*;
+
+use nba_crypto::{Aes128Ctr, HmacSha1, Sha1};
+
+proptest! {
+    /// CTR is an involution: applying the keystream twice restores the
+    /// plaintext, for any key/IV/length (including partial blocks).
+    #[test]
+    fn ctr_round_trip(
+        key in any::<[u8; 16]>(),
+        iv in any::<[u8; 16]>(),
+        mut data in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let original = data.clone();
+        let ctr = Aes128Ctr::new(&key);
+        ctr.apply_keystream(&iv, &mut data);
+        if !original.is_empty() {
+            // Keystream is effectively never the identity.
+            prop_assert_ne!(&data, &original);
+        }
+        ctr.apply_keystream(&iv, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    /// Different IVs produce different ciphertexts (no keystream reuse).
+    #[test]
+    fn ctr_iv_separation(
+        key in any::<[u8; 16]>(),
+        iv1 in any::<[u8; 16]>(),
+        iv2 in any::<[u8; 16]>(),
+        data in proptest::collection::vec(any::<u8>(), 16..64),
+    ) {
+        prop_assume!(iv1 != iv2);
+        let ctr = Aes128Ctr::new(&key);
+        let mut a = data.clone();
+        let mut b = data;
+        ctr.apply_keystream(&iv1, &mut a);
+        ctr.apply_keystream(&iv2, &mut b);
+        prop_assert_ne!(a, b);
+    }
+
+    /// Streaming SHA-1 equals one-shot for any split.
+    #[test]
+    fn sha1_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..400),
+        splits in proptest::collection::vec(any::<usize>(), 0..5),
+    ) {
+        let whole = Sha1::digest(&data);
+        let mut s = Sha1::new();
+        let mut cuts: Vec<usize> = splits.iter().map(|&x| x % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut prev = 0;
+        for c in cuts {
+            s.update(&data[prev..c]);
+            prev = c;
+        }
+        s.update(&data[prev..]);
+        prop_assert_eq!(s.finalize(), whole);
+    }
+
+    /// HMAC verification accepts the genuine tag and rejects any single-bit
+    /// corruption of tag or message.
+    #[test]
+    fn hmac_detects_corruption(
+        key in proptest::collection::vec(any::<u8>(), 1..80),
+        mut msg in proptest::collection::vec(any::<u8>(), 1..200),
+        flip_byte in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mac = HmacSha1::new(&key);
+        let tag = mac.mac_truncated_96(&msg);
+        prop_assert!(mac.verify_truncated_96(&msg, &tag));
+
+        // Corrupt the message.
+        let idx = flip_byte % msg.len();
+        msg[idx] ^= 1 << flip_bit;
+        prop_assert!(!mac.verify_truncated_96(&msg, &tag));
+    }
+
+    /// Distinct keys produce distinct MACs.
+    #[test]
+    fn hmac_key_separation(
+        k1 in proptest::collection::vec(any::<u8>(), 1..40),
+        k2 in proptest::collection::vec(any::<u8>(), 1..40),
+        msg in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(
+            HmacSha1::new(&k1).mac(&msg),
+            HmacSha1::new(&k2).mac(&msg)
+        );
+    }
+}

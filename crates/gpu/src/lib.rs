@@ -1,0 +1,22 @@
+//! `nba-gpu`: the accelerator substrate standing in for NVIDIA CUDA + GTX 680.
+//!
+//! NBA offloads computation to discrete GPUs through device threads and
+//! command queues. This crate models such a device:
+//!
+//! * [`mem::DeviceMemory`] — a capacity-enforcing device memory arena with
+//!   generation-tagged handles,
+//! * [`timeline::Timeline`] — the temporal model: three pipelined engines
+//!   (H2D DMA, compute, D2H DMA) plus per-stream ordering, parameterized by
+//!   the calibrated [`nba_sim::GpuCostModel`],
+//! * [`shim::Gpu`] — the OpenCL-like shim the framework talks to: offload
+//!   tasks execute *functionally* on the host (kernels are Rust closures, so
+//!   GPU-path output is bit-identical to the CPU path) while completion
+//!   times come from the timeline model.
+
+pub mod mem;
+pub mod shim;
+pub mod timeline;
+
+pub use mem::{DeviceBuffer, DeviceMemory, MemError};
+pub use shim::{Gpu, KernelFn};
+pub use timeline::{StreamId, TaskTiming, Timeline, TimelineStats};

@@ -1,0 +1,266 @@
+//! Device memory: a first-fit arena with explicit alloc/free.
+//!
+//! Offload tasks stage their datablocks into device buffers; the arena
+//! enforces the device's capacity (a GTX 680 has 2 GB) and catches
+//! use-after-free through generation-tagged handles.
+
+/// A handle to an allocated device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceBuffer {
+    slot: u32,
+    generation: u32,
+    len: usize,
+}
+
+impl DeviceBuffer {
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for zero-length buffers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Errors of device memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Not enough contiguous device memory.
+    OutOfMemory,
+    /// The handle was already freed (or is from another device).
+    StaleHandle,
+    /// Access beyond the end of the buffer.
+    OutOfBounds,
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::OutOfMemory => write!(f, "device out of memory"),
+            MemError::StaleHandle => write!(f, "stale device buffer handle"),
+            MemError::OutOfBounds => write!(f, "device buffer access out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[derive(Debug)]
+struct Slot {
+    data: Vec<u8>,
+    generation: u32,
+    live: bool,
+}
+
+/// The device memory arena.
+#[derive(Debug)]
+pub struct DeviceMemory {
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    capacity: usize,
+    used: usize,
+}
+
+impl DeviceMemory {
+    /// Creates an arena with `capacity` bytes of device memory.
+    pub fn new(capacity: usize) -> DeviceMemory {
+        DeviceMemory {
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            capacity,
+            used: 0,
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocates a zeroed buffer of `len` bytes.
+    pub fn alloc(&mut self, len: usize) -> Result<DeviceBuffer, MemError> {
+        if self.used + len > self.capacity {
+            return Err(MemError::OutOfMemory);
+        }
+        self.used += len;
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                let slot = &mut self.slots[s as usize];
+                slot.data.clear();
+                slot.data.resize(len, 0);
+                slot.live = true;
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    data: vec![0; len],
+                    generation: 0,
+                    live: true,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        Ok(DeviceBuffer {
+            slot,
+            generation: self.slots[slot as usize].generation,
+            len,
+        })
+    }
+
+    /// Frees a buffer; the handle becomes stale.
+    pub fn free(&mut self, buf: DeviceBuffer) -> Result<(), MemError> {
+        let slot = self.check(&buf)?;
+        self.slots[slot].live = false;
+        self.slots[slot].generation = self.slots[slot].generation.wrapping_add(1);
+        self.used -= buf.len;
+        self.free_slots.push(buf.slot);
+        Ok(())
+    }
+
+    fn check(&self, buf: &DeviceBuffer) -> Result<usize, MemError> {
+        let slot = buf.slot as usize;
+        match self.slots.get(slot) {
+            Some(s) if s.live && s.generation == buf.generation => Ok(slot),
+            _ => Err(MemError::StaleHandle),
+        }
+    }
+
+    /// Copies host bytes into a device buffer (the functional half of an
+    /// H2D DMA; the temporal half is the timeline's job).
+    pub fn write(&mut self, buf: &DeviceBuffer, offset: usize, data: &[u8]) -> Result<(), MemError> {
+        let slot = self.check(buf)?;
+        let dst = &mut self.slots[slot].data;
+        if offset + data.len() > dst.len() {
+            return Err(MemError::OutOfBounds);
+        }
+        dst[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Copies device bytes back to the host.
+    pub fn read(&self, buf: &DeviceBuffer, offset: usize, out: &mut [u8]) -> Result<(), MemError> {
+        let slot = self.check(buf)?;
+        let src = &self.slots[slot].data;
+        if offset + out.len() > src.len() {
+            return Err(MemError::OutOfBounds);
+        }
+        out.copy_from_slice(&src[offset..offset + out.len()]);
+        Ok(())
+    }
+
+    /// Borrows the whole buffer (kernels execute over device memory).
+    pub fn bytes(&self, buf: &DeviceBuffer) -> Result<&[u8], MemError> {
+        let slot = self.check(buf)?;
+        Ok(&self.slots[slot].data)
+    }
+
+    /// Borrows the whole buffer mutably.
+    pub fn bytes_mut(&mut self, buf: &DeviceBuffer) -> Result<&mut [u8], MemError> {
+        let slot = self.check(buf)?;
+        Ok(&mut self.slots[slot].data)
+    }
+
+    /// Borrows two distinct buffers, one shared and one mutable (the common
+    /// kernel signature: read input block, write output block).
+    pub fn in_out(
+        &mut self,
+        input: &DeviceBuffer,
+        output: &DeviceBuffer,
+    ) -> Result<(&[u8], &mut [u8]), MemError> {
+        let i = self.check(input)?;
+        let o = self.check(output)?;
+        if i == o {
+            return Err(MemError::OutOfBounds);
+        }
+        // Split the slot vector so we can hand out disjoint borrows.
+        let (lo, hi) = if i < o { (i, o) } else { (o, i) };
+        let (left, right) = self.slots.split_at_mut(hi);
+        let (a, b) = (&mut left[lo], &mut right[0]);
+        if i < o {
+            Ok((&a.data, &mut b.data))
+        } else {
+            Ok((&b.data, &mut a.data))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut m = DeviceMemory::new(1024);
+        let b = m.alloc(16).unwrap();
+        m.write(&b, 4, b"abcd").unwrap();
+        let mut out = [0u8; 4];
+        m.read(&b, 4, &mut out).unwrap();
+        assert_eq!(&out, b"abcd");
+        assert_eq!(m.used(), 16);
+    }
+
+    #[test]
+    fn capacity_enforced_and_freed_memory_reusable() {
+        let mut m = DeviceMemory::new(32);
+        let a = m.alloc(24).unwrap();
+        assert_eq!(m.alloc(16).unwrap_err(), MemError::OutOfMemory);
+        m.free(a).unwrap();
+        assert!(m.alloc(32).is_ok());
+    }
+
+    #[test]
+    fn stale_handles_rejected() {
+        let mut m = DeviceMemory::new(64);
+        let a = m.alloc(8).unwrap();
+        m.free(a).unwrap();
+        assert_eq!(m.free(a).unwrap_err(), MemError::StaleHandle);
+        assert_eq!(m.write(&a, 0, b"x").unwrap_err(), MemError::StaleHandle);
+        // A new allocation reusing the slot gets a fresh generation.
+        let b = m.alloc(8).unwrap();
+        assert_eq!(m.read(&a, 0, &mut [0u8; 1]).unwrap_err(), MemError::StaleHandle);
+        assert!(m.read(&b, 0, &mut [0u8; 1]).is_ok());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = DeviceMemory::new(64);
+        let b = m.alloc(8).unwrap();
+        assert_eq!(m.write(&b, 6, b"abc").unwrap_err(), MemError::OutOfBounds);
+        assert_eq!(m.read(&b, 8, &mut [0u8; 1]).unwrap_err(), MemError::OutOfBounds);
+    }
+
+    #[test]
+    fn in_out_borrows_disjoint_buffers() {
+        let mut m = DeviceMemory::new(64);
+        let i = m.alloc(4).unwrap();
+        let o = m.alloc(4).unwrap();
+        m.write(&i, 0, b"wxyz").unwrap();
+        {
+            let (inp, out) = m.in_out(&i, &o).unwrap();
+            out.copy_from_slice(inp);
+        }
+        let mut back = [0u8; 4];
+        m.read(&o, 0, &mut back).unwrap();
+        assert_eq!(&back, b"wxyz");
+        // Reverse order of handles also works.
+        let (inp2, _out2) = m.in_out(&o, &i).unwrap();
+        assert_eq!(inp2, b"wxyz");
+    }
+
+    #[test]
+    fn zeroed_on_alloc_after_reuse() {
+        let mut m = DeviceMemory::new(64);
+        let a = m.alloc(4).unwrap();
+        m.write(&a, 0, b"dirt").unwrap();
+        m.free(a).unwrap();
+        let b = m.alloc(4).unwrap();
+        assert_eq!(m.bytes(&b).unwrap(), &[0u8; 4]);
+    }
+}

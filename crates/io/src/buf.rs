@@ -1,0 +1,369 @@
+//! Packet buffers and buffer pools, modeled on DPDK's mbuf/mempool design.
+//!
+//! A [`PacketBuf`] is a fixed-capacity byte area with *headroom*: the packet
+//! data starts at an offset so that encapsulating elements (e.g. the IPsec
+//! ESP encapsulator) can prepend headers without copying the payload.
+//!
+//! A [`Mempool`] recycles buffers: the paper leans on DPDK's NUMA-aware
+//! mempools to make batch-split allocation affordable, and the framework's
+//! cost model charges allocation/release costs whenever these are used on the
+//! data path.
+
+use std::sync::{Arc, Mutex};
+
+/// Default buffer capacity: one full Ethernet frame plus encap slack.
+pub const DEFAULT_BUF_CAPACITY: usize = 2048;
+/// Default headroom reserved before packet data (DPDK uses 128).
+pub const DEFAULT_HEADROOM: usize = 128;
+
+/// A fixed-capacity packet byte buffer with headroom.
+#[derive(Debug, Clone)]
+pub struct PacketBuf {
+    bytes: Box<[u8]>,
+    /// Offset of the first data byte.
+    data_off: usize,
+    /// Length of valid data starting at `data_off`.
+    data_len: usize,
+}
+
+impl PacketBuf {
+    /// Creates an empty buffer with the given capacity and headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headroom > capacity`.
+    pub fn with_capacity(capacity: usize, headroom: usize) -> PacketBuf {
+        assert!(headroom <= capacity, "headroom exceeds capacity");
+        PacketBuf {
+            bytes: vec![0u8; capacity].into_boxed_slice(),
+            data_off: headroom,
+            data_len: 0,
+        }
+    }
+
+    /// Creates an empty buffer with default capacity and headroom.
+    pub fn new() -> PacketBuf {
+        PacketBuf::with_capacity(DEFAULT_BUF_CAPACITY, DEFAULT_HEADROOM)
+    }
+
+    /// Total byte capacity.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Bytes available before the data (for prepending).
+    pub fn headroom(&self) -> usize {
+        self.data_off
+    }
+
+    /// Bytes available after the data (for appending).
+    pub fn tailroom(&self) -> usize {
+        self.bytes.len() - self.data_off - self.data_len
+    }
+
+    /// Length of the valid data.
+    pub fn len(&self) -> usize {
+        self.data_len
+    }
+
+    /// `true` if the buffer holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.data_len == 0
+    }
+
+    /// The valid data bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.bytes[self.data_off..self.data_off + self.data_len]
+    }
+
+    /// The valid data bytes, mutably.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes[self.data_off..self.data_off + self.data_len]
+    }
+
+    /// Replaces the contents with `payload`, restoring default headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload does not fit behind the headroom.
+    pub fn fill(&mut self, headroom: usize, payload: &[u8]) {
+        assert!(
+            headroom + payload.len() <= self.bytes.len(),
+            "payload of {} bytes does not fit (headroom {}, capacity {})",
+            payload.len(),
+            headroom,
+            self.bytes.len()
+        );
+        self.data_off = headroom;
+        self.data_len = payload.len();
+        self.bytes[headroom..headroom + payload.len()].copy_from_slice(payload);
+    }
+
+    /// Extends the data area at the front by `n` bytes and returns the new
+    /// prefix for writing, like DPDK's `rte_pktmbuf_prepend`.
+    ///
+    /// Returns `None` if there is not enough headroom.
+    pub fn prepend(&mut self, n: usize) -> Option<&mut [u8]> {
+        if n > self.data_off {
+            return None;
+        }
+        self.data_off -= n;
+        self.data_len += n;
+        Some(&mut self.bytes[self.data_off..self.data_off + n])
+    }
+
+    /// Extends the data area at the back by `n` bytes and returns the new
+    /// suffix for writing, like `rte_pktmbuf_append`.
+    ///
+    /// Returns `None` if there is not enough tailroom.
+    pub fn append(&mut self, n: usize) -> Option<&mut [u8]> {
+        if n > self.tailroom() {
+            return None;
+        }
+        let start = self.data_off + self.data_len;
+        self.data_len += n;
+        Some(&mut self.bytes[start..start + n])
+    }
+
+    /// Removes `n` bytes from the front of the data (`rte_pktmbuf_adj`).
+    ///
+    /// Returns `false` (and leaves the buffer unchanged) if `n > len`.
+    pub fn adj(&mut self, n: usize) -> bool {
+        if n > self.data_len {
+            return false;
+        }
+        self.data_off += n;
+        self.data_len -= n;
+        true
+    }
+
+    /// Removes `n` bytes from the back of the data (`rte_pktmbuf_trim`).
+    ///
+    /// Returns `false` (and leaves the buffer unchanged) if `n > len`.
+    pub fn trim(&mut self, n: usize) -> bool {
+        if n > self.data_len {
+            return false;
+        }
+        self.data_len -= n;
+        true
+    }
+
+    /// Sets the data region to `len` bytes at `headroom` and returns it for
+    /// writing (contents are whatever the recycled buffer held).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not fit in the buffer.
+    pub fn set_region(&mut self, headroom: usize, len: usize) -> &mut [u8] {
+        assert!(
+            headroom + len <= self.bytes.len(),
+            "region of {len} bytes at {headroom} exceeds capacity {}",
+            self.bytes.len()
+        );
+        self.data_off = headroom;
+        self.data_len = len;
+        &mut self.bytes[headroom..headroom + len]
+    }
+
+    /// Clears the data and restores the given headroom.
+    pub fn reset(&mut self, headroom: usize) {
+        debug_assert!(headroom <= self.bytes.len());
+        self.data_off = headroom;
+        self.data_len = 0;
+    }
+}
+
+impl Default for PacketBuf {
+    fn default() -> Self {
+        PacketBuf::new()
+    }
+}
+
+/// Allocation statistics of a [`Mempool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Buffers handed out.
+    pub allocs: u64,
+    /// Buffers returned.
+    pub frees: u64,
+    /// Allocations that failed because the pool was exhausted.
+    pub exhausted: u64,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    free: Vec<PacketBuf>,
+    capacity: usize,
+    outstanding: usize,
+    buf_capacity: usize,
+    headroom: usize,
+    stats: MempoolStats,
+}
+
+/// A recycling pool of [`PacketBuf`]s with a hard buffer budget.
+///
+/// Clones share the same pool. The pool is thread-safe so pooled packets can
+/// cross worker threads in the live runtime; in the discrete-event runtime
+/// the single engine thread makes the mutex uncontended, mirroring DPDK's
+/// per-lcore mempool caches.
+#[derive(Debug)]
+pub struct Mempool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl Clone for Mempool {
+    fn clone(&self) -> Self {
+        Mempool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Mempool {
+    /// Creates a pool that will hand out at most `capacity` buffers.
+    pub fn new(capacity: usize) -> Mempool {
+        Mempool::with_buf_shape(capacity, DEFAULT_BUF_CAPACITY, DEFAULT_HEADROOM)
+    }
+
+    /// Creates a pool with custom buffer capacity/headroom.
+    pub fn with_buf_shape(capacity: usize, buf_capacity: usize, headroom: usize) -> Mempool {
+        Mempool {
+            inner: Arc::new(Mutex::new(PoolInner {
+                free: Vec::new(),
+                capacity,
+                outstanding: 0,
+                buf_capacity,
+                headroom,
+                stats: MempoolStats::default(),
+            })),
+        }
+    }
+
+    /// Takes a cleared buffer from the pool.
+    ///
+    /// Returns `None` when the pool budget is exhausted (DPDK behaviour:
+    /// allocation failure, caller drops the packet).
+    pub fn alloc(&self) -> Option<PacketBuf> {
+        let mut p = self.inner.lock().expect("mempool poisoned");
+        if p.outstanding >= p.capacity {
+            p.stats.exhausted += 1;
+            return None;
+        }
+        p.outstanding += 1;
+        p.stats.allocs += 1;
+        let headroom = p.headroom;
+        match p.free.pop() {
+            Some(mut buf) => {
+                buf.reset(headroom);
+                Some(buf)
+            }
+            None => {
+                let cap = p.buf_capacity;
+                Some(PacketBuf::with_capacity(cap, headroom))
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool.
+    pub fn free(&self, buf: PacketBuf) {
+        let mut p = self.inner.lock().expect("mempool poisoned");
+        debug_assert!(p.outstanding > 0, "double free into mempool");
+        p.outstanding = p.outstanding.saturating_sub(1);
+        p.stats.frees += 1;
+        if p.free.len() < p.capacity {
+            p.free.push(buf);
+        }
+    }
+
+    /// Buffers currently handed out.
+    pub fn outstanding(&self) -> usize {
+        self.inner.lock().expect("mempool poisoned").outstanding
+    }
+
+    /// Remaining allocatable buffers.
+    pub fn available(&self) -> usize {
+        let p = self.inner.lock().expect("mempool poisoned");
+        p.capacity - p.outstanding
+    }
+
+    /// A copy of the pool statistics.
+    pub fn stats(&self) -> MempoolStats {
+        self.inner.lock().expect("mempool poisoned").stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepend_and_append_grow_data() {
+        let mut b = PacketBuf::with_capacity(64, 16);
+        b.fill(16, b"hello");
+        b.prepend(3).unwrap().copy_from_slice(b"<<<");
+        b.append(3).unwrap().copy_from_slice(b">>>");
+        assert_eq!(b.data(), b"<<<hello>>>");
+        assert_eq!(b.headroom(), 13);
+    }
+
+    #[test]
+    fn prepend_fails_without_headroom() {
+        let mut b = PacketBuf::with_capacity(64, 4);
+        b.fill(4, b"x");
+        assert!(b.prepend(5).is_none());
+        assert_eq!(b.data(), b"x");
+    }
+
+    #[test]
+    fn append_fails_without_tailroom() {
+        let mut b = PacketBuf::with_capacity(8, 0);
+        b.fill(0, b"12345678");
+        assert!(b.append(1).is_none());
+    }
+
+    #[test]
+    fn adj_and_trim_shrink_data() {
+        let mut b = PacketBuf::with_capacity(64, 8);
+        b.fill(8, b"abcdef");
+        assert!(b.adj(2));
+        assert!(b.trim(1));
+        assert_eq!(b.data(), b"cde");
+        assert!(!b.adj(10));
+        assert!(!b.trim(10));
+        assert_eq!(b.data(), b"cde");
+    }
+
+    #[test]
+    fn mempool_budget_is_enforced() {
+        let pool = Mempool::new(2);
+        let a = pool.alloc().unwrap();
+        let _b = pool.alloc().unwrap();
+        assert!(pool.alloc().is_none());
+        assert_eq!(pool.stats().exhausted, 1);
+        pool.free(a);
+        assert!(pool.alloc().is_some());
+    }
+
+    #[test]
+    fn mempool_recycles_buffers_cleared() {
+        let pool = Mempool::with_buf_shape(4, 256, 32);
+        let mut a = pool.alloc().unwrap();
+        a.fill(32, b"dirty");
+        pool.free(a);
+        let b = pool.alloc().unwrap();
+        assert!(b.is_empty());
+        assert_eq!(b.headroom(), 32);
+        assert_eq!(pool.stats().allocs, 2);
+        assert_eq!(pool.stats().frees, 1);
+    }
+
+    #[test]
+    fn clones_share_budget() {
+        let pool = Mempool::new(1);
+        let pool2 = pool.clone();
+        let _a = pool.alloc().unwrap();
+        assert!(pool2.alloc().is_none());
+        assert_eq!(pool.outstanding(), 1);
+        assert_eq!(pool2.available(), 0);
+    }
+}

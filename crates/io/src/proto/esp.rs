@@ -1,0 +1,134 @@
+//! IPsec ESP (RFC 4303) header/trailer layout helpers.
+//!
+//! The IPsec gateway application encapsulates IPv4 payloads in ESP with
+//! AES-128-CTR encryption and HMAC-SHA1 authentication, mirroring the
+//! paper's gateway. This module only knows the wire layout; cryptography
+//! lives in `nba-crypto` and the element logic in `nba-apps`.
+
+use super::ParseError;
+
+/// ESP header: SPI (4 bytes) + sequence number (4 bytes).
+pub const ESP_HDR_LEN: usize = 8;
+/// AES-CTR initialization vector carried after the ESP header.
+pub const ESP_IV_LEN: usize = 16;
+/// Truncated HMAC-SHA1 integrity check value (RFC 2404).
+pub const ESP_ICV_LEN: usize = 12;
+/// ESP trailer: pad length (1 byte) + next header (1 byte).
+pub const ESP_TRAILER_LEN: usize = 2;
+
+/// A read-only view of an ESP packet.
+#[derive(Debug, Clone, Copy)]
+pub struct EspView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> EspView<'a> {
+    /// Parses an ESP packet: header + IV + at least the trailer + ICV.
+    pub fn parse(bytes: &'a [u8]) -> Result<EspView<'a>, ParseError> {
+        if bytes.len() < ESP_HDR_LEN + ESP_IV_LEN + ESP_TRAILER_LEN + ESP_ICV_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(EspView { bytes })
+    }
+
+    /// Security parameter index.
+    pub fn spi(&self) -> u32 {
+        u32::from_be_bytes(self.bytes[0..4].try_into().unwrap())
+    }
+
+    /// Anti-replay sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.bytes[4..8].try_into().unwrap())
+    }
+
+    /// The initialization vector following the header.
+    pub fn iv(&self) -> [u8; ESP_IV_LEN] {
+        self.bytes[ESP_HDR_LEN..ESP_HDR_LEN + ESP_IV_LEN]
+            .try_into()
+            .unwrap()
+    }
+
+    /// Encrypted region: everything between the IV and the ICV (includes the
+    /// encrypted trailer).
+    pub fn ciphertext(&self) -> &'a [u8] {
+        &self.bytes[ESP_HDR_LEN + ESP_IV_LEN..self.bytes.len() - ESP_ICV_LEN]
+    }
+
+    /// The trailing integrity check value.
+    pub fn icv(&self) -> [u8; ESP_ICV_LEN] {
+        self.bytes[self.bytes.len() - ESP_ICV_LEN..]
+            .try_into()
+            .unwrap()
+    }
+
+    /// The region covered by the ICV: header + IV + ciphertext (RFC 4303 §2.8).
+    pub fn authenticated_region(&self) -> &'a [u8] {
+        &self.bytes[..self.bytes.len() - ESP_ICV_LEN]
+    }
+}
+
+/// Returns the padded plaintext length for a payload of `len` bytes: the
+/// payload plus the 2-byte trailer, rounded up to the AES block (16 bytes).
+pub fn padded_plaintext_len(len: usize) -> usize {
+    let with_trailer = len + ESP_TRAILER_LEN;
+    with_trailer.div_ceil(16) * 16
+}
+
+/// Total ESP overhead added to a payload of `len` bytes.
+pub fn esp_overhead(len: usize) -> usize {
+    ESP_HDR_LEN + ESP_IV_LEN + (padded_plaintext_len(len) - len) + ESP_ICV_LEN
+}
+
+/// Writes the ESP header fields into the first 8 bytes of `out`.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than the ESP header.
+pub fn write_header(out: &mut [u8], spi: u32, seq: u32) {
+    out[0..4].copy_from_slice(&spi.to_be_bytes());
+    out[4..8].copy_from_slice(&seq.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_rounds_to_block() {
+        // len + 2 rounded up to 16.
+        assert_eq!(padded_plaintext_len(14), 16);
+        assert_eq!(padded_plaintext_len(15), 32);
+        assert_eq!(padded_plaintext_len(30), 32);
+        assert_eq!(padded_plaintext_len(0), 16);
+    }
+
+    #[test]
+    fn overhead_is_hdr_iv_pad_icv() {
+        // 14-byte payload: pad to 16 => 2 pad bytes incl. trailer.
+        assert_eq!(esp_overhead(14), 8 + 16 + 2 + 12);
+    }
+
+    #[test]
+    fn view_round_trips() {
+        let payload_ct = 32;
+        let total = ESP_HDR_LEN + ESP_IV_LEN + payload_ct + ESP_ICV_LEN;
+        let mut b = vec![0u8; total];
+        write_header(&mut b, 0xabcd1234, 77);
+        b[ESP_HDR_LEN] = 0x42; // First IV byte.
+        let n = b.len();
+        b[n - 1] = 0x99; // Last ICV byte.
+        let v = EspView::parse(&b).unwrap();
+        assert_eq!(v.spi(), 0xabcd1234);
+        assert_eq!(v.seq(), 77);
+        assert_eq!(v.iv()[0], 0x42);
+        assert_eq!(v.ciphertext().len(), payload_ct);
+        assert_eq!(v.icv()[11], 0x99);
+        assert_eq!(v.authenticated_region().len(), total - ESP_ICV_LEN);
+    }
+
+    #[test]
+    fn short_packet_rejected() {
+        let b = vec![0u8; ESP_HDR_LEN + ESP_IV_LEN];
+        assert_eq!(EspView::parse(&b).unwrap_err(), ParseError::Truncated);
+    }
+}

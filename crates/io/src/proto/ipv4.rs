@@ -1,0 +1,181 @@
+//! IPv4 header view and in-place mutators.
+
+use super::ParseError;
+use crate::checksum;
+
+/// Minimum IPv4 header length (IHL = 5).
+pub const IPV4_MIN_HDR_LEN: usize = 20;
+
+/// A read-only view of an IPv4 packet (header + payload).
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv4View<'a> {
+    bytes: &'a [u8],
+    hdr_len: usize,
+}
+
+impl<'a> Ipv4View<'a> {
+    /// Parses an IPv4 packet, validating version, IHL, and total length.
+    pub fn parse(bytes: &'a [u8]) -> Result<Ipv4View<'a>, ParseError> {
+        if bytes.len() < IPV4_MIN_HDR_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if bytes[0] >> 4 != 4 {
+            return Err(ParseError::Malformed);
+        }
+        let hdr_len = usize::from(bytes[0] & 0x0f) * 4;
+        if hdr_len < IPV4_MIN_HDR_LEN {
+            return Err(ParseError::Malformed);
+        }
+        let total = usize::from(u16::from_be_bytes([bytes[2], bytes[3]]));
+        if total < hdr_len || total > bytes.len() {
+            return Err(ParseError::Malformed);
+        }
+        Ok(Ipv4View { bytes, hdr_len })
+    }
+
+    /// Header length in bytes (IHL * 4).
+    pub fn hdr_len(&self) -> usize {
+        self.hdr_len
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_len(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[2], self.bytes[3]])
+    }
+
+    /// Time-to-live field.
+    pub fn ttl(&self) -> u8 {
+        self.bytes[8]
+    }
+
+    /// Protocol field.
+    pub fn protocol(&self) -> u8 {
+        self.bytes[9]
+    }
+
+    /// Stored header checksum.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[10], self.bytes[11]])
+    }
+
+    /// Source address as a big-endian u32.
+    pub fn src(&self) -> u32 {
+        u32::from_be_bytes(self.bytes[12..16].try_into().unwrap())
+    }
+
+    /// Destination address as a big-endian u32.
+    pub fn dst(&self) -> u32 {
+        u32::from_be_bytes(self.bytes[16..20].try_into().unwrap())
+    }
+
+    /// `true` if the stored header checksum is consistent.
+    pub fn checksum_ok(&self) -> bool {
+        checksum::verify(&self.bytes[..self.hdr_len])
+    }
+
+    /// Payload bytes (after the header, bounded by total length).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.bytes[self.hdr_len..usize::from(self.total_len())]
+    }
+}
+
+/// Decrements TTL in place with an RFC 1624 incremental checksum update.
+///
+/// Returns the new TTL, or `None` if the TTL was already zero (caller should
+/// drop the packet).
+///
+/// # Panics
+///
+/// Panics if `ip` is shorter than the minimum header.
+pub fn dec_ttl(ip: &mut [u8]) -> Option<u8> {
+    assert!(ip.len() >= IPV4_MIN_HDR_LEN);
+    let ttl = ip[8];
+    if ttl == 0 {
+        return None;
+    }
+    let old_word = u16::from_be_bytes([ip[8], ip[9]]);
+    ip[8] = ttl - 1;
+    let new_word = u16::from_be_bytes([ip[8], ip[9]]);
+    let old_check = u16::from_be_bytes([ip[10], ip[11]]);
+    let new_check = checksum::incremental_update(old_check, old_word, new_word);
+    ip[10..12].copy_from_slice(&new_check.to_be_bytes());
+    Some(ttl - 1)
+}
+
+/// Recomputes and stores the header checksum over the first `hdr_len` bytes.
+///
+/// # Panics
+///
+/// Panics if `ip` is shorter than `hdr_len` or `hdr_len < 20`.
+pub fn write_checksum(ip: &mut [u8], hdr_len: usize) {
+    assert!(hdr_len >= IPV4_MIN_HDR_LEN && ip.len() >= hdr_len);
+    ip[10] = 0;
+    ip[11] = 0;
+    let c = checksum::internet_checksum(&ip[..hdr_len]);
+    ip[10..12].copy_from_slice(&c.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut ip = vec![0u8; 60];
+        ip[0] = 0x45;
+        ip[2..4].copy_from_slice(&60u16.to_be_bytes());
+        ip[8] = 64;
+        ip[9] = 17;
+        ip[12..16].copy_from_slice(&[10, 0, 0, 1]);
+        ip[16..20].copy_from_slice(&[192, 168, 0, 1]);
+        write_checksum(&mut ip, 20);
+        ip
+    }
+
+    #[test]
+    fn fields_parse() {
+        let ip = sample();
+        let v = Ipv4View::parse(&ip).unwrap();
+        assert_eq!(v.ttl(), 64);
+        assert_eq!(v.protocol(), 17);
+        assert_eq!(v.src(), u32::from_be_bytes([10, 0, 0, 1]));
+        assert_eq!(v.dst(), u32::from_be_bytes([192, 168, 0, 1]));
+        assert_eq!(v.payload().len(), 40);
+        assert!(v.checksum_ok());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut ip = sample();
+        ip[0] = 0x65;
+        assert_eq!(Ipv4View::parse(&ip).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn bad_ihl_rejected() {
+        let mut ip = sample();
+        ip[0] = 0x44; // IHL 4 => 16 bytes < 20.
+        assert_eq!(Ipv4View::parse(&ip).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn total_len_beyond_buffer_rejected() {
+        let mut ip = sample();
+        ip[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Ipv4View::parse(&ip).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn dec_ttl_keeps_checksum_valid() {
+        let mut ip = sample();
+        assert_eq!(dec_ttl(&mut ip), Some(63));
+        let v = Ipv4View::parse(&ip).unwrap();
+        assert_eq!(v.ttl(), 63);
+        assert!(v.checksum_ok());
+        // Run it down to zero and verify each step.
+        for expect in (0..63).rev() {
+            assert_eq!(dec_ttl(&mut ip), Some(expect));
+            assert!(Ipv4View::parse(&ip).unwrap().checksum_ok());
+        }
+        assert_eq!(dec_ttl(&mut ip), None);
+    }
+}

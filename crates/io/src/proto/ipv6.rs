@@ -1,0 +1,150 @@
+//! IPv6 header view and in-place mutators.
+
+use super::ParseError;
+
+/// Fixed IPv6 header length.
+pub const IPV6_HDR_LEN: usize = 40;
+
+/// A read-only view of an IPv6 packet (fixed header + payload).
+#[derive(Debug, Clone, Copy)]
+pub struct Ipv6View<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Ipv6View<'a> {
+    /// Parses an IPv6 packet, validating version and payload length.
+    pub fn parse(bytes: &'a [u8]) -> Result<Ipv6View<'a>, ParseError> {
+        if bytes.len() < IPV6_HDR_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if bytes[0] >> 4 != 6 {
+            return Err(ParseError::Malformed);
+        }
+        let payload = usize::from(u16::from_be_bytes([bytes[4], bytes[5]]));
+        if IPV6_HDR_LEN + payload > bytes.len() {
+            return Err(ParseError::Malformed);
+        }
+        Ok(Ipv6View { bytes })
+    }
+
+    /// Payload length field.
+    pub fn payload_len(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[4], self.bytes[5]])
+    }
+
+    /// Next-header field.
+    pub fn next_header(&self) -> u8 {
+        self.bytes[6]
+    }
+
+    /// Hop-limit field.
+    pub fn hop_limit(&self) -> u8 {
+        self.bytes[7]
+    }
+
+    /// Source address as a big-endian u128.
+    pub fn src(&self) -> u128 {
+        u128::from_be_bytes(self.bytes[8..24].try_into().unwrap())
+    }
+
+    /// Destination address as a big-endian u128.
+    pub fn dst(&self) -> u128 {
+        u128::from_be_bytes(self.bytes[24..40].try_into().unwrap())
+    }
+
+    /// Payload bytes bounded by the payload-length field.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.bytes[IPV6_HDR_LEN..IPV6_HDR_LEN + usize::from(self.payload_len())]
+    }
+}
+
+/// Decrements the hop limit in place (IPv6 has no header checksum).
+///
+/// Returns the new hop limit, or `None` if it was already zero.
+///
+/// # Panics
+///
+/// Panics if `ip` is shorter than the fixed header.
+pub fn dec_hop_limit(ip: &mut [u8]) -> Option<u8> {
+    assert!(ip.len() >= IPV6_HDR_LEN);
+    if ip[7] == 0 {
+        return None;
+    }
+    ip[7] -= 1;
+    Some(ip[7])
+}
+
+/// Builds the 40-byte pseudo-header used by upper-layer checksums (RFC 8200
+/// §8.1) from a raw IPv6 header.
+///
+/// # Panics
+///
+/// Panics if `ip` is shorter than the fixed header.
+pub fn pseudo_header(ip: &[u8], upper_len: u32, next_header: u8) -> [u8; 40] {
+    assert!(ip.len() >= IPV6_HDR_LEN);
+    let mut p = [0u8; 40];
+    p[0..16].copy_from_slice(&ip[8..24]); // Source address.
+    p[16..32].copy_from_slice(&ip[24..40]); // Destination address.
+    p[32..36].copy_from_slice(&upper_len.to_be_bytes());
+    p[39] = next_header;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut ip = vec![0u8; 60];
+        ip[0] = 0x60;
+        ip[4..6].copy_from_slice(&20u16.to_be_bytes());
+        ip[6] = 17;
+        ip[7] = 64;
+        ip[8..24].copy_from_slice(&0x2001_0db8_0000_0000_0000_0000_0000_0001u128.to_be_bytes());
+        ip[24..40].copy_from_slice(&0x2001_0db8_0000_0000_0000_0000_0000_0002u128.to_be_bytes());
+        ip
+    }
+
+    #[test]
+    fn fields_parse() {
+        let ip = sample();
+        let v = Ipv6View::parse(&ip).unwrap();
+        assert_eq!(v.payload_len(), 20);
+        assert_eq!(v.next_header(), 17);
+        assert_eq!(v.hop_limit(), 64);
+        assert_eq!(v.src() >> 96, 0x2001_0db8);
+        assert_eq!(v.payload().len(), 20);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut ip = sample();
+        ip[0] = 0x40;
+        assert_eq!(Ipv6View::parse(&ip).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn overlong_payload_rejected() {
+        let mut ip = sample();
+        ip[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Ipv6View::parse(&ip).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn hop_limit_decrements_to_none() {
+        let mut ip = sample();
+        assert_eq!(dec_hop_limit(&mut ip), Some(63));
+        ip[7] = 0;
+        assert_eq!(dec_hop_limit(&mut ip), None);
+    }
+
+    #[test]
+    fn pseudo_header_layout() {
+        let ip = sample();
+        let p = pseudo_header(&ip, 20, 17);
+        assert_eq!(&p[0..16], &ip[8..24]);
+        assert_eq!(&p[16..32], &ip[24..40]);
+        assert_eq!(u32::from_be_bytes(p[32..36].try_into().unwrap()), 20);
+        assert_eq!(p[39], 17);
+    }
+}

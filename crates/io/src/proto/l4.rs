@@ -1,0 +1,148 @@
+//! UDP and TCP header views (the 5-tuple fields RSS and flows care about).
+
+use super::ParseError;
+
+/// UDP header length.
+pub const UDP_HDR_LEN: usize = 8;
+/// Minimum TCP header length (data offset = 5).
+pub const TCP_MIN_HDR_LEN: usize = 20;
+
+/// A read-only view of a UDP datagram.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> UdpView<'a> {
+    /// Parses a UDP datagram, validating the length field.
+    pub fn parse(bytes: &'a [u8]) -> Result<UdpView<'a>, ParseError> {
+        if bytes.len() < UDP_HDR_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let len = usize::from(u16::from_be_bytes([bytes[4], bytes[5]]));
+        if len < UDP_HDR_LEN || len > bytes.len() {
+            return Err(ParseError::Malformed);
+        }
+        Ok(UdpView { bytes })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[0], self.bytes[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[2], self.bytes[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[4], self.bytes[5]])
+    }
+
+    /// `true` only for a degenerate zero-payload datagram.
+    pub fn is_empty(&self) -> bool {
+        usize::from(self.len()) == UDP_HDR_LEN
+    }
+
+    /// Payload bytes bounded by the length field.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.bytes[UDP_HDR_LEN..usize::from(self.len())]
+    }
+}
+
+/// A read-only view of a TCP segment.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> TcpView<'a> {
+    /// Parses a TCP segment, validating the data offset.
+    pub fn parse(bytes: &'a [u8]) -> Result<TcpView<'a>, ParseError> {
+        if bytes.len() < TCP_MIN_HDR_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let off = usize::from(bytes[12] >> 4) * 4;
+        if off < TCP_MIN_HDR_LEN || off > bytes.len() {
+            return Err(ParseError::Malformed);
+        }
+        Ok(TcpView { bytes })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[0], self.bytes[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[2], self.bytes[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.bytes[4..8].try_into().unwrap())
+    }
+
+    /// Header length in bytes (data offset * 4).
+    pub fn hdr_len(&self) -> usize {
+        usize::from(self.bytes[12] >> 4) * 4
+    }
+
+    /// Payload bytes after the header.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.bytes[self.hdr_len()..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_parses() {
+        let mut b = vec![0u8; 16];
+        b[0..2].copy_from_slice(&1000u16.to_be_bytes());
+        b[2..4].copy_from_slice(&53u16.to_be_bytes());
+        b[4..6].copy_from_slice(&12u16.to_be_bytes());
+        let v = UdpView::parse(&b).unwrap();
+        assert_eq!(v.src_port(), 1000);
+        assert_eq!(v.dst_port(), 53);
+        assert_eq!(v.payload(), &[0u8; 4]);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn udp_bad_length_rejected() {
+        let mut b = vec![0u8; 8];
+        b[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert_eq!(UdpView::parse(&b).unwrap_err(), ParseError::Malformed);
+        b[4..6].copy_from_slice(&20u16.to_be_bytes());
+        assert_eq!(UdpView::parse(&b).unwrap_err(), ParseError::Malformed);
+    }
+
+    #[test]
+    fn tcp_parses_with_options() {
+        let mut b = vec![0u8; 28];
+        b[0..2].copy_from_slice(&4000u16.to_be_bytes());
+        b[2..4].copy_from_slice(&80u16.to_be_bytes());
+        b[4..8].copy_from_slice(&0xdeadbeefu32.to_be_bytes());
+        b[12] = 6 << 4; // Data offset 6 => 24-byte header.
+        let v = TcpView::parse(&b).unwrap();
+        assert_eq!(v.dst_port(), 80);
+        assert_eq!(v.seq(), 0xdeadbeef);
+        assert_eq!(v.hdr_len(), 24);
+        assert_eq!(v.payload().len(), 4);
+    }
+
+    #[test]
+    fn tcp_bad_offset_rejected() {
+        let mut b = vec![0u8; 20];
+        b[12] = 4 << 4;
+        assert_eq!(TcpView::parse(&b).unwrap_err(), ParseError::Malformed);
+        b[12] = 15 << 4;
+        assert_eq!(TcpView::parse(&b).unwrap_err(), ParseError::Malformed);
+    }
+}

@@ -1,0 +1,297 @@
+//! Aho-Corasick multi-pattern string matching (the IDS signature matcher).
+//!
+//! Built in the "standard approach" the paper cites: a trie with BFS failure
+//! links, then converted into a dense DFA (goto + failure collapsed into one
+//! 256-way transition table) so the scan loop is one table load per input
+//! byte — the form both the CPU and the GPU kernels consume.
+
+/// A match of one pattern in a haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the matched pattern in the pattern set.
+    pub pattern: usize,
+    /// Byte offset one past the last matched byte.
+    pub end: usize,
+}
+
+/// A compiled Aho-Corasick automaton in dense DFA form.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// `delta[state * 256 + byte]` = next state.
+    delta: Vec<u32>,
+    /// Pattern indices that end at each state (flattened).
+    out_start: Vec<u32>,
+    out_flat: Vec<u32>,
+    pattern_lens: Vec<usize>,
+}
+
+impl AhoCorasick {
+    /// Compiles a pattern set.
+    ///
+    /// Empty patterns are rejected; duplicates are allowed (each reports its
+    /// own index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty or contains an empty pattern.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> AhoCorasick {
+        assert!(!patterns.is_empty(), "pattern set must not be empty");
+        // 1. Build the trie.
+        struct Node {
+            children: [u32; 256],
+            fail: u32,
+            out: Vec<u32>,
+        }
+        const NONE: u32 = u32::MAX;
+        let mut nodes = vec![Node {
+            children: [NONE; 256],
+            fail: 0,
+            out: Vec::new(),
+        }];
+        for (pi, pat) in patterns.iter().enumerate() {
+            let pat = pat.as_ref();
+            assert!(!pat.is_empty(), "pattern {pi} is empty");
+            let mut cur = 0usize;
+            for &b in pat {
+                let next = nodes[cur].children[usize::from(b)];
+                cur = if next == NONE {
+                    nodes.push(Node {
+                        children: [NONE; 256],
+                        fail: 0,
+                        out: Vec::new(),
+                    });
+                    let id = (nodes.len() - 1) as u32;
+                    nodes[cur].children[usize::from(b)] = id;
+                    id as usize
+                } else {
+                    next as usize
+                };
+            }
+            nodes[cur].out.push(pi as u32);
+        }
+        // 2. BFS failure links; collapse goto+fail into a dense DFA.
+        let mut queue = std::collections::VecDeque::new();
+        for b in 0..256 {
+            let c = nodes[0].children[b];
+            if c == NONE {
+                nodes[0].children[b] = 0;
+            } else {
+                nodes[c as usize].fail = 0;
+                queue.push_back(c);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let ufail = nodes[u as usize].fail;
+            // Merge outputs of the failure target (suffix matches).
+            let inherited = nodes[ufail as usize].out.clone();
+            nodes[u as usize].out.extend(inherited);
+            for b in 0..256 {
+                let c = nodes[u as usize].children[b];
+                let via_fail = nodes[ufail as usize].children[b];
+                if c == NONE {
+                    nodes[u as usize].children[b] = via_fail;
+                } else {
+                    nodes[c as usize].fail = via_fail;
+                    queue.push_back(c);
+                }
+            }
+        }
+        // 3. Flatten.
+        let mut delta = Vec::with_capacity(nodes.len() * 256);
+        let mut out_start = Vec::with_capacity(nodes.len() + 1);
+        let mut out_flat = Vec::new();
+        out_start.push(0);
+        for node in &nodes {
+            delta.extend_from_slice(&node.children);
+            out_flat.extend_from_slice(&node.out);
+            out_start.push(out_flat.len() as u32);
+        }
+        AhoCorasick {
+            delta,
+            out_start,
+            out_flat,
+            pattern_lens: patterns.iter().map(|p| p.as_ref().len()).collect(),
+        }
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> usize {
+        self.delta.len() / 256
+    }
+
+    /// Number of patterns compiled in.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lens.len()
+    }
+
+    /// Advances one DFA step (exposed so the GPU kernel can run the same
+    /// automaton byte-by-byte).
+    #[inline]
+    pub fn step(&self, state: u32, byte: u8) -> u32 {
+        self.delta[state as usize * 256 + usize::from(byte)]
+    }
+
+    /// `true` if any pattern ends in `state`.
+    #[inline]
+    pub fn is_match_state(&self, state: u32) -> bool {
+        self.out_start[state as usize] != self.out_start[state as usize + 1]
+    }
+
+    /// Finds all matches (including overlapping) in `haystack`.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut matches = Vec::new();
+        let mut state = 0u32;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            let s = self.out_start[state as usize] as usize;
+            let e = self.out_start[state as usize + 1] as usize;
+            for &pi in &self.out_flat[s..e] {
+                matches.push(Match {
+                    pattern: pi as usize,
+                    end: i + 1,
+                });
+            }
+        }
+        matches
+    }
+
+    /// Returns the first match, scanning left to right.
+    pub fn first_match(&self, haystack: &[u8]) -> Option<Match> {
+        let mut state = 0u32;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            let s = self.out_start[state as usize] as usize;
+            let e = self.out_start[state as usize + 1] as usize;
+            if s != e {
+                return Some(Match {
+                    pattern: self.out_flat[s] as usize,
+                    end: i + 1,
+                });
+            }
+        }
+        None
+    }
+
+    /// `true` if any pattern occurs in `haystack`.
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        self.first_match(haystack).is_some()
+    }
+
+    /// Length of pattern `i`.
+    pub fn pattern_len(&self, i: usize) -> usize {
+        self.pattern_lens[i]
+    }
+}
+
+/// A naive multi-pattern scan used as a test oracle.
+#[cfg(any(test, feature = "test-oracles"))]
+pub fn naive_find_all<P: AsRef<[u8]>>(patterns: &[P], haystack: &[u8]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for i in 0..haystack.len() {
+        for (pi, p) in patterns.iter().enumerate() {
+            let p = p.as_ref();
+            if haystack[i..].starts_with(p) {
+                out.push(Match {
+                    pattern: pi,
+                    end: i + p.len(),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|m| (m.end, m.pattern));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_he_she_his_hers() {
+        let ac = AhoCorasick::new(&["he", "she", "his", "hers"]);
+        let mut ms = ac.find_all(b"ushers");
+        ms.sort_by_key(|m| (m.end, m.pattern));
+        assert_eq!(
+            ms,
+            vec![
+                Match { pattern: 0, end: 4 }, // "he"
+                Match { pattern: 1, end: 4 }, // "she"
+                Match { pattern: 3, end: 6 }, // "hers"
+            ]
+        );
+    }
+
+    #[test]
+    fn matches_agree_with_naive_oracle() {
+        let patterns: Vec<&[u8]> = vec![b"abc", b"bca", b"c", b"aa", b"abcabc"];
+        let hay = b"aabcabcabca";
+        let mut fast = AhoCorasick::new(&patterns).find_all(hay);
+        fast.sort_by_key(|m| (m.end, m.pattern));
+        assert_eq!(fast, naive_find_all(&patterns, hay));
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns() {
+        let ac = AhoCorasick::new(&["aaa", "aa", "a"]);
+        let ms = ac.find_all(b"aaaa");
+        // "a" x4, "aa" x3, "aaa" x2.
+        assert_eq!(ms.len(), 9);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[&[0x00u8, 0xff, 0x00][..], &[0xffu8, 0xff][..]]);
+        assert!(ac.is_match(&[1, 2, 0x00, 0xff, 0x00, 3]));
+        assert!(ac.is_match(&[0xff, 0xff]));
+        assert!(!ac.is_match(&[0x00, 0xfe, 0x00]));
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let ac = AhoCorasick::new(&["needle"]);
+        assert_eq!(ac.first_match(b"haystack without it"), None);
+        assert!(!ac.is_match(b""));
+    }
+
+    #[test]
+    fn first_match_is_leftmost_by_end() {
+        let ac = AhoCorasick::new(&["late", "ate"]);
+        let m = ac.first_match(b"plates").unwrap();
+        assert_eq!(m.end, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_pattern_set_rejected() {
+        let _ = AhoCorasick::new(&Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_pattern_rejected() {
+        let _ = AhoCorasick::new(&["ok", ""]);
+    }
+
+    #[test]
+    fn state_count_reflects_shared_prefixes() {
+        let shared = AhoCorasick::new(&["abcd", "abce"]);
+        let disjoint = AhoCorasick::new(&["abcd", "wxyz"]);
+        assert!(shared.state_count() < disjoint.state_count());
+    }
+
+    #[test]
+    fn step_interface_matches_find_all() {
+        let ac = AhoCorasick::new(&["ring"]);
+        let hay = b"monitoring";
+        let mut state = 0u32;
+        let mut hit_at = None;
+        for (i, &b) in hay.iter().enumerate() {
+            state = ac.step(state, b);
+            if ac.is_match_state(state) {
+                hit_at = Some(i + 1);
+            }
+        }
+        assert_eq!(hit_at, Some(10));
+        assert_eq!(ac.find_all(hay).len(), 1);
+    }
+}

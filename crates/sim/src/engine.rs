@@ -1,0 +1,385 @@
+//! The discrete-event engine.
+//!
+//! The engine steps a fixed set of [`Entity`] values in global virtual-time
+//! order. Each entity owns a wake time; on each iteration the engine pops the
+//! earliest-scheduled entity, calls [`Entity::step`] with the current time,
+//! and reschedules it according to the returned [`Wake`].
+//!
+//! Entities communicate through shared single-threaded queues (see
+//! [`crate::queue`]); when a producer needs a sleeping consumer to run, it
+//! requests a wake-up through [`Ctx::wake`].
+//!
+//! The scheduling order is deterministic: ties on time are broken by entity
+//! id, so a simulation with the same inputs always produces the same outputs.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// Identifies an entity registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub usize);
+
+/// What an entity wants the engine to do with it after a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Run again at the given absolute time (clamped to be >= now).
+    At(Time),
+    /// Sleep until another entity requests a wake via [`Ctx::wake`].
+    Idle,
+    /// Never run again.
+    Done,
+}
+
+/// Per-step context handed to entities.
+///
+/// Wake requests are buffered and applied after the step returns, so an
+/// entity may wake any other entity (or itself) without aliasing issues.
+pub struct Ctx {
+    now: Time,
+    wakes: Vec<(EntityId, Time)>,
+}
+
+impl Ctx {
+    /// The current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Requests that `id` be scheduled no later than `at`.
+    ///
+    /// If the entity is already scheduled earlier, the request is a no-op.
+    /// Waking an entity that returned [`Wake::Done`] has no effect.
+    pub fn wake(&mut self, id: EntityId, at: Time) {
+        self.wakes.push((id, at));
+    }
+}
+
+/// A simulated actor: a worker core, a device thread, a NIC port, a traffic
+/// source...
+pub trait Entity {
+    /// Advances the entity at virtual time `now` and reports when it next
+    /// wants to run.
+    fn step(&mut self, now: Time, ctx: &mut Ctx) -> Wake;
+
+    /// Human-readable name used in diagnostics.
+    fn name(&self) -> &str {
+        "entity"
+    }
+}
+
+/// Scheduling state of one registered entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SchedState {
+    /// Scheduled at the contained time (a matching heap entry exists).
+    Scheduled(Time),
+    /// Sleeping; only an external wake can reschedule it.
+    Idle,
+    /// Finished for good.
+    Done,
+}
+
+/// Why [`Engine::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stop {
+    /// The time horizon was reached with work still pending.
+    Horizon,
+    /// Every entity is idle or done; time can no longer advance.
+    Quiescent,
+}
+
+/// The single-threaded discrete-event engine.
+pub struct Engine {
+    entities: Vec<Box<dyn Entity>>,
+    state: Vec<SchedState>,
+    // Min-heap of (time, id); entries may be stale, `state` is authoritative.
+    heap: BinaryHeap<Reverse<(Time, usize)>>,
+    now: Time,
+    steps: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Engine {
+        Engine {
+            entities: Vec::new(),
+            state: Vec::new(),
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            steps: 0,
+        }
+    }
+
+    /// Registers an entity to first run at `at` and returns its id.
+    pub fn add(&mut self, entity: Box<dyn Entity>, at: Time) -> EntityId {
+        let id = EntityId(self.entities.len());
+        self.entities.push(entity);
+        self.state.push(SchedState::Scheduled(at));
+        self.heap.push(Reverse((at, id.0)));
+        id
+    }
+
+    /// Registers an entity that starts idle (woken by someone else).
+    pub fn add_idle(&mut self, entity: Box<dyn Entity>) -> EntityId {
+        let id = EntityId(self.entities.len());
+        self.entities.push(entity);
+        self.state.push(SchedState::Idle);
+        id
+    }
+
+    /// The current virtual time (the time of the last processed event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total entity steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs until virtual time exceeds `horizon` or no entity is runnable.
+    ///
+    /// Events scheduled exactly at `horizon` are still executed.
+    pub fn run_until(&mut self, horizon: Time) -> Stop {
+        loop {
+            // Pop the earliest non-stale heap entry.
+            let (at, idx) = loop {
+                match self.heap.peek() {
+                    None => return Stop::Quiescent,
+                    Some(&Reverse((t, i))) => {
+                        if self.state[i] == SchedState::Scheduled(t) {
+                            break (t, i);
+                        }
+                        // Stale entry (entity was rescheduled or finished).
+                        self.heap.pop();
+                    }
+                }
+            };
+            if at > horizon {
+                return Stop::Horizon;
+            }
+            self.heap.pop();
+            self.now = at;
+            self.steps += 1;
+
+            let mut ctx = Ctx {
+                now: at,
+                wakes: Vec::new(),
+            };
+            let wake = self.entities[idx].step(at, &mut ctx);
+            self.state[idx] = match wake {
+                Wake::At(t) => {
+                    let t = t.max(at);
+                    self.heap.push(Reverse((t.max(at), idx)));
+                    SchedState::Scheduled(t)
+                }
+                Wake::Idle => SchedState::Idle,
+                Wake::Done => SchedState::Done,
+            };
+            for (EntityId(widx), wat) in ctx.wakes {
+                self.apply_wake(widx, wat.max(at));
+            }
+        }
+    }
+
+    /// Forces entity `id` to be scheduled no later than `at` (used by
+    /// harnesses to kick off initially-idle entities).
+    pub fn wake(&mut self, id: EntityId, at: Time) {
+        self.apply_wake(id.0, at.max(self.now));
+    }
+
+    fn apply_wake(&mut self, idx: usize, at: Time) {
+        match self.state[idx] {
+            SchedState::Done => {}
+            SchedState::Scheduled(cur) if cur <= at => {}
+            _ => {
+                self.state[idx] = SchedState::Scheduled(at);
+                self.heap.push(Reverse((at, idx)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Appends `(name, time_ns)` to a shared log every `period`, `count` times.
+    struct Ticker {
+        name: &'static str,
+        period: Time,
+        remaining: u32,
+        log: Rc<RefCell<Vec<(&'static str, u64)>>>,
+    }
+
+    impl Entity for Ticker {
+        fn step(&mut self, now: Time, _ctx: &mut Ctx) -> Wake {
+            self.log.borrow_mut().push((self.name, now.as_ns()));
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                Wake::Done
+            } else {
+                Wake::At(now + self.period)
+            }
+        }
+
+        fn name(&self) -> &str {
+            self.name
+        }
+    }
+
+    #[test]
+    fn interleaves_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        eng.add(
+            Box::new(Ticker {
+                name: "a",
+                period: Time::from_ns(10),
+                remaining: 3,
+                log: log.clone(),
+            }),
+            Time::ZERO,
+        );
+        eng.add(
+            Box::new(Ticker {
+                name: "b",
+                period: Time::from_ns(15),
+                remaining: 2,
+                log: log.clone(),
+            }),
+            Time::from_ns(5),
+        );
+        assert_eq!(eng.run_until(Time::from_secs(1)), Stop::Quiescent);
+        assert_eq!(
+            *log.borrow(),
+            vec![("a", 0), ("b", 5), ("a", 10), ("a", 20), ("b", 20)]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_entity_id() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        for name in ["first", "second"] {
+            eng.add(
+                Box::new(Ticker {
+                    name,
+                    period: Time::from_ns(1),
+                    remaining: 1,
+                    log: log.clone(),
+                }),
+                Time::from_ns(7),
+            );
+        }
+        eng.run_until(Time::from_secs(1));
+        assert_eq!(*log.borrow(), vec![("first", 7), ("second", 7)]);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        eng.add(
+            Box::new(Ticker {
+                name: "t",
+                period: Time::from_us(1),
+                remaining: 100,
+                log: log.clone(),
+            }),
+            Time::ZERO,
+        );
+        assert_eq!(eng.run_until(Time::from_us(3)), Stop::Horizon);
+        // Events at 0, 1, 2, 3 us have run; the 4 us event has not.
+        assert_eq!(log.borrow().len(), 4);
+        assert_eq!(eng.now(), Time::from_us(3));
+    }
+
+    /// An entity that idles immediately and logs when woken.
+    struct Sleeper {
+        log: Rc<RefCell<Vec<u64>>>,
+    }
+
+    impl Entity for Sleeper {
+        fn step(&mut self, now: Time, _ctx: &mut Ctx) -> Wake {
+            self.log.borrow_mut().push(now.as_ns());
+            Wake::Idle
+        }
+    }
+
+    /// Wakes a target entity once at a fixed delay.
+    struct Waker {
+        target: EntityId,
+        at: Time,
+    }
+
+    impl Entity for Waker {
+        fn step(&mut self, _now: Time, ctx: &mut Ctx) -> Wake {
+            ctx.wake(self.target, self.at);
+            Wake::Done
+        }
+    }
+
+    #[test]
+    fn idle_entity_runs_only_when_woken() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        let sleeper = eng.add_idle(Box::new(Sleeper { log: log.clone() }));
+        eng.add(
+            Box::new(Waker {
+                target: sleeper,
+                at: Time::from_ns(42),
+            }),
+            Time::from_ns(1),
+        );
+        eng.run_until(Time::from_secs(1));
+        assert_eq!(*log.borrow(), vec![42]);
+    }
+
+    #[test]
+    fn waking_a_done_entity_is_ignored() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        let t = eng.add(
+            Box::new(Ticker {
+                name: "t",
+                period: Time::from_ns(1),
+                remaining: 1,
+                log: log.clone(),
+            }),
+            Time::ZERO,
+        );
+        eng.run_until(Time::from_ns(10));
+        eng.wake(t, Time::from_ns(20));
+        assert_eq!(eng.run_until(Time::from_secs(1)), Stop::Quiescent);
+        assert_eq!(log.borrow().len(), 1);
+    }
+
+    #[test]
+    fn earlier_wake_overrides_later_schedule() {
+        // An entity scheduled far in the future is pulled earlier by a wake.
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut eng = Engine::new();
+        let t = eng.add(
+            Box::new(Ticker {
+                name: "t",
+                period: Time::from_ns(1),
+                remaining: 1,
+                log: log.clone(),
+            }),
+            Time::from_ms(1),
+        );
+        eng.wake(t, Time::from_ns(3));
+        eng.run_until(Time::from_secs(1));
+        assert_eq!(*log.borrow(), vec![("t", 3)]);
+    }
+}

@@ -1,0 +1,28 @@
+//! `nba-sim`: the discrete-event substrate under the NBA reproduction.
+//!
+//! The EuroSys'15 NBA paper evaluates on real hardware (dual Sandy Bridge
+//! Xeons, 8x10 GbE with DPDK, 2x GTX 680 with CUDA). This crate provides the
+//! deterministic virtual-time machinery that stands in for that testbed:
+//!
+//! * [`time::Time`] — picosecond-resolution virtual time,
+//! * [`engine`] — a conservative, deterministic discrete-event engine over
+//!   [`engine::Entity`] actors (worker cores, device threads, NIC ports),
+//! * [`queue::SimQueue`] — bounded entity-to-entity queues with drop
+//!   accounting (how RX overload becomes packet loss),
+//! * [`cost::CostModel`] — every calibrated constant in one place,
+//! * [`topology::Topology`] — the machine shape (Table 3 of the paper).
+//!
+//! Nothing here knows about packets or elements; higher crates (`nba-io`,
+//! `nba-gpu`, `nba-core`) build the actual framework on these primitives.
+
+pub mod cost;
+pub mod engine;
+pub mod queue;
+pub mod time;
+pub mod topology;
+
+pub use cost::{CostModel, CpuProfile, GpuCostModel, GpuProfile};
+pub use engine::{Ctx, Engine, Entity, EntityId, Stop, Wake};
+pub use queue::SimQueue;
+pub use time::Time;
+pub use topology::Topology;

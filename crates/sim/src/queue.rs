@@ -1,0 +1,166 @@
+//! Shared single-threaded queues for entity-to-entity communication.
+//!
+//! All entities run on one real thread (the engine), so queues are plain
+//! `Rc<RefCell<...>>` ring buffers. A bounded queue counts the items it had
+//! to drop on overflow, which is how NIC RX queues model packet loss under
+//! overload.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    enqueued: u64,
+    dropped: u64,
+}
+
+/// A bounded FIFO shared between simulation entities.
+///
+/// Cloning the handle shares the same underlying queue.
+pub struct SimQueue<T> {
+    inner: Rc<RefCell<Inner<T>>>,
+}
+
+impl<T> Clone for SimQueue<T> {
+    fn clone(&self) -> Self {
+        SimQueue {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> SimQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> SimQueue<T> {
+        assert!(capacity > 0, "queue capacity must be positive");
+        SimQueue {
+            inner: Rc::new(RefCell::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                enqueued: 0,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Creates an effectively unbounded queue.
+    pub fn unbounded() -> SimQueue<T> {
+        SimQueue::bounded(usize::MAX)
+    }
+
+    /// Enqueues an item, or drops it (and counts the drop) when full.
+    ///
+    /// Returns `Err(item)` with the rejected item so the caller can release
+    /// any resources it holds.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut q = self.inner.borrow_mut();
+        if q.items.len() >= q.capacity {
+            q.dropped += 1;
+            Err(item)
+        } else {
+            q.items.push_back(item);
+            q.enqueued += 1;
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.borrow_mut().items.pop_front()
+    }
+
+    /// Dequeues up to `max` items into `out`, returning how many were moved.
+    pub fn pop_into(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut q = self.inner.borrow_mut();
+        let n = max.min(q.items.len());
+        out.extend(q.items.drain(..n));
+        n
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().items.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of items ever accepted.
+    pub fn enqueued(&self) -> u64 {
+        self.inner.borrow().enqueued
+    }
+
+    /// Total number of items rejected because the queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Remaining free slots.
+    pub fn free_space(&self) -> usize {
+        let q = self.inner.borrow();
+        q.capacity - q.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = SimQueue::bounded(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let q = SimQueue::bounded(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.enqueued(), 2);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let q = SimQueue::bounded(4);
+        let q2 = q.clone();
+        q.push("x").unwrap();
+        assert_eq!(q2.pop(), Some("x"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_into_moves_at_most_max() {
+        let q = SimQueue::bounded(16);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_into(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 6);
+        assert_eq!(q.pop_into(&mut out, 100), 6);
+        assert_eq!(q.pop_into(&mut out, 100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SimQueue::<u8>::bounded(0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Virtual time for the discrete-event engine.
+//!
+//! Time is counted in integer **picoseconds** so that sub-nanosecond unit
+//! costs (a CPU cycle at 2.6 GHz is ~384.6 ps) accumulate without rounding
+//! drift over billions of charges.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, or a duration, in picoseconds.
+///
+/// The engine never distinguishes instants from durations; both are plain
+/// picosecond counts starting from zero at simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// Picoseconds per nanosecond.
+const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+impl Time {
+    /// The zero instant (simulation start) / the empty duration.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable time, used as "never".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * PS_PER_NS)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * PS_PER_US)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Time {
+        Time(ms * PS_PER_MS)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * PS_PER_SEC)
+    }
+
+    /// Creates a time from fractional seconds (rounded to picoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Time {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration: {s}");
+        Time((s * PS_PER_SEC as f64).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_us(self) -> u64 {
+        self.0 / PS_PER_US
+    }
+
+    /// Fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition; clamps at [`Time::MAX`].
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// `true` if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: Time) -> Time {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: Time) -> Time {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("virtual time underflow"))
+    }
+}
+
+impl SubAssign for Time {
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0.checked_mul(rhs).expect("virtual time overflow"))
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Pick the most readable unit.
+        if self.0 >= PS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= PS_PER_MS {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else {
+            write!(f, "{}ns", self.as_ns())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(Time::from_ns(1), Time::from_ps(1_000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+        assert_eq!(Time::from_ms(1), Time::from_us(1_000));
+        assert_eq!(Time::from_secs(1), Time::from_ms(1_000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Time::from_us(3);
+        let b = Time::from_ns(500);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a * 2, Time::from_us(6));
+        assert_eq!(a / 3, Time::from_us(1));
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(Time::ZERO.saturating_sub(Time::from_ns(1)), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(Time::from_ns(1)), Time::MAX);
+    }
+
+    #[test]
+    fn fractional_seconds_round_trip() {
+        let t = Time::from_secs_f64(0.25);
+        assert_eq!(t, Time::from_ms(250));
+        assert!((t.as_secs_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_seconds_rejected() {
+        let _ = Time::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Time::from_ns(5).to_string(), "5ns");
+        assert_eq!(Time::from_us(5).to_string(), "5.000us");
+        assert_eq!(Time::from_ms(5).to_string(), "5.000ms");
+        assert_eq!(Time::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn min_max_and_sum() {
+        let a = Time::from_ns(1);
+        let b = Time::from_ns(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let s: Time = [a, b, b].into_iter().sum();
+        assert_eq!(s, Time::from_ns(5));
+    }
+}

@@ -1,0 +1,151 @@
+//! System topology description: sockets, cores, accelerators, NIC ports.
+//!
+//! The default topology mirrors Table 3 of the paper: dual octa-core Xeon
+//! E5-2670 (Sandy Bridge) sockets, two NVIDIA GTX 680 GPUs (one per NUMA
+//! node), and four dual-port Intel X520-DA2 10 GbE NICs (80 Gbps total).
+
+/// One accelerator device attached to a NUMA node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuSpec {
+    /// Marketing name, for diagnostics.
+    pub name: String,
+    /// NUMA node the device's PCIe slot hangs off.
+    pub socket: usize,
+}
+
+/// One NIC port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortSpec {
+    /// Line speed in gigabits per second.
+    pub speed_gbps: f64,
+    /// NUMA node the port's PCIe slot hangs off.
+    pub socket: usize,
+}
+
+/// One CPU socket (NUMA node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocketSpec {
+    /// Physical cores available on this socket.
+    pub cores: u32,
+}
+
+/// The machine the simulation models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    /// CPU sockets, index = NUMA node id.
+    pub sockets: Vec<SocketSpec>,
+    /// Accelerators.
+    pub gpus: Vec<GpuSpec>,
+    /// NIC ports.
+    pub ports: Vec<PortSpec>,
+}
+
+impl Topology {
+    /// Table 3 of the paper: 2x E5-2670, 2x GTX 680, 8x 10 GbE.
+    pub fn paper_testbed() -> Topology {
+        Topology {
+            sockets: vec![SocketSpec { cores: 8 }, SocketSpec { cores: 8 }],
+            gpus: vec![
+                GpuSpec {
+                    name: "GTX 680".to_owned(),
+                    socket: 0,
+                },
+                GpuSpec {
+                    name: "GTX 680".to_owned(),
+                    socket: 1,
+                },
+            ],
+            ports: (0..8)
+                .map(|i| PortSpec {
+                    speed_gbps: 10.0,
+                    // Two dual-port NICs per socket.
+                    socket: i / 4,
+                })
+                .collect(),
+        }
+    }
+
+    /// A reduced single-socket machine (quad core, one GPU, two ports), the
+    /// shape of Figure 6 in the paper. Useful for fast tests.
+    pub fn small() -> Topology {
+        Topology {
+            sockets: vec![SocketSpec { cores: 4 }],
+            gpus: vec![GpuSpec {
+                name: "GTX 680".to_owned(),
+                socket: 0,
+            }],
+            ports: vec![
+                PortSpec {
+                    speed_gbps: 10.0,
+                    socket: 0,
+                },
+                PortSpec {
+                    speed_gbps: 10.0,
+                    socket: 0,
+                },
+            ],
+        }
+    }
+
+    /// Total physical cores across sockets.
+    pub fn total_cores(&self) -> u32 {
+        self.sockets.iter().map(|s| s.cores).sum()
+    }
+
+    /// Aggregate line rate over every port, in Gbps.
+    pub fn total_line_rate_gbps(&self) -> f64 {
+        self.ports.iter().map(|p| p.speed_gbps).sum()
+    }
+
+    /// Ports attached to the given socket.
+    pub fn ports_on_socket(&self, socket: usize) -> Vec<usize> {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.socket == socket)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// GPUs attached to the given socket.
+    pub fn gpus_on_socket(&self, socket: usize) -> Vec<usize> {
+        self.gpus
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.socket == socket)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_table_3() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.sockets.len(), 2);
+        assert_eq!(t.total_cores(), 16);
+        assert_eq!(t.gpus.len(), 2);
+        assert_eq!(t.ports.len(), 8);
+        assert_eq!(t.total_line_rate_gbps(), 80.0);
+    }
+
+    #[test]
+    fn ports_and_gpus_are_numa_balanced() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.ports_on_socket(0).len(), 4);
+        assert_eq!(t.ports_on_socket(1).len(), 4);
+        assert_eq!(t.gpus_on_socket(0), vec![0]);
+        assert_eq!(t.gpus_on_socket(1), vec![1]);
+    }
+
+    #[test]
+    fn small_topology_is_figure_6() {
+        let t = Topology::small();
+        assert_eq!(t.total_cores(), 4);
+        assert_eq!(t.gpus.len(), 1);
+        assert_eq!(t.total_line_rate_gbps(), 20.0);
+    }
+}

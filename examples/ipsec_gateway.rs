@@ -1,0 +1,72 @@
+//! The IPsec encryption gateway under a CAIDA-like mixed-size workload:
+//! sweeps the offloading fraction like Figure 2, then lets the adaptive
+//! balancer find the optimum on its own.
+//!
+//! ```sh
+//! cargo run --release --example ipsec_gateway
+//! ```
+
+use nba::apps::{pipelines, AppConfig};
+use nba::core::lb;
+use nba::core::runtime::{des, traffic_per_port, RuntimeConfig};
+use nba::io::{SizeDist, TrafficConfig};
+use nba::sim::Time;
+
+fn main() {
+    let cfg = RuntimeConfig {
+        warmup: Time::from_ms(10),
+        measure: Time::from_ms(30),
+        ..RuntimeConfig::default()
+    };
+    let app = AppConfig {
+        ports: cfg.topology.ports.len() as u16,
+        ..AppConfig::default()
+    };
+    let pipeline = pipelines::ipsec_gateway(&app);
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::CaidaLike,
+            zipf_alpha: 1.1,
+            flows: 16_384,
+            ..TrafficConfig::default()
+        },
+    );
+
+    println!("offloading-fraction sweep (Figure 2 shape):");
+    println!("{:>6} {:>12}", "w (%)", "Gbps");
+    let mut best = (0.0f64, 0.0f64);
+    for w in (0..=10).map(|k| k as f64 / 10.0) {
+        let balancer = lb::shared(Box::new(lb::FixedFraction::new(w)));
+        let report = des::run(&cfg, &pipeline, &balancer, &traffic);
+        println!("{:>6.0} {:>12.2}", w * 100.0, report.tx_gbps);
+        if report.tx_gbps > best.1 {
+            best = (w, report.tx_gbps);
+        }
+    }
+    println!(
+        "manual optimum: w = {:.0} % at {:.2} Gbps",
+        best.0 * 100.0,
+        best.1
+    );
+
+    // Now the adaptive balancer, starting in the middle.
+    let alb_cfg = lb::AlbConfig {
+        initial_w: 0.5,
+        ..lb::AlbConfig::scaled_down(40)
+    };
+    let balancer = lb::shared(Box::new(lb::Adaptive::new(alb_cfg)));
+    let long = RuntimeConfig {
+        warmup: Time::from_ms(40),
+        measure: Time::from_ms(40),
+        ..cfg
+    };
+    let report = des::run(&long, &pipeline, &balancer, &traffic);
+    println!(
+        "adaptive balancer: {:.2} Gbps at w = {:.0} % ({:.0} % of manual best)",
+        report.tx_gbps,
+        report.final_w * 100.0,
+        report.tx_gbps / best.1 * 100.0
+    );
+}

@@ -1,0 +1,56 @@
+//! The same pipelines on real OS threads: the live runtime forwards real
+//! packets through replicated element graphs with a device thread serving
+//! offloaded batches over channels. Numbers here are host-machine numbers,
+//! not paper reproductions (the DES runtime does those).
+//!
+//! ```sh
+//! cargo run --release --example live_forwarder
+//! ```
+
+use std::time::Duration;
+
+use nba::apps::{pipelines, AppConfig};
+use nba::core::element::ComputeMode;
+use nba::core::lb;
+use nba::core::runtime::live::{self, LiveConfig};
+use nba::io::{SizeDist, TrafficConfig};
+
+fn main() {
+    let app = AppConfig {
+        ports: 8,
+        v4_routes: 16_384,
+        ..AppConfig::default()
+    };
+    let cfg = LiveConfig {
+        workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(4)),
+        duration: Duration::from_millis(500),
+        compute: ComputeMode::Full,
+        traffic: TrafficConfig {
+            size: SizeDist::Fixed(256),
+            ..TrafficConfig::default()
+        },
+        ..LiveConfig::default()
+    };
+
+    println!("running IPv4 router on {} real threads...", cfg.workers);
+    let report = live::run(
+        &cfg,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::CpuOnly)),
+    );
+    println!(
+        "CPU path: {:.2} Mpps / {:.2} Gbps on this host ({} packets in {:?})",
+        report.mpps, report.gbps, report.totals.tx_packets, report.elapsed
+    );
+
+    println!("running IPsec gateway with 30 % of batches through the device thread...");
+    let report = live::run(
+        &cfg,
+        &pipelines::ipsec_gateway(&app),
+        &lb::shared(Box::new(lb::FixedFraction::new(0.3))),
+    );
+    println!(
+        "IPsec: {:.2} Mpps / {:.2} Gbps, {} batches offloaded across threads",
+        report.mpps, report.gbps, report.totals.offloaded_batches
+    );
+}

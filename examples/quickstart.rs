@@ -1,0 +1,55 @@
+//! Quickstart: compose a pipeline in the Click-dialect configuration
+//! language and run it on the simulated 80 Gbps testbed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nba::apps::{pipelines, AppConfig};
+use nba::core::lb;
+use nba::core::runtime::{des, traffic_per_port, RuntimeConfig};
+use nba::io::{SizeDist, TrafficConfig};
+
+fn main() {
+    // The paper's testbed: 2x octa-core Xeon, 2x GTX 680, 8x 10 GbE.
+    let cfg = RuntimeConfig::default();
+    let app = AppConfig {
+        ports: cfg.topology.ports.len() as u16,
+        ..AppConfig::default()
+    };
+
+    // The IPv4 router, written in the configuration language.
+    println!("pipeline configuration:\n{}", pipelines::IPV4_CONFIG);
+    let pipeline = pipelines::pipeline_from_config(pipelines::IPV4_CONFIG, &app);
+
+    // 80 Gbps of 256-byte frames, adaptive CPU/GPU balancing.
+    let balancer = lb::shared(Box::new(lb::Adaptive::new(lb::AlbConfig::scaled_down(20))));
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(256),
+            ..TrafficConfig::default()
+        },
+    );
+
+    let report = des::run(&cfg, &pipeline, &balancer, &traffic);
+    println!(
+        "offered {:.1} Gbps -> forwarded {:.1} Gbps ({:.2} Mpps) on {} workers",
+        report.offered_gbps,
+        report.tx_gbps,
+        report.tx_mpps(),
+        cfg.total_workers(),
+    );
+    println!(
+        "latency: p50 {} / p99 {} / p99.9 {}",
+        report.latency.percentile(50.0),
+        report.latency.percentile(99.0),
+        report.latency.percentile(99.9),
+    );
+    println!(
+        "offload fraction converged to {:.0} % (GPU tasks: {})",
+        report.final_w * 100.0,
+        report.gpu.iter().map(|g| g.tasks).sum::<u64>(),
+    );
+}

@@ -1,0 +1,39 @@
+//! NBA (Network Balancing Act) — a reproduction of the EuroSys'15 paper
+//! "NBA: A High-performance Packet Processing Framework for Heterogeneous
+//! Processors" in Rust, over a deterministic simulated testbed.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`sim`] — discrete-event engine, cost model, topology,
+//! * [`io`] — packet buffers, protocol headers, RSS, NIC model, traffic,
+//! * [`gpu`] — the accelerator model (memory, streams, pipelined engines),
+//! * [`crypto`] — AES-128-CTR, SHA-1, HMAC-SHA1,
+//! * [`matcher`] — Aho-Corasick and regex-to-DFA engines,
+//! * [`core`] — the framework: batches, elements, graphs, config language,
+//!   offloading, load balancing, runtimes,
+//! * [`apps`] — the four sample applications.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nba::core::lb;
+//! use nba::core::runtime::{des, traffic_per_port, RuntimeConfig};
+//! use nba::apps::{pipelines, AppConfig};
+//! use nba::io::TrafficConfig;
+//!
+//! let cfg = RuntimeConfig::test_default();
+//! let app = AppConfig { ports: cfg.topology.ports.len() as u16, v4_routes: 1024, ..AppConfig::default() };
+//! let pipeline = pipelines::ipv4_router(&app);
+//! let balancer = lb::shared(Box::new(lb::CpuOnly));
+//! let traffic = traffic_per_port(&cfg.topology, &TrafficConfig { offered_gbps: 1.0, ..TrafficConfig::default() });
+//! let report = des::run(&cfg, &pipeline, &balancer, &traffic);
+//! assert!(report.tx_packets > 0);
+//! ```
+
+pub use nba_apps as apps;
+pub use nba_core as core;
+pub use nba_crypto as crypto;
+pub use nba_gpu as gpu;
+pub use nba_io as io;
+pub use nba_matcher as matcher;
+pub use nba_sim as sim;

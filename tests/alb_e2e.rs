@@ -1,0 +1,94 @@
+//! End-to-end adaptive load balancing: the ALB must find throughput at
+//! least as good as the better of CPU-only/GPU-only (within tolerance) and
+//! move `w` off its starting point when one processor dominates.
+
+use nba::apps::{pipelines, AppConfig};
+use nba::core::lb::{self, AlbConfig};
+use nba::core::runtime::{des, traffic_per_port, RuntimeConfig};
+use nba::io::{SizeDist, TrafficConfig};
+use nba::sim::Time;
+
+fn alb() -> lb::SharedBalancer {
+    lb::shared(Box::new(lb::Adaptive::new(AlbConfig {
+        delta: 0.08,
+        update_interval: Time::from_ms(1),
+        avg_window: 1,
+        min_wait: 0,
+        max_wait: 2,
+        initial_w: 0.5,
+    })))
+}
+
+#[test]
+fn alb_tracks_the_better_processor() {
+    // Saturating 64-byte load on the small topology; full compute off so
+    // the run is fast and throughput is determined by the cost model.
+    let cfg = RuntimeConfig {
+        compute: nba::core::element::ComputeMode::HeadersOnly,
+        warmup: Time::from_ms(30),
+        measure: Time::from_ms(15),
+        ..RuntimeConfig::test_default()
+    };
+    let app = AppConfig {
+        ports: cfg.topology.ports.len() as u16,
+        v4_routes: 4096,
+        ..AppConfig::default()
+    };
+    let pipeline = pipelines::ipv4_router(&app);
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(64),
+            ..TrafficConfig::default()
+        },
+    );
+    let fast = RuntimeConfig {
+        warmup: Time::from_ms(5),
+        ..cfg.clone()
+    };
+    let cpu = des::run(&fast, &pipeline, &lb::shared(Box::new(lb::CpuOnly)), &traffic);
+    let gpu = des::run(&fast, &pipeline, &lb::shared(Box::new(lb::GpuOnly)), &traffic);
+    let best = cpu.tx_gbps.max(gpu.tx_gbps);
+
+    let balancer = alb();
+    let adaptive = des::run(&cfg, &pipeline, &balancer, &traffic);
+    assert!(
+        adaptive.tx_gbps >= best * 0.85,
+        "ALB {:.2} vs best-of {:.2} (cpu {:.2} gpu {:.2}, final w {:.2})",
+        adaptive.tx_gbps,
+        best,
+        cpu.tx_gbps,
+        gpu.tx_gbps,
+        adaptive.final_w,
+    );
+}
+
+#[test]
+fn alb_moves_w_during_the_run() {
+    let cfg = RuntimeConfig {
+        warmup: Time::from_ms(25),
+        measure: Time::from_ms(10),
+        ..RuntimeConfig::test_default()
+    };
+    let app = AppConfig {
+        ports: cfg.topology.ports.len() as u16,
+        v4_routes: 1024,
+        ..AppConfig::default()
+    };
+    let pipeline = pipelines::ipv4_router(&app);
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(64),
+            ..TrafficConfig::default()
+        },
+    );
+    let balancer = alb();
+    let r = des::run(&cfg, &pipeline, &balancer, &traffic);
+    // Started at 0.5 and must have walked somewhere (the perturbation
+    // guarantees movement) while staying in bounds.
+    assert!((0.0..=1.0).contains(&r.final_w));
+    assert_ne!(r.final_w, 0.5, "ALB never moved");
+}

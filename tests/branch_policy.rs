@@ -1,0 +1,79 @@
+//! Batch-split behaviour end to end: splitting costs throughput, branch
+//! prediction recovers most of it (the Figure 1/10 mechanics).
+
+use nba::apps::pipelines;
+use nba::core::graph::BranchPolicy;
+use nba::core::lb;
+use nba::core::runtime::{des, traffic_per_port, RuntimeConfig};
+use nba::io::{SizeDist, TrafficConfig};
+
+fn run(policy: BranchPolicy, minority: f64) -> nba::core::runtime::RunReport {
+    let cfg = RuntimeConfig {
+        branch_policy: policy,
+        compute: nba::core::element::ComputeMode::HeadersOnly,
+        ..RuntimeConfig::test_default()
+    };
+    let ports = cfg.topology.ports.len() as u16;
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(64),
+            ..TrafficConfig::default()
+        },
+    );
+    let pipeline = if minority < 0.0 {
+        pipelines::echo(ports)
+    } else {
+        pipelines::branch_echo(minority, ports)
+    };
+    des::run(&cfg, &pipeline, &lb::shared(Box::new(lb::CpuOnly)), &traffic)
+}
+
+#[test]
+fn splitting_allocates_masking_mostly_does_not() {
+    let split = run(BranchPolicy::SplitAlways, 0.5);
+    let masked = run(BranchPolicy::Predict, 0.01);
+    assert!(split.window.split_allocs > 0);
+    // With 1 % minority and correct prediction, allocations happen only
+    // for the occasional minority packets: far fewer than batches.
+    assert!(
+        masked.window.split_allocs < masked.window.batches,
+        "masking allocated {} for {} batches",
+        masked.window.split_allocs,
+        masked.window.batches
+    );
+    // Splitting at 50/50 allocates ~2 per branch batch.
+    assert!(split.window.split_allocs >= split.window.batches);
+}
+
+#[test]
+fn branch_prediction_beats_split_always_under_load() {
+    let baseline = run(BranchPolicy::Predict, -1.0);
+    let split = run(BranchPolicy::SplitAlways, 0.5);
+    let masked_1pct = run(BranchPolicy::Predict, 0.01);
+    // Under saturating load the split policy must cost throughput vs the
+    // no-branch baseline, and masking at 1 % minority must sit in between.
+    assert!(
+        split.tx_gbps < baseline.tx_gbps * 0.95,
+        "split {:.2} vs baseline {:.2}",
+        split.tx_gbps,
+        baseline.tx_gbps
+    );
+    assert!(
+        masked_1pct.tx_gbps > split.tx_gbps,
+        "masked {:.2} vs split {:.2}",
+        masked_1pct.tx_gbps,
+        split.tx_gbps
+    );
+}
+
+#[test]
+fn both_policies_forward_every_packet() {
+    // Policies change performance, never correctness.
+    let a = run(BranchPolicy::SplitAlways, 0.3);
+    let b = run(BranchPolicy::Predict, 0.3);
+    assert_eq!(a.window.dropped, 0);
+    assert_eq!(b.window.dropped, 0);
+    assert!(a.tx_packets > 0 && b.tx_packets > 0);
+}

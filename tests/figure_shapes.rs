@@ -1,0 +1,110 @@
+//! Qualitative shape assertions over the paper-figure reproductions.
+//!
+//! These run reduced sweeps of the real experiments and check the claims
+//! the paper makes — who wins, where crossovers fall — rather than absolute
+//! numbers. They take minutes, so they are ignored by default:
+//!
+//! ```sh
+//! cargo test --release --test figure_shapes -- --ignored
+//! ```
+
+use nba_bench::experiments::{self, ExpOpts};
+
+const QUICK: ExpOpts = ExpOpts { quick: true };
+
+#[test]
+#[ignore = "minutes-long sweep; run with --ignored"]
+fn fig1_and_fig10_shapes() {
+    let rows = experiments::split_experiment(QUICK);
+    for r in &rows {
+        // Splitting always costs throughput; masking always beats it.
+        assert!(r.split < r.baseline * 0.95, "{r:?}");
+        assert!(r.masked > r.split, "{r:?}");
+    }
+    // The worst case loses a third or more; prediction at 1 % minority
+    // keeps the loss small.
+    let worst = rows.iter().find(|r| r.minority_pct == 50).unwrap();
+    assert!(worst.split < worst.baseline * 0.70, "{worst:?}");
+    let best = rows.iter().find(|r| r.minority_pct == 1).unwrap();
+    assert!(best.masked > best.baseline * 0.85, "{best:?}");
+}
+
+#[test]
+#[ignore = "minutes-long sweep; run with --ignored"]
+fn fig2_interior_optimum() {
+    let rows = experiments::fig2(QUICK);
+    let cpu_only = rows.first().unwrap().1;
+    let gpu_only = rows.last().unwrap().1;
+    let best = rows.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    // Neither extreme is optimal (the motivating observation of §2).
+    assert!(best > cpu_only * 1.1, "best {best} vs cpu {cpu_only}");
+    assert!(best > gpu_only * 1.1, "best {best} vs gpu {gpu_only}");
+}
+
+#[test]
+#[ignore = "minutes-long sweep; run with --ignored"]
+fn fig9_batching_gains() {
+    let rows = experiments::fig9(QUICK);
+    for (label, g) in &rows {
+        let speedup = g[2] / g[0].max(1e-9);
+        if label.contains("1500") {
+            // Large frames gain little from computation batching.
+            assert!(speedup < 1.5, "{label}: {speedup}");
+        } else {
+            // Small frames gain substantially (paper: 1.7x - 5.2x).
+            assert!(speedup > 1.4, "{label}: {speedup}");
+            assert!(speedup < 8.0, "{label}: {speedup}");
+        }
+        // Batch 64 within a whisker of batch 32 or better overall shape.
+        assert!(g[2] >= g[1] * 0.9, "{label}: 64 ({}) << 32 ({})", g[2], g[1]);
+    }
+}
+
+#[test]
+#[ignore = "minutes-long sweep; run with --ignored"]
+fn fig12_processor_crossovers() {
+    let rows = experiments::fig12(QUICK);
+    for (name, series) in &rows {
+        let at = |size: usize| {
+            let (_, c, g) = series.iter().find(|(s, _, _)| *s == size).unwrap();
+            (*c, *g)
+        };
+        match name.as_str() {
+            "IPv4" => {
+                // CPU never loses for IPv4.
+                let (c, g) = at(64);
+                assert!(c >= g * 0.99, "IPv4 64B: cpu {c} gpu {g}");
+            }
+            "IPv6" => {
+                // GPU wins at small frames.
+                let (c, g) = at(64);
+                assert!(g > c * 1.2, "IPv6 64B: cpu {c} gpu {g}");
+            }
+            "IPsec" => {
+                // GPU wins small, CPU wins large: a crossover exists.
+                let (c64, g64) = at(64);
+                let (c1024, g1024) = at(1024);
+                assert!(g64 > c64 * 1.2, "IPsec 64B: cpu {c64} gpu {g64}");
+                assert!(c1024 > g1024 * 1.2, "IPsec 1024B: cpu {c1024} gpu {g1024}");
+            }
+            other => panic!("unexpected app {other}"),
+        }
+    }
+}
+
+#[test]
+#[ignore = "minutes-long sweep; run with --ignored"]
+fn fig14_gpu_latency_premium() {
+    let rows = experiments::fig14(QUICK);
+    let mean = |label: &str, gpu: bool| {
+        rows.iter()
+            .find(|r| r.label == label && r.gpu == gpu)
+            .map(|r| r.mean_us)
+            .unwrap()
+    };
+    // The paper: GPU-only configurations cost 8-14x the CPU-only mean.
+    let ratio = mean("IPv4, 64B", true) / mean("IPv4, 64B", false);
+    assert!((4.0..30.0).contains(&ratio), "IPv4 GPU/CPU latency {ratio}");
+    // IPsec is the slowest of all CPU configurations.
+    assert!(mean("IPsec, 64B", false) > mean("L2fwd, 64B", false));
+}

@@ -1,0 +1,305 @@
+//! Targeted behaviour tests of the DES runtime mechanics: offload
+//! aggregation, backpressure, latency accounting, worker scaling.
+
+use nba::apps::{pipelines, AppConfig};
+use nba::core::element::ComputeMode;
+use nba::core::lb;
+use nba::core::runtime::{des, traffic_per_port, RunReport, RuntimeConfig};
+use nba::io::{SizeDist, TrafficConfig};
+use nba::sim::Time;
+
+fn cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        compute: ComputeMode::HeadersOnly,
+        ..RuntimeConfig::test_default()
+    }
+}
+
+fn app(cfg: &RuntimeConfig) -> AppConfig {
+    AppConfig {
+        ports: cfg.topology.ports.len() as u16,
+        v4_routes: 2048,
+        ..AppConfig::default()
+    }
+}
+
+fn run_gpu(cfg: &RuntimeConfig, gbps: f64, size: usize) -> RunReport {
+    let app = app(cfg);
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: gbps,
+            size: SizeDist::Fixed(size),
+            ..TrafficConfig::default()
+        },
+    );
+    des::run(
+        cfg,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &traffic,
+    )
+}
+
+#[test]
+fn aggregation_amortizes_kernel_launches() {
+    // More aggregation => fewer, larger GPU tasks for the same traffic.
+    let small = RuntimeConfig {
+        offload_aggregate: 1,
+        ..cfg()
+    };
+    let large = RuntimeConfig {
+        offload_aggregate: 32,
+        ..cfg()
+    };
+    let r_small = run_gpu(&small, 2.0, 128);
+    let r_large = run_gpu(&large, 2.0, 128);
+    let t_small: u64 = r_small.gpu.iter().map(|g| g.tasks).sum();
+    let t_large: u64 = r_large.gpu.iter().map(|g| g.tasks).sum();
+    assert!(t_small > t_large * 2, "tasks: {t_small} vs {t_large}");
+}
+
+#[test]
+fn aggregation_timeout_bounds_gpu_latency_at_light_load() {
+    // At trickle load an aggregate never fills; the timeout launches it.
+    let quick = RuntimeConfig {
+        offload_agg_timeout: Time::from_us(30),
+        ..cfg()
+    };
+    let slow = RuntimeConfig {
+        offload_agg_timeout: Time::from_us(400),
+        ..cfg()
+    };
+    // Trickle load so aggregates cannot fill before the timeout fires.
+    let r_quick = run_gpu(&quick, 0.05, 128);
+    let r_slow = run_gpu(&slow, 0.05, 128);
+    let p50_quick = r_quick.latency.percentile(50.0);
+    let p50_slow = r_slow.latency.percentile(50.0);
+    assert!(
+        p50_slow > p50_quick + Time::from_us(100),
+        "quick {p50_quick} vs slow {p50_slow}"
+    );
+}
+
+#[test]
+fn overload_backpressure_reaches_rx_rings() {
+    // Saturate the GPU path (IPsec is far heavier than the lookup): drops
+    // must appear at RX, not mid-pipeline.
+    let c = cfg();
+    let a = app(&c);
+    let traffic = traffic_per_port(
+        &c.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(64),
+            ..TrafficConfig::default()
+        },
+    );
+    let r = des::run(
+        &c,
+        &pipelines::ipsec_gateway(&a),
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &traffic,
+    );
+    assert!(r.rx_dropped > 0, "expected RX drops under GPU saturation");
+    assert_eq!(r.window.dropped, 0, "no mid-pipeline drops allowed");
+    // And the forwarded packets all made it through the device.
+    assert!(r.window.gpu_processed > 0);
+}
+
+#[test]
+fn inflight_cap_limits_scheduled_gpu_backlog() {
+    // With a single in-flight task allowed, GPU busy time cannot run far
+    // ahead of virtual time even under overload.
+    let tight = RuntimeConfig {
+        gpu_max_inflight: 1,
+        ..cfg()
+    };
+    let r = run_gpu(&tight, 10.0, 64);
+    let horizon = (tight.warmup + tight.measure).as_secs_f64();
+    for g in &r.gpu {
+        assert!(
+            g.kernel_busy.as_secs_f64() <= horizon * 1.2,
+            "kernel scheduled {:?} beyond horizon {horizon}s",
+            g.kernel_busy
+        );
+    }
+}
+
+#[test]
+fn external_latency_is_additive() {
+    let base = RuntimeConfig {
+        external_latency: Time::ZERO,
+        ..cfg()
+    };
+    let shifted = RuntimeConfig {
+        external_latency: Time::from_us(100),
+        ..cfg()
+    };
+    let app0 = app(&base);
+    let traffic = traffic_per_port(
+        &base.topology,
+        &TrafficConfig {
+            offered_gbps: 0.5,
+            ..TrafficConfig::default()
+        },
+    );
+    let balancer = lb::shared(Box::new(lb::CpuOnly));
+    let a = des::run(&base, &pipelines::ipv4_router(&app0), &balancer, &traffic);
+    let b = des::run(&shifted, &pipelines::ipv4_router(&app0), &balancer, &traffic);
+    let d50 = b.latency.percentile(50.0).saturating_sub(a.latency.percentile(50.0));
+    // Within histogram resolution of the configured 100 us shift.
+    assert!(
+        (d50.as_us_f64() - 100.0).abs() < 12.0,
+        "p50 shifted by {d50}"
+    );
+}
+
+#[test]
+fn more_workers_more_throughput_under_cpu_saturation() {
+    let mk = |w: u32| RuntimeConfig {
+        workers_per_socket: w,
+        ..cfg()
+    };
+    let one = mk(1);
+    let three = mk(3);
+    let app1 = app(&one);
+    let traffic = traffic_per_port(
+        &one.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(64),
+            ..TrafficConfig::default()
+        },
+    );
+    let balancer = lb::shared(Box::new(lb::CpuOnly));
+    let r1 = des::run(&one, &pipelines::ipv4_router(&app1), &balancer, &traffic);
+    let r3 = des::run(&three, &pipelines::ipv4_router(&app1), &balancer, &traffic);
+    assert!(
+        r3.tx_gbps > r1.tx_gbps * 2.5,
+        "1 worker {:.2} vs 3 workers {:.2}",
+        r1.tx_gbps,
+        r3.tx_gbps
+    );
+}
+
+#[test]
+fn pipeline_depth_shows_up_in_latency() {
+    // The composition-overhead mechanism: more no-op elements, more
+    // per-packet latency, same (unsaturated) throughput.
+    let c = RuntimeConfig {
+        external_latency: Time::ZERO,
+        ..cfg()
+    };
+    let ports = c.topology.ports.len() as u16;
+    let traffic = traffic_per_port(
+        &c.topology,
+        &TrafficConfig {
+            offered_gbps: 0.5,
+            ..TrafficConfig::default()
+        },
+    );
+    let balancer = lb::shared(Box::new(lb::CpuOnly));
+    let short = des::run(&c, &pipelines::noop_chain(0, ports), &balancer, &traffic);
+    let long = des::run(&c, &pipelines::noop_chain(9, ports), &balancer, &traffic);
+    assert!(
+        long.latency.mean() > short.latency.mean(),
+        "depth 9 {} <= depth 0 {}",
+        long.latency.mean(),
+        short.latency.mean()
+    );
+    let ratio = long.tx_packets as f64 / short.tx_packets as f64;
+    assert!((0.95..=1.05).contains(&ratio), "throughput changed: {ratio}");
+}
+
+#[test]
+fn comp_batch_size_trades_throughput() {
+    // Batch 1 pays per-packet framework overhead; batch 64 amortizes it
+    // (the Figure 9 mechanism).
+    let b1 = RuntimeConfig {
+        comp_batch: 1,
+        ..cfg()
+    };
+    let b64 = RuntimeConfig {
+        comp_batch: 64,
+        ..cfg()
+    };
+    let app1 = app(&b1);
+    let traffic = traffic_per_port(
+        &b1.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(64),
+            ..TrafficConfig::default()
+        },
+    );
+    let balancer = lb::shared(Box::new(lb::CpuOnly));
+    let r1 = des::run(&b1, &pipelines::ipv4_router(&app1), &balancer, &traffic);
+    let r64 = des::run(&b64, &pipelines::ipv4_router(&app1), &balancer, &traffic);
+    assert!(
+        r64.tx_gbps > r1.tx_gbps * 1.5,
+        "batch1 {:.2} vs batch64 {:.2}",
+        r1.tx_gbps,
+        r64.tx_gbps
+    );
+}
+
+#[test]
+fn datablock_reuse_is_functionally_identical_and_faster() {
+    // The §3.3 future-work optimization: fuse AES -> HMAC into one device
+    // round trip. Output must stay bit-identical (same kernels, same
+    // order); throughput must not get worse under GPU saturation.
+    let base = RuntimeConfig {
+        compute: ComputeMode::Full,
+        ..RuntimeConfig::test_default()
+    };
+    let fused = RuntimeConfig {
+        datablock_reuse: true,
+        ..base.clone()
+    };
+    let a = app(&base);
+    let traffic = traffic_per_port(
+        &base.topology,
+        &TrafficConfig {
+            offered_gbps: 1.0,
+            size: SizeDist::Fixed(256),
+            ..TrafficConfig::default()
+        },
+    );
+    let r_base = des::run(
+        &base,
+        &pipelines::ipsec_gateway(&a),
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &traffic,
+    );
+    let r_fused = des::run(
+        &fused,
+        &pipelines::ipsec_gateway(&a),
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &traffic,
+    );
+    // Same deterministic traffic, light load: both forward everything
+    // (within a few packets of measurement-window edge skew).
+    let diff = r_base.window.tx_packets.abs_diff(r_fused.window.tx_packets);
+    assert!(
+        diff * 100 <= r_base.window.tx_packets,
+        "tx: base {} fused {}",
+        r_base.window.tx_packets,
+        r_fused.window.tx_packets
+    );
+    // Fusion halves the device round trips (one task per chain instead of
+    // one per element).
+    let tasks_base: u64 = r_base.gpu.iter().map(|g| g.tasks).sum();
+    let tasks_fused: u64 = r_fused.gpu.iter().map(|g| g.tasks).sum();
+    assert!(
+        tasks_fused * 3 < tasks_base * 2,
+        "tasks: base {tasks_base} fused {tasks_fused}"
+    );
+    // And halves the H2D traffic.
+    let h2d_base: u64 = r_base.gpu.iter().map(|g| g.h2d_bytes).sum();
+    let h2d_fused: u64 = r_fused.gpu.iter().map(|g| g.h2d_bytes).sum();
+    assert!(
+        h2d_fused < h2d_base * 6 / 10,
+        "h2d: base {h2d_base} fused {h2d_fused}"
+    );
+}

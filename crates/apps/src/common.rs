@@ -218,7 +218,10 @@ impl RandomWeightedBranch {
     ///
     /// Panics if `p_minority` is outside `[0, 1]`.
     pub fn new(p_minority: f64, seed: u64) -> RandomWeightedBranch {
-        assert!((0.0..=1.0).contains(&p_minority), "probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p_minority),
+            "probability out of range"
+        );
         RandomWeightedBranch {
             p_minority,
             rng: SmallRng::seed_from_u64(seed),
@@ -279,7 +282,6 @@ impl Element for RoundRobinOutput {
         CpuProfile::fixed(8)
     }
 }
-
 
 /// Classifies frames by EtherType: IPv4 -> port 0, IPv6 -> port 1,
 /// everything else -> port 2 (Click's `Classifier` specialized to the
@@ -413,7 +415,9 @@ impl Element for PacketCounter {
     fn process(&mut self, _: &mut ElemCtx<'_>, pkt: &mut Packet, _: &mut Anno) -> PacketResult {
         use std::sync::atomic::Ordering;
         self.stats.packets.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(pkt.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(pkt.len() as u64, Ordering::Relaxed);
         PacketResult::Out(0)
     }
 
@@ -434,7 +438,6 @@ mod tests {
         Packet::from_bytes(&f)
     }
 
-
     #[test]
     fn classifier_splits_by_ethertype() {
         let mut el = Classifier;
@@ -450,7 +453,10 @@ mod tests {
         let mut arp = v4_frame(64);
         arp.data_mut()[12] = 0x08;
         arp.data_mut()[13] = 0x06;
-        assert_eq!(run_one(&mut el, &nls, &insp, &mut arp), PacketResult::Out(2));
+        assert_eq!(
+            run_one(&mut el, &nls, &insp, &mut arp),
+            PacketResult::Out(2)
+        );
     }
 
     #[test]
@@ -497,21 +503,33 @@ mod tests {
         let mut el = CheckIPHeader;
         let (nls, insp) = ctx_harness();
         let mut pkt = v4_frame(64);
-        assert_eq!(run_one(&mut el, &nls, &insp, &mut pkt), PacketResult::Out(0));
+        assert_eq!(
+            run_one(&mut el, &nls, &insp, &mut pkt),
+            PacketResult::Out(0)
+        );
 
         // Corrupt the checksum.
         pkt.data_mut()[24] ^= 0xff;
-        assert_eq!(run_one(&mut el, &nls, &insp, &mut pkt), PacketResult::Out(1));
+        assert_eq!(
+            run_one(&mut el, &nls, &insp, &mut pkt),
+            PacketResult::Out(1)
+        );
 
         // Non-IP ethertype.
         let mut arp = v4_frame(64);
         arp.data_mut()[12] = 0x08;
         arp.data_mut()[13] = 0x06;
-        assert_eq!(run_one(&mut el, &nls, &insp, &mut arp), PacketResult::Out(1));
+        assert_eq!(
+            run_one(&mut el, &nls, &insp, &mut arp),
+            PacketResult::Out(1)
+        );
 
         // Truncated frame.
         let mut small = Packet::from_bytes(&[0u8; 10]);
-        assert_eq!(run_one(&mut el, &nls, &insp, &mut small), PacketResult::Out(1));
+        assert_eq!(
+            run_one(&mut el, &nls, &insp, &mut small),
+            PacketResult::Out(1)
+        );
     }
 
     #[test]
@@ -521,11 +539,17 @@ mod tests {
         let mut pkt = v4_frame(64);
         // TTL starts at 64; decrement 63 times fine.
         for _ in 0..63 {
-            assert_eq!(run_one(&mut el, &nls, &insp, &mut pkt), PacketResult::Out(0));
+            assert_eq!(
+                run_one(&mut el, &nls, &insp, &mut pkt),
+                PacketResult::Out(0)
+            );
         }
         // The header must still checksum after all updates.
         let mut chk = CheckIPHeader;
-        assert_eq!(run_one(&mut chk, &nls, &insp, &mut pkt), PacketResult::Out(0));
+        assert_eq!(
+            run_one(&mut chk, &nls, &insp, &mut pkt),
+            PacketResult::Out(0)
+        );
         // TTL 1 -> 0: drop.
         assert_eq!(run_one(&mut el, &nls, &insp, &mut pkt), PacketResult::Drop);
     }
@@ -566,7 +590,10 @@ mod tests {
         let mut el = DropBroadcasts;
         let (nls, insp) = ctx_harness();
         let mut uni = v4_frame(64);
-        assert_eq!(run_one(&mut el, &nls, &insp, &mut uni), PacketResult::Out(0));
+        assert_eq!(
+            run_one(&mut el, &nls, &insp, &mut uni),
+            PacketResult::Out(0)
+        );
         let mut bc = v4_frame(64);
         bc.data_mut()[0..6].copy_from_slice(&[0xff; 6]);
         assert_eq!(run_one(&mut el, &nls, &insp, &mut bc), PacketResult::Drop);

@@ -131,7 +131,12 @@ impl Element for ACMatch {
         2
     }
 
-    fn process(&mut self, ctx: &mut ElemCtx<'_>, pkt: &mut Packet, anno_set: &mut Anno) -> PacketResult {
+    fn process(
+        &mut self,
+        ctx: &mut ElemCtx<'_>,
+        pkt: &mut Packet,
+        anno_set: &mut Anno,
+    ) -> PacketResult {
         let verdict = if ctx.compute == ComputeMode::Full {
             let data = pkt.data();
             let payload = data.get(SCAN_OFF..).unwrap_or(&[]);
@@ -192,7 +197,9 @@ impl Element for ACMatch {
 
 impl std::fmt::Debug for ACMatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ACMatch").field("rules", &self.rules).finish()
+        f.debug_struct("ACMatch")
+            .field("rules", &self.rules)
+            .finish()
     }
 }
 
@@ -213,7 +220,12 @@ impl Element for RegexMatch {
         "RegexMatch"
     }
 
-    fn process(&mut self, ctx: &mut ElemCtx<'_>, pkt: &mut Packet, anno_set: &mut Anno) -> PacketResult {
+    fn process(
+        &mut self,
+        ctx: &mut ElemCtx<'_>,
+        pkt: &mut Packet,
+        anno_set: &mut Anno,
+    ) -> PacketResult {
         let verdict = if ctx.compute == ComputeMode::Full {
             let data = pkt.data();
             let payload = data.get(SCAN_OFF..).unwrap_or(&[]);
@@ -260,7 +272,9 @@ impl Element for RegexMatch {
 
 impl std::fmt::Debug for RegexMatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RegexMatch").field("rules", &self.rules).finish()
+        f.debug_struct("RegexMatch")
+            .field("rules", &self.rules)
+            .finish()
     }
 }
 
@@ -302,7 +316,12 @@ impl Element for IDSAlert {
         "IDSAlert"
     }
 
-    fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, anno_set: &mut Anno) -> PacketResult {
+    fn process(
+        &mut self,
+        _: &mut ElemCtx<'_>,
+        _: &mut Packet,
+        anno_set: &mut Anno,
+    ) -> PacketResult {
         if anno_set.get(anno::AC_MATCH) != 0 {
             self.counters.literal_hits.fetch_add(1, Ordering::Relaxed);
             if anno_set.get(anno::RE_MATCH) != 0 {
@@ -324,7 +343,6 @@ impl std::fmt::Debug for IDSAlert {
         write!(f, "IDSAlert")
     }
 }
-
 
 /// Errors from [`parse_snort_rules`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -392,7 +410,8 @@ pub fn parse_snort_rules(text: &str) -> Result<RuleSet, RuleParseError> {
                     msg: "content value must be quoted".to_owned(),
                     line: lno,
                 })?;
-                let bytes = decode_content(&lit).map_err(|msg| RuleParseError { msg, line: lno })?;
+                let bytes =
+                    decode_content(&lit).map_err(|msg| RuleParseError { msg, line: lno })?;
                 if bytes.is_empty() {
                     return Err(RuleParseError {
                         msg: "empty content".to_owned(),
@@ -518,7 +537,6 @@ mod tests {
         Packet::from_bytes(&f)
     }
 
-
     #[test]
     fn snort_rules_parse_and_match() {
         let rules = parse_snort_rules(
@@ -642,9 +660,10 @@ mod tests {
             for (i, p) in payloads.iter().enumerate() {
                 let got = u64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().unwrap());
                 let expect = match spec.postprocess {
-                    Postprocess::Annotation(s) if s == anno::AC_MATCH => {
-                        rules.ac().first_match(p).map_or(0, |m| m.pattern as u64 + 1)
-                    }
+                    Postprocess::Annotation(s) if s == anno::AC_MATCH => rules
+                        .ac()
+                        .first_match(p)
+                        .map_or(0, |m| m.pattern as u64 + 1),
                     _ => rules.regex_match(p).map_or(0, |i| i as u64 + 1),
                 };
                 assert_eq!(got, expect, "payload {i}");

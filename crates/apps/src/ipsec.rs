@@ -209,9 +209,13 @@ fn aes_apply(sa: &SaTable, ip_pkt: &mut [u8]) {
     }
     let dst = u32::from_be_bytes(ip_pkt[16..20].try_into().unwrap());
     let assoc = sa.for_dst(dst);
-    let iv: [u8; 16] = ip_pkt[IV_OFF - IP_OFF..IV_OFF - IP_OFF + 16].try_into().unwrap();
+    let iv: [u8; 16] = ip_pkt[IV_OFF - IP_OFF..IV_OFF - IP_OFF + 16]
+        .try_into()
+        .unwrap();
     let ct_end = len - ESP_ICV_LEN;
-    assoc.cipher.apply_keystream(&iv, &mut ip_pkt[ct_start..ct_end]);
+    assoc
+        .cipher
+        .apply_keystream(&iv, &mut ip_pkt[ct_start..ct_end]);
 }
 
 impl Element for IPsecAES {
@@ -286,7 +290,9 @@ fn hmac_apply(sa: &SaTable, ip_pkt: &mut [u8]) {
     }
     let dst = u32::from_be_bytes(ip_pkt[16..20].try_into().unwrap());
     let assoc = sa.for_dst(dst);
-    let icv = assoc.mac.mac_truncated_96(&ip_pkt[esp_start..len - ESP_ICV_LEN]);
+    let icv = assoc
+        .mac
+        .mac_truncated_96(&ip_pkt[esp_start..len - ESP_ICV_LEN]);
     ip_pkt[len - ESP_ICV_LEN..].copy_from_slice(&icv);
 }
 
@@ -339,7 +345,6 @@ impl std::fmt::Debug for IPsecAuthHMAC {
         write!(f, "IPsecAuthHMAC")
     }
 }
-
 
 /// Verifies the ESP ICV; packets failing authentication are dropped
 /// (offloadable). The receiving side of the gateway.
@@ -420,7 +425,11 @@ impl Element for IPsecAuthVerify {
                 || batch.anno(i).get(nba_core::batch::anno::RE_MATCH) == 1;
             batch.set_result(
                 i,
-                if ok { PacketResult::Out(0) } else { PacketResult::Drop },
+                if ok {
+                    PacketResult::Out(0)
+                } else {
+                    PacketResult::Drop
+                },
             );
         }
     }
@@ -515,9 +524,7 @@ impl Element for IPsecESPDecap {
         let ct_end = len - ESP_ICV_LEN;
         let pad_len = usize::from(frame[ct_end - 2]);
         let proto = frame[ct_end - 1];
-        let Some(payload_len) = (ct_end - CT_OFF)
-            .checked_sub(ESP_TRAILER_LEN + pad_len)
-        else {
+        let Some(payload_len) = (ct_end - CT_OFF).checked_sub(ESP_TRAILER_LEN + pad_len) else {
             return PacketResult::Drop;
         };
         // Shift the plaintext payload back over the ESP header + IV.
@@ -617,9 +624,18 @@ mod tests {
         let mut encap = IPsecESPEncap::new(sa.clone());
         let mut aes = IPsecAES::new(sa.clone());
         let mut auth = IPsecAuthHMAC::new(sa.clone());
-        assert_eq!(run_one(&mut encap, &nls, &insp, &mut pkt), PacketResult::Out(0));
-        assert_eq!(run_one(&mut aes, &nls, &insp, &mut pkt), PacketResult::Out(0));
-        assert_eq!(run_one(&mut auth, &nls, &insp, &mut pkt), PacketResult::Out(0));
+        assert_eq!(
+            run_one(&mut encap, &nls, &insp, &mut pkt),
+            PacketResult::Out(0)
+        );
+        assert_eq!(
+            run_one(&mut aes, &nls, &insp, &mut pkt),
+            PacketResult::Out(0)
+        );
+        assert_eq!(
+            run_one(&mut auth, &nls, &insp, &mut pkt),
+            PacketResult::Out(0)
+        );
         (pkt, sa, original)
     }
 
@@ -705,7 +721,6 @@ mod tests {
         assert_eq!(&cpu_pkt.data()[IP_OFF..], &after_auth[..]);
     }
 
-
     #[test]
     fn receive_side_round_trips_the_gateway_output() {
         // encap -> AES -> HMAC, then verify -> decrypt -> decap restores
@@ -715,9 +730,18 @@ mod tests {
         let mut verify = IPsecAuthVerify::new(sa.clone());
         let mut decrypt = IPsecDecrypt::new(sa.clone());
         let mut decap = IPsecESPDecap;
-        assert_eq!(run_one(&mut verify, &nls, &insp, &mut pkt), PacketResult::Out(0));
-        assert_eq!(run_one(&mut decrypt, &nls, &insp, &mut pkt), PacketResult::Out(0));
-        assert_eq!(run_one(&mut decap, &nls, &insp, &mut pkt), PacketResult::Out(0));
+        assert_eq!(
+            run_one(&mut verify, &nls, &insp, &mut pkt),
+            PacketResult::Out(0)
+        );
+        assert_eq!(
+            run_one(&mut decrypt, &nls, &insp, &mut pkt),
+            PacketResult::Out(0)
+        );
+        assert_eq!(
+            run_one(&mut decap, &nls, &insp, &mut pkt),
+            PacketResult::Out(0)
+        );
         assert_eq!(pkt.len(), 300);
         assert_eq!(&pkt.data()[34..], &original_payload[..]);
         let ip = nba_io::proto::ipv4::Ipv4View::parse(&pkt.data()[14..]).unwrap();
@@ -731,7 +755,10 @@ mod tests {
         pkt.data_mut()[CT_OFF + 1] ^= 0x40;
         let (nls, insp) = ctx_harness();
         let mut verify = IPsecAuthVerify::new(sa);
-        assert_eq!(run_one(&mut verify, &nls, &insp, &mut pkt), PacketResult::Drop);
+        assert_eq!(
+            run_one(&mut verify, &nls, &insp, &mut pkt),
+            PacketResult::Drop
+        );
     }
 
     #[test]
@@ -743,7 +770,10 @@ mod tests {
         let mut f = vec![0u8; 128];
         FrameBuilder::default().build_ipv4(&mut f, 128, 1, 2);
         let mut plain = Packet::from_bytes(&f);
-        assert_eq!(run_one(&mut decap, &nls, &insp, &mut plain), PacketResult::Drop);
+        assert_eq!(
+            run_one(&mut decap, &nls, &insp, &mut plain),
+            PacketResult::Drop
+        );
         // ESP packet whose (unverified) pad length is absurd.
         let (mut pkt, _, _) = {
             let sa2 = sa.clone();
@@ -756,7 +786,10 @@ mod tests {
         };
         let n = pkt.len();
         pkt.data_mut()[n - ESP_ICV_LEN - 2] = 0xff; // Pad length 255.
-        assert_eq!(run_one(&mut decap, &nls, &insp, &mut pkt), PacketResult::Drop);
+        assert_eq!(
+            run_one(&mut decap, &nls, &insp, &mut pkt),
+            PacketResult::Drop
+        );
     }
 
     #[test]

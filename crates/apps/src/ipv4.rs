@@ -12,9 +12,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
-use nba_core::element::{
-    DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess,
-};
+use nba_core::element::{DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess};
 use nba_io::proto::ether::ETHER_HDR_LEN;
 use nba_io::Packet;
 use nba_sim::{CpuProfile, GpuProfile};
@@ -187,7 +185,6 @@ impl std::fmt::Debug for RoutingTableV4 {
             .finish()
     }
 }
-
 
 /// Parses a routes file: one `prefix/len next_hop` per line, `#` comments.
 ///
@@ -370,17 +367,17 @@ mod tests {
         }
     }
 
-
     #[test]
     fn routes_file_parses_and_builds() {
-        let t = parse_routes_v4(
-            "# demo\n0.0.0.0/0 0\n10.0.0.0/8 3\n192.168.1.128/25 7 # deep\n",
-        )
-        .unwrap();
+        let t = parse_routes_v4("# demo\n0.0.0.0/0 0\n10.0.0.0/8 3\n192.168.1.128/25 7 # deep\n")
+            .unwrap();
         assert_eq!(t.len(), 3);
         let table = RoutingTableV4::build(&t);
         assert_eq!(table.lookup(u32::from_be_bytes([10, 1, 2, 3])), Some(3));
-        assert_eq!(table.lookup(u32::from_be_bytes([192, 168, 1, 200])), Some(7));
+        assert_eq!(
+            table.lookup(u32::from_be_bytes([192, 168, 1, 200])),
+            Some(7)
+        );
         assert_eq!(table.lookup(u32::from_be_bytes([8, 8, 8, 8])), Some(0));
     }
 

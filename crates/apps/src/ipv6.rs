@@ -15,9 +15,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
-use nba_core::element::{
-    DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess,
-};
+use nba_core::element::{DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess};
 use nba_io::proto::ether::ETHER_HDR_LEN;
 use nba_io::Packet;
 use nba_sim::{CpuProfile, GpuProfile};
@@ -174,8 +172,7 @@ impl RoutingTableV6 {
             });
         }
         for i in 0..n {
-            let len: u8 = *[16u8, 24, 32, 40, 48, 52, 56, 60, 64]
-                [..]
+            let len: u8 = *[16u8, 24, 32, 40, 48, 52, 56, 60, 64][..]
                 .get(rng.gen_range(0..9))
                 .unwrap();
             // Half the prefixes land in the generator's 2001:db8::/32 pool

@@ -58,10 +58,13 @@ impl Default for AppConfig {
 
 // --- Process-global table caches (startup state, excluded from timing) ---
 
+/// One process-global cache of shared startup tables keyed by their
+/// construction parameters.
+type TableCache<K, V> = OnceLock<Mutex<HashMap<K, Arc<V>>>>;
+
 /// The shared IPv4 table for `(seed, routes, ports)`.
 pub fn v4_table(seed: u64, routes: usize, hops: u16) -> Arc<RoutingTableV4> {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, usize, u16), Arc<RoutingTableV4>>>> =
-        OnceLock::new();
+    static CACHE: TableCache<(u64, usize, u16), RoutingTableV4> = OnceLock::new();
     let cache = CACHE.get_or_init(Default::default);
     let mut map = cache.lock().expect("v4 cache poisoned");
     map.entry((seed, routes, hops))
@@ -71,8 +74,7 @@ pub fn v4_table(seed: u64, routes: usize, hops: u16) -> Arc<RoutingTableV4> {
 
 /// The shared IPv6 table for `(seed, routes, ports)`.
 pub fn v6_table(seed: u64, routes: usize, hops: u16) -> Arc<RoutingTableV6> {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, usize, u16), Arc<RoutingTableV6>>>> =
-        OnceLock::new();
+    static CACHE: TableCache<(u64, usize, u16), RoutingTableV6> = OnceLock::new();
     let cache = CACHE.get_or_init(Default::default);
     let mut map = cache.lock().expect("v6 cache poisoned");
     map.entry((seed, routes, hops))
@@ -92,7 +94,7 @@ pub fn sa_table(seed: u64) -> Arc<SaTable> {
 
 /// The shared IDS rule set for `(seed, literals, regexes)`.
 pub fn rule_set(seed: u64, literals: usize, regexes: usize) -> Arc<RuleSet> {
-    static CACHE: OnceLock<Mutex<HashMap<(u64, usize, usize), Arc<RuleSet>>>> = OnceLock::new();
+    static CACHE: TableCache<(u64, usize, usize), RuleSet> = OnceLock::new();
     let cache = CACHE.get_or_init(Default::default);
     let mut map = cache.lock().expect("rules cache poisoned");
     map.entry((seed, literals, regexes))
@@ -334,7 +336,9 @@ pub fn registry(ctx: &BuildCtx, app: &AppConfig) -> ElementRegistry {
     reg.register("CheckIP6Header", |_| Ok(Box::new(CheckIP6Header)));
     reg.register("DecIPTTL", |_| Ok(Box::new(DecIPTTL)));
     reg.register("DecIP6HLIM", |_| Ok(Box::new(DecIP6HLIM)));
-    reg.register("DropBroadcasts", |_| Ok(Box::new(crate::common::DropBroadcasts)));
+    reg.register("DropBroadcasts", |_| {
+        Ok(Box::new(crate::common::DropBroadcasts))
+    });
     reg.register("Classifier", |_| Ok(Box::new(Classifier)));
     reg.register("Paint", |p: &[String]| {
         let color = num(p, "color", 1)? as u8;
@@ -372,7 +376,10 @@ pub fn registry(ctx: &BuildCtx, app: &AppConfig) -> ElementRegistry {
                 .unwrap_or_else(|| "0.5".to_owned())
                 .parse::<f64>()
                 .map_err(|e| e.to_string())?;
-            Ok(Box::new(RandomWeightedBranch::new(pm, alignment_seed(worker))))
+            Ok(Box::new(RandomWeightedBranch::new(
+                pm,
+                alignment_seed(worker),
+            )))
         });
     }
     {
@@ -387,7 +394,10 @@ pub fn registry(ctx: &BuildCtx, app: &AppConfig) -> ElementRegistry {
             let seed = num(p, "seed", app.seed)?;
             let routes = num(p, "routes", app.v4_routes as u64)? as usize;
             let ports = num(p, "ports", u64::from(app.ports))? as u16;
-            Ok(Box::new(IPLookup::new(v4_table(seed, routes, ports), ports)))
+            Ok(Box::new(IPLookup::new(
+                v4_table(seed, routes, ports),
+                ports,
+            )))
         });
     }
     {
@@ -396,7 +406,10 @@ pub fn registry(ctx: &BuildCtx, app: &AppConfig) -> ElementRegistry {
             let seed = num(p, "seed", app.seed)?;
             let routes = num(p, "routes", app.v6_routes as u64)? as usize;
             let ports = num(p, "ports", u64::from(app.ports))? as u16;
-            Ok(Box::new(LookupIP6::new(v6_table(seed, routes, ports), ports)))
+            Ok(Box::new(LookupIP6::new(
+                v6_table(seed, routes, ports),
+                ports,
+            )))
         });
     }
     {
@@ -458,7 +471,10 @@ pub fn registry(ctx: &BuildCtx, app: &AppConfig) -> ElementRegistry {
         reg.register("IDSAlert", move |p| {
             let ports = num(p, "ports", u64::from(app.ports))? as u16;
             // Config-built alert stages get their own counters.
-            Ok(Box::new(IDSAlert::new(Arc::new(AlertCounters::default()), ports)))
+            Ok(Box::new(IDSAlert::new(
+                Arc::new(AlertCounters::default()),
+                ports,
+            )))
         });
     }
     reg

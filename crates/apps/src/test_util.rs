@@ -12,7 +12,10 @@ use nba_sim::Time;
 /// Builds the context plumbing an element needs.
 pub fn ctx_harness() -> (NodeLocalStorage, SystemInspector) {
     let counters = Arc::new(Counters::default());
-    (NodeLocalStorage::new(), SystemInspector::new(vec![counters]))
+    (
+        NodeLocalStorage::new(),
+        SystemInspector::new(vec![counters]),
+    )
 }
 
 /// Runs one packet through an element with full computation enabled.

@@ -18,7 +18,11 @@ use nba_sim::Time;
 
 fn route_v4() -> impl Strategy<Value = RouteV4> {
     (any::<u32>(), 0u8..=32, 0u16..1000).prop_map(|(p, len, hop)| RouteV4 {
-        prefix: if len == 0 { 0 } else { p >> (32 - u32::from(len)) << (32 - u32::from(len)) },
+        prefix: if len == 0 {
+            0
+        } else {
+            p >> (32 - u32::from(len)) << (32 - u32::from(len))
+        },
         len,
         next_hop: hop,
     })
@@ -26,7 +30,11 @@ fn route_v4() -> impl Strategy<Value = RouteV4> {
 
 fn route_v6() -> impl Strategy<Value = RouteV6> {
     (any::<u128>(), 0u8..=64, 0u16..1000).prop_map(|(p, len, hop)| RouteV6 {
-        prefix: if len == 0 { 0 } else { p >> (128 - u32::from(len)) << (128 - u32::from(len)) },
+        prefix: if len == 0 {
+            0
+        } else {
+            p >> (128 - u32::from(len)) << (128 - u32::from(len))
+        },
         len,
         next_hop: hop,
     })

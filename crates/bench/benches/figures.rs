@@ -6,7 +6,10 @@ use nba_bench::experiments::{self, ExpOpts};
 
 fn main() {
     // `cargo bench` passes --bench; a filter argument selects one figure.
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let opts = ExpOpts::from_env();
     if args.is_empty() {
         experiments::all(opts);

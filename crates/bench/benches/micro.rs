@@ -90,5 +90,11 @@ fn bench_io(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_matching, bench_lookup, bench_io);
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_matching,
+    bench_lookup,
+    bench_io
+);
 criterion_main!(benches);

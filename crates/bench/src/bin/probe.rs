@@ -1,18 +1,81 @@
 //! Calibration probe: prints detailed counters for one configuration.
+//!
+//! Usage: `probe [app] [size] [mode] [flags...]`
+//!
+//! * `app`  — `v4` | `v6` | `ipsec` | `ids` (default `v6`)
+//! * `size` — fixed packet size in bytes (default 64)
+//! * `mode` — `cpu` | `gpu` | `alb` | a fixed offload fraction like `0.5`
+//!   (default `cpu`)
+//!
+//! Telemetry flags:
+//!
+//! * `--elements`  — per-element profile table
+//! * `--series`    — run time-series as JSONL (w-vs-time, Figures 12/13)
+//! * `--trace[=N]` — batch-lifecycle trace as JSONL (ring of N events per
+//!   worker, default 4096)
+//! * `--prom`      — the whole report in Prometheus text format
+//! * `--no-telemetry` — disable the sampler (for determinism comparisons)
 use nba_apps::{pipelines, AppConfig};
 use nba_core::lb;
 use nba_core::runtime::{des, traffic_per_port, RuntimeConfig};
+use nba_core::telemetry::{
+    self, profile_table, report_to_prometheus, samples_to_jsonl, trace_to_jsonl,
+};
 use nba_io::{IpVersion, SizeDist, TrafficConfig};
 use nba_sim::Time;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("v6");
-    let size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
-    let mode = args.get(2).map(String::as_str).unwrap_or("cpu");
+    let positional: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let which = positional.first().copied().unwrap_or("v6");
+    let size: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let mode = positional.get(2).copied().unwrap_or("cpu");
 
-    let cfg = RuntimeConfig { warmup: Time::from_ms(14), measure: Time::from_ms(28), ..RuntimeConfig::default() };
-    let app = AppConfig { ports: 8, ..AppConfig::default() };
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let show_elements = flag("--elements");
+    let show_series = flag("--series");
+    let show_prom = flag("--prom");
+    let trace_capacity: usize = args
+        .iter()
+        .find_map(|a| {
+            a.strip_prefix("--trace").map(|rest| {
+                rest.strip_prefix('=')
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or(4096)
+            })
+        })
+        .unwrap_or(0);
+
+    let mut telemetry = telemetry::TelemetryConfig {
+        trace_capacity,
+        ..Default::default()
+    };
+    if flag("--no-telemetry") {
+        telemetry = telemetry::TelemetryConfig::off();
+    }
+
+    // The `alb` mode shortens the balancer's observation interval so its
+    // hill-climb is visible within the probe's short horizon (the full
+    // Figure 12/13 sweeps use the paper's 0.2 s interval over seconds).
+    let (warmup, measure) = if mode == "alb" {
+        (Time::from_ms(10), Time::from_ms(120))
+    } else {
+        (Time::from_ms(14), Time::from_ms(28))
+    };
+    let cfg = RuntimeConfig {
+        warmup,
+        measure,
+        telemetry,
+        ..RuntimeConfig::default()
+    };
+    let app = AppConfig {
+        ports: 8,
+        ..AppConfig::default()
+    };
     let (pipeline, v6) = match which {
         "v4" => (pipelines::ipv4_router(&app), false),
         "v6" => (pipelines::ipv6_router(&app), true),
@@ -20,23 +83,75 @@ fn main() {
         "ids" => (pipelines::ids(&app).0, false),
         _ => panic!("unknown app"),
     };
-    let traffic = traffic_per_port(&cfg.topology, &TrafficConfig {
-        offered_gbps: 10.0,
-        size: SizeDist::Fixed(size),
-        ip_version: if v6 { IpVersion::V6 } else { IpVersion::V4 },
-        ..TrafficConfig::default()
-    });
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(size),
+            ip_version: if v6 { IpVersion::V6 } else { IpVersion::V4 },
+            ..TrafficConfig::default()
+        },
+    );
     let balancer: lb::SharedBalancer = match mode {
         "cpu" => lb::shared(Box::new(lb::CpuOnly)),
         "gpu" => lb::shared(Box::new(lb::GpuOnly)),
+        "alb" => lb::shared(Box::new(lb::Adaptive::new(lb::AlbConfig {
+            update_interval: Time::from_ms(1),
+            avg_window: 2,
+            min_wait: 0,
+            max_wait: 2,
+            initial_w: 0.5,
+            ..lb::AlbConfig::default()
+        }))),
         w => lb::shared(Box::new(lb::FixedFraction::new(w.parse().unwrap()))),
     };
     let r = des::run(&cfg, &pipeline, &balancer, &traffic);
-    println!("{which} {size}B {mode}: {:.2} Gbps ({:.2} Mpps)", r.tx_gbps, r.tx_mpps());
+    println!(
+        "{which} {size}B {mode}: {:.2} Gbps ({:.2} Mpps)",
+        r.tx_gbps,
+        r.tx_mpps()
+    );
     println!("  window {:?}", r.window);
-    println!("  rx_dropped {} offered {}", r.rx_dropped, r.offered_packets);
+    println!(
+        "  rx_dropped {} offered {}",
+        r.rx_dropped, r.offered_packets
+    );
     for (i, g) in r.gpu.iter().enumerate() {
-        println!("  gpu{i}: tasks {} h2d {}MB d2h {}MB kbusy {} cbusy {}", g.tasks, g.h2d_bytes/1_000_000, g.d2h_bytes/1_000_000, g.kernel_busy, g.copy_busy);
+        println!(
+            "  gpu{i}: tasks {} h2d {}MB d2h {}MB kbusy {} cbusy {}",
+            g.tasks,
+            g.h2d_bytes / 1_000_000,
+            g.d2h_bytes / 1_000_000,
+            g.kernel_busy,
+            g.copy_busy
+        );
     }
-    println!("  lat p50 {} p999 {}", r.latency.percentile(50.0), r.latency.percentile(99.9));
+    println!(
+        "  lat p50 {} p999 {}",
+        r.latency.percentile(50.0),
+        r.latency.percentile(99.9)
+    );
+    println!(
+        "  final_w {:.3} samples {} trace_events {}",
+        r.final_w,
+        r.samples.len(),
+        r.trace.len()
+    );
+
+    if show_elements {
+        println!("\n== per-element profiles (whole run) ==");
+        print!("{}", profile_table(&r.elements));
+    }
+    if show_series {
+        println!("\n== time-series (JSONL) ==");
+        print!("{}", samples_to_jsonl(&r.samples));
+    }
+    if trace_capacity > 0 {
+        println!("\n== batch-lifecycle trace (JSONL) ==");
+        print!("{}", trace_to_jsonl(&r.trace));
+    }
+    if show_prom {
+        println!("\n== prometheus ==");
+        print!("{}", report_to_prometheus(&r));
+    }
 }

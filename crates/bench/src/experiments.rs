@@ -317,7 +317,12 @@ pub fn composition(_opts: ExpOpts) -> Vec<(usize, f64, f64)> {
     let traffic = fixed(&cfg, 64, false, 0.125);
     let mut rows = Vec::new();
     for noops in 0..=9usize {
-        let r = des::run(&cfg, &pipelines::noop_chain(noops, ports), &cpu_only(), &traffic);
+        let r = des::run(
+            &cfg,
+            &pipelines::noop_chain(noops, ports),
+            &cpu_only(),
+            &traffic,
+        );
         rows.push((
             noops,
             r.latency.mean().as_us_f64(),
@@ -327,7 +332,11 @@ pub fn composition(_opts: ExpOpts) -> Vec<(usize, f64, f64)> {
     println!("== §4.2: composition overhead (no-op chain, 1 Gbps, 64 B) ==");
     let mut t = Table::new(vec!["no-ops", "mean us", "p99.9 us"]);
     for (n, mean, p999) in &rows {
-        t.row(vec![n.to_string(), format!("{mean:.2}"), format!("{p999:.2}")]);
+        t.row(vec![
+            n.to_string(),
+            format!("{mean:.2}"),
+            format!("{p999:.2}"),
+        ]);
     }
     t.print();
     println!("paper: 16.1 us baseline; ~+1 us after adding 9 no-op elements\n");
@@ -336,8 +345,11 @@ pub fn composition(_opts: ExpOpts) -> Vec<(usize, f64, f64)> {
 
 // --- Figure 11: multicore scalability ---
 
+/// One figure-11 series: `(app, gpu?, [(workers, gbps)])`.
+pub type ScalingSeries = (String, bool, Vec<(u32, f64)>);
+
 /// Figure 11: throughput vs worker threads (CPU-only and GPU-only).
-pub fn fig11(opts: ExpOpts) -> Vec<(String, bool, Vec<(u32, f64)>)> {
+pub fn fig11(opts: ExpOpts) -> Vec<ScalingSeries> {
     let workers: &[u32] = if opts.quick { &[1, 7] } else { &[1, 2, 4, 7] };
     let apps: [(&str, bool, bool); 3] = [
         ("IPv4", false, false),
@@ -400,14 +412,19 @@ pub fn fig11(opts: ExpOpts) -> Vec<(String, bool, Vec<(u32, f64)>)> {
         t.print();
         println!();
     }
-    println!("paper: near-linear CPU scaling; GPU-only saturates earlier (device-thread overhead)\n");
+    println!(
+        "paper: near-linear CPU scaling; GPU-only saturates earlier (device-thread overhead)\n"
+    );
     out
 }
 
 // --- Figure 12: CPU-only vs GPU-only by packet size ---
 
+/// One figure-12 series: `(app, [(size, cpu_gbps, gpu_gbps)])`.
+pub type SizeSweepSeries = (String, Vec<(usize, f64, f64)>);
+
 /// Figure 12: throughput by packet size for each application.
-pub fn fig12(opts: ExpOpts) -> Vec<(String, Vec<(usize, f64, f64)>)> {
+pub fn fig12(opts: ExpOpts) -> Vec<SizeSweepSeries> {
     let sizes: &[usize] = if opts.quick {
         &[64, 256, 1024]
     } else {
@@ -555,7 +572,14 @@ pub fn fig13(opts: ExpOpts) -> Vec<AlbCase> {
     }
     println!("== Figure 13: adaptive load balancing across workloads ==");
     let mut t = Table::new(vec![
-        "case", "CPU-only", "GPU-only", "manual", "w*", "ALB", "w", "ALB/manual %",
+        "case",
+        "CPU-only",
+        "GPU-only",
+        "manual",
+        "w*",
+        "ALB",
+        "w",
+        "ALB/manual %",
     ]);
     for c in &out {
         t.row(vec![
@@ -664,11 +688,17 @@ pub fn fig14(_opts: ExpOpts) -> Vec<LatencyRow> {
         }
     }
     println!("== Figure 14: round-trip latency (medium load) ==");
-    let mut t = Table::new(vec!["case", "mode", "min us", "mean us", "p50 us", "p99.9 us"]);
+    let mut t = Table::new(vec![
+        "case", "mode", "min us", "mean us", "p50 us", "p99.9 us",
+    ]);
     for r in &rows {
         t.row(vec![
             r.label.clone(),
-            if r.gpu { "GPU".to_owned() } else { "CPU".to_owned() },
+            if r.gpu {
+                "GPU".to_owned()
+            } else {
+                "CPU".to_owned()
+            },
             format!("{:.1}", r.min_us),
             format!("{:.1}", r.mean_us),
             format!("{:.1}", r.p50_us),
@@ -719,7 +749,11 @@ pub fn table3() {
 /// Aggregation-size ablation: IPsec GPU-only throughput and latency by the
 /// number of batches aggregated per offload task.
 pub fn ablation_aggregation(opts: ExpOpts) -> Vec<(usize, f64, f64)> {
-    let aggs: &[usize] = if opts.quick { &[1, 32] } else { &[1, 4, 8, 16, 32, 64] };
+    let aggs: &[usize] = if opts.quick {
+        &[1, 32]
+    } else {
+        &[1, 4, 8, 16, 32, 64]
+    };
     let app = base_app(&base_cfg());
     let pipeline = pipelines::ipsec_gateway(&app);
     let mut rows = Vec::new();
@@ -738,7 +772,9 @@ pub fn ablation_aggregation(opts: ExpOpts) -> Vec<(usize, f64, f64)> {
         t.row(vec![a.to_string(), format!("{g:.1}"), format!("{l:.1}")]);
     }
     t.print();
-    println!("paper (§3.3/§4.6): ~32 batches needed to feed the GPU; latency grows with aggregation\n");
+    println!(
+        "paper (§3.3/§4.6): ~32 batches needed to feed the GPU; latency grows with aggregation\n"
+    );
     rows
 }
 

@@ -37,6 +37,11 @@ pub mod anno {
     pub const ORIG_BITS: usize = 6;
     /// Per-batch: load-balancer decision — device index + 1, or 0 for CPU.
     pub const LB_DEVICE: usize = 0;
+    /// Per-batch: telemetry trace id, stamped at RX when batch-lifecycle
+    /// tracing is enabled (0 otherwise, and for batches born from splits).
+    /// Nothing on the processing path reads it, so stamping cannot change
+    /// behaviour.
+    pub const TRACE_ID: usize = 1;
 }
 
 /// A per-packet or per-batch annotation set.
@@ -241,11 +246,7 @@ impl PacketBatch {
 
     /// Sum of live frame bits (throughput accounting).
     pub fn frame_bits(&self) -> u64 {
-        self.slots
-            .iter()
-            .flatten()
-            .map(|p| p.frame_bits())
-            .sum()
+        self.slots.iter().flatten().map(|p| p.frame_bits()).sum()
     }
 
     /// The generation timestamp of slot `i` as virtual time.

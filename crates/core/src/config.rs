@@ -214,9 +214,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ConfigError> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 toks.push((Tok::Ident(src[start..i].to_owned()), line));

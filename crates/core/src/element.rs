@@ -76,7 +76,12 @@ pub trait Element: Send {
     /// Processes one packet (per-packet elements).
     ///
     /// The default implementation forwards to output 0.
-    fn process(&mut self, _ctx: &mut ElemCtx<'_>, _pkt: &mut Packet, _anno: &mut Anno) -> PacketResult {
+    fn process(
+        &mut self,
+        _ctx: &mut ElemCtx<'_>,
+        _pkt: &mut Packet,
+        _anno: &mut Anno,
+    ) -> PacketResult {
         PacketResult::Out(0)
     }
 
@@ -174,7 +179,9 @@ impl<'a> KernelIo<'a> {
         let read_offsets = |pos: &mut usize| {
             let mut v = Vec::with_capacity(items + 1);
             for _ in 0..=items {
-                v.push(u32::from_le_bytes(staged[*pos..*pos + 4].try_into().unwrap()));
+                v.push(u32::from_le_bytes(
+                    staged[*pos..*pos + 4].try_into().unwrap(),
+                ));
                 *pos += 4;
             }
             v
@@ -302,7 +309,11 @@ mod tests {
         let io = KernelIo::parse(&staged, &mut out);
         for i in 0..io.items {
             let r = io.item_out_range(i);
-            let src: Vec<u8> = io.item_in(i).iter().map(|b| b.to_ascii_uppercase()).collect();
+            let src: Vec<u8> = io
+                .item_in(i)
+                .iter()
+                .map(|b| b.to_ascii_uppercase())
+                .collect();
             io.output[r].copy_from_slice(&src);
         }
         assert_eq!(&out, b"ABCDE");

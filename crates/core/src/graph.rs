@@ -17,11 +17,12 @@
 //! ships them to a device thread, and [`ElementGraph::resume_offloaded`]
 //! continues the pipeline after completion.
 
-use nba_sim::CostModel;
+use nba_sim::{CostModel, Time};
 
 use crate::batch::{anno, Anno, PacketBatch, PacketResult};
 use crate::element::{ElemCtx, Element, ElementKind};
 use crate::stats::Counters;
+use crate::telemetry::{ElementProfile, ProfileAcc, TraceBuffer, TraceEvent, TraceEventKind};
 
 use nba_io::Packet;
 
@@ -89,6 +90,15 @@ pub struct ElementGraph {
     nodes: Vec<Node>,
     entry: NodeId,
     policy: BranchPolicy,
+    /// Per-node work accumulators (telemetry; always on, plain adds).
+    profiles: Vec<ProfileAcc>,
+    /// Batch-lifecycle trace ring; `None` unless tracing was enabled
+    /// (boxed so the graph stays lean, owned so the graph stays `Send`
+    /// for the live runtime).
+    trace: Option<Box<TraceBuffer>>,
+    /// Busy-time source: cycle-derived virtual time (DES) or wall clock
+    /// (live runtime).
+    wall_profiling: bool,
 }
 
 impl std::fmt::Debug for ElementGraph {
@@ -218,10 +228,14 @@ impl GraphBuilder {
                 });
             }
         }
+        let profiles = vec![ProfileAcc::default(); self.nodes.len()];
         Ok(ElementGraph {
             nodes: self.nodes,
             entry,
             policy: self.policy,
+            profiles,
+            trace: None,
+            wall_profiling: false,
         })
     }
 }
@@ -257,6 +271,62 @@ impl ElementGraph {
         self.nodes.get(id.0).and_then(|n| n.outs.get(port)).copied()
     }
 
+    /// Per-node work profiles accumulated so far (the whole run, warmup
+    /// included). Busy time is cycle-derived virtual time unless
+    /// [`ElementGraph::set_wall_profiling`] switched to the wall clock.
+    /// GPU-resumed visits count batches/packets but no busy time — the
+    /// device's share lives on the GPU timeline.
+    pub fn profiles(&self) -> Vec<ElementProfile> {
+        self.nodes
+            .iter()
+            .zip(&self.profiles)
+            .enumerate()
+            .map(|(i, (n, a))| ElementProfile {
+                node: i,
+                element: n.element.class_name(),
+                batches: a.batches,
+                packets: a.packets,
+                drops: a.drops,
+                cycles: a.cycles,
+                busy: Time::from_ns(a.busy_ns),
+            })
+            .collect()
+    }
+
+    /// Enables batch-lifecycle tracing into a bounded ring of `capacity`
+    /// events (no-op when `capacity` is 0).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        if capacity > 0 {
+            self.trace = Some(Box::new(TraceBuffer::new(capacity)));
+        }
+    }
+
+    /// `true` while tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The trace ring, so the runtime can record RX/TX/completion events
+    /// against the same buffer the traversal writes element hops into.
+    pub fn trace_mut(&mut self) -> Option<&mut TraceBuffer> {
+        self.trace.as_deref_mut()
+    }
+
+    /// Takes the accumulated trace events (arrival order), disabling
+    /// tracing.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace
+            .take()
+            .map(|b| b.into_events())
+            .unwrap_or_default()
+    }
+
+    /// Switches busy-time accounting from cycle-derived virtual time to
+    /// the wall clock (the live runtime's view).
+    pub fn set_wall_profiling(&mut self, on: bool) {
+        self.wall_profiling = on;
+    }
+
     /// Runs one batch from the entry node to completion/suspension.
     pub fn run_batch(
         &mut self,
@@ -282,7 +352,13 @@ impl ElementGraph {
         let mut outcome = RunOutcome::default();
         // The element derives per-packet results from the scattered kernel
         // output (default: everything continues out of port 0).
+        let live = batch.len() as u64;
         self.nodes[node.0].element.post_offload(ctx, &mut batch);
+        // The visit counts toward the element's profile; its busy time does
+        // not — the device's share is on the GPU timeline.
+        let acc = &mut self.profiles[node.0];
+        acc.batches += 1;
+        acc.packets += live;
         let mut work = Vec::new();
         self.route(ctx, cost, counters, node, batch, &mut work, &mut outcome);
         self.traverse(ctx, cost, counters, work, &mut outcome);
@@ -306,10 +382,23 @@ impl ElementGraph {
             let node = &mut self.nodes[nid.0];
             let is_offloadable = node.element.offload().is_some();
             if is_offloadable && batch.banno().get(anno::LB_DEVICE) > 0 {
+                if let Some(tr) = self.trace.as_deref_mut() {
+                    tr.push(TraceEvent {
+                        t: ctx.now,
+                        worker: ctx.worker as u32,
+                        batch: batch.banno().get(anno::TRACE_ID),
+                        node: Some(nid.0 as u32),
+                        kind: TraceEventKind::OffloadEnqueue,
+                        packets: batch.len() as u32,
+                    });
+                }
                 outcome.offloads.push(OffloadRequest { node: nid, batch });
                 continue;
             }
 
+            let live = batch.len() as u64;
+            let wall_start = self.wall_profiling.then(std::time::Instant::now);
+            let cycles_before = outcome.cycles;
             outcome.cycles += cost.element_call;
             match node.element.kind() {
                 ElementKind::PerBatch => {
@@ -327,8 +416,7 @@ impl ElementGraph {
                         let Some((pkt, anno_ref)) = batch.packet_and_anno_mut(i) else {
                             continue;
                         };
-                        outcome.cycles +=
-                            cost.per_packet_dispatch + profile.cycles(pkt.len());
+                        outcome.cycles += cost.per_packet_dispatch + profile.cycles(pkt.len());
                         let mut a = *anno_ref;
                         let r = node.element.process(ctx, pkt, &mut a);
                         *batch.anno_mut(i) = a;
@@ -336,15 +424,35 @@ impl ElementGraph {
                     }
                 }
             }
+            let charged = outcome.cycles - cycles_before;
+            let acc = &mut self.profiles[nid.0];
+            acc.batches += 1;
+            acc.packets += live;
+            acc.cycles += charged;
+            acc.busy_ns += match wall_start {
+                Some(t0) => t0.elapsed().as_nanos() as u64,
+                None => cost.cycles(charged).as_ns(),
+            };
+            if let Some(tr) = self.trace.as_deref_mut() {
+                tr.push(TraceEvent {
+                    t: ctx.now,
+                    worker: ctx.worker as u32,
+                    batch: batch.banno().get(anno::TRACE_ID),
+                    node: Some(nid.0 as u32),
+                    kind: TraceEventKind::Element,
+                    packets: live as u32,
+                });
+            }
             self.route(ctx, cost, counters, nid, batch, &mut work, outcome);
         }
     }
 
     /// Applies per-packet results: drops, then branch handling, then pushes
     /// continuation batches onto the worklist.
+    #[allow(clippy::too_many_arguments)]
     fn route(
         &mut self,
-        _ctx: &mut ElemCtx<'_>,
+        ctx: &mut ElemCtx<'_>,
         cost: &CostModel,
         counters: &Counters,
         nid: NodeId,
@@ -362,12 +470,14 @@ impl ElementGraph {
         // 1. Apply drops and count per-port populations.
         let mut counts = vec![0u64; ports];
         let mut port_of: Vec<(usize, u8)> = Vec::new();
+        let mut node_drops = 0u64;
         for i in batch.live_indices().collect::<Vec<_>>() {
             match batch.result(i) {
                 PacketResult::Drop => {
                     batch.mask(i);
                     outcome.cycles += cost.drop_per_packet;
                     outcome.drops += 1;
+                    node_drops += 1;
                     Counters::add(&counters.dropped, 1);
                 }
                 PacketResult::Out(p) => {
@@ -375,6 +485,19 @@ impl ElementGraph {
                     counts[usize::from(p)] += 1;
                     port_of.push((i, p));
                 }
+            }
+        }
+        if node_drops > 0 {
+            self.profiles[nid.0].drops += node_drops;
+            if let Some(tr) = self.trace.as_deref_mut() {
+                tr.push(TraceEvent {
+                    t: ctx.now,
+                    worker: ctx.worker as u32,
+                    batch: batch.banno().get(anno::TRACE_ID),
+                    node: Some(nid.0 as u32),
+                    kind: TraceEventKind::Drop,
+                    packets: node_drops as u32,
+                });
             }
         }
         if batch.is_empty() {
@@ -394,6 +517,16 @@ impl ElementGraph {
         }
 
         // 2. A real branch: reorganize per policy.
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.push(TraceEvent {
+                t: ctx.now,
+                worker: ctx.worker as u32,
+                batch: batch.banno().get(anno::TRACE_ID),
+                node: Some(nid.0 as u32),
+                kind: TraceEventKind::Branch,
+                packets: batch.len() as u32,
+            });
+        }
         match self.policy {
             BranchPolicy::SplitAlways => {
                 // New batch per populated port; release the input batch.
@@ -428,6 +561,24 @@ impl ElementGraph {
                 // Reuse the input batch for the *predicted* port; packets on
                 // other ports move into fresh batches, their slots masked.
                 let predicted = node.predicted.min((ports - 1) as u8);
+                let diverged: u64 = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(p, _)| p != usize::from(predicted))
+                    .map(|(_, &c)| c)
+                    .sum();
+                if diverged > 0 {
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        tr.push(TraceEvent {
+                            t: ctx.now,
+                            worker: ctx.worker as u32,
+                            batch: batch.banno().get(anno::TRACE_ID),
+                            node: Some(nid.0 as u32),
+                            kind: TraceEventKind::BranchMiss,
+                            packets: diverged as u32,
+                        });
+                    }
+                }
                 let mut per_port: Vec<Option<PacketBatch>> = (0..ports).map(|_| None).collect();
                 for &(i, p) in &port_of {
                     if p == predicted {
@@ -662,9 +813,14 @@ mod tests {
             fn output_count(&self) -> usize {
                 2
             }
-            fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, _: &mut Anno) -> PacketResult {
+            fn process(
+                &mut self,
+                _: &mut ElemCtx<'_>,
+                _: &mut Packet,
+                _: &mut Anno,
+            ) -> PacketResult {
                 self.i += 1;
-                PacketResult::Out(u8::from(self.i % 10 == 0))
+                PacketResult::Out(u8::from(self.i.is_multiple_of(10)))
             }
         }
         let mut gb = GraphBuilder::new();
@@ -699,7 +855,12 @@ mod tests {
             fn output_count(&self) -> usize {
                 2
             }
-            fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, _: &mut Anno) -> PacketResult {
+            fn process(
+                &mut self,
+                _: &mut ElemCtx<'_>,
+                _: &mut Packet,
+                _: &mut Anno,
+            ) -> PacketResult {
                 self.i += 1;
                 if self.batch == 0 {
                     PacketResult::Out(1)

@@ -305,8 +305,8 @@ impl LoadBalancer for LatencyBounded {
             // Over budget: step towards the CPU instead of hill-climbing,
             // and bias the inner walker downwards so it does not bounce
             // straight back.
-            let step_due = now.saturating_sub(self.inner.last_obs_time)
-                >= self.inner.cfg.update_interval;
+            let step_due =
+                now.saturating_sub(self.inner.last_obs_time) >= self.inner.cfg.update_interval;
             if step_due && self.inner.w > 0.0 {
                 self.inner.w = (self.inner.w - self.inner.cfg.delta).max(0.0);
                 self.inner.dir = -1.0;
@@ -499,7 +499,6 @@ mod tests {
             assert!((0.0..=1.0).contains(&w));
         }
     }
-
 
     #[test]
     fn latency_bounded_steps_down_under_violation() {

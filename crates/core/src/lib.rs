@@ -16,6 +16,8 @@
 //! * [`lb`] — load balancers, including the paper's adaptive algorithm,
 //! * [`nls`] — node-local storage for shared read-mostly tables,
 //! * [`stats`] — counters, the system inspector, latency histograms,
+//! * [`telemetry`] — per-element profiles, run time-series, batch-lifecycle
+//!   traces, and JSONL/Prometheus exporters,
 //! * [`runtime`] — the discrete-event runtime (all experiments) and a live
 //!   multi-threaded runtime.
 
@@ -28,6 +30,7 @@ pub mod nls;
 pub mod offload;
 pub mod runtime;
 pub mod stats;
+pub mod telemetry;
 
 pub use batch::{anno, Anno, PacketBatch, PacketResult};
 pub use config::{build_graph, ConfigError, ElementRegistry};
@@ -43,3 +46,6 @@ pub use lb::{
 pub use nls::NodeLocalStorage;
 pub use runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
 pub use stats::{Counters, LatencyHistogram, Snapshot, SystemInspector};
+pub use telemetry::{
+    ElementProfile, TelemetryConfig, TimeSample, TraceBuffer, TraceEvent, TraceEventKind,
+};

@@ -154,7 +154,11 @@ mod tests {
         Arc::new(|io: KernelIo<'_>| {
             for i in 0..io.items {
                 let r = io.item_out_range(i);
-                let src: Vec<u8> = io.item_in(i).iter().map(|b| b.to_ascii_uppercase()).collect();
+                let src: Vec<u8> = io
+                    .item_in(i)
+                    .iter()
+                    .map(|b| b.to_ascii_uppercase())
+                    .collect();
                 io.output[r].copy_from_slice(&src);
             }
         })
@@ -262,7 +266,7 @@ mod tests {
             postprocess: Postprocess::Annotation(0),
         };
         // Packet shorter than the offset contributes an empty item.
-        let batches = vec![batch_with(&[&[9u8, 9], &[0u8, 0, 0, 0, 7, 7]])];
+        let batches = [batch_with(&[&[9u8, 9], &[0u8, 0, 0, 0, 7, 7]])];
         let refs: Vec<&PacketBatch> = batches.iter().collect();
         let staged = stage(&spec, &refs);
         assert_eq!(staged.items, 2);

@@ -22,7 +22,12 @@ use crate::lb::SharedBalancer;
 use crate::nls::NodeLocalStorage;
 use crate::offload::{self, CompletedTask, OffloadTask};
 use crate::runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
-use crate::stats::{Counters, LatencyHistogram, SystemInspector};
+use crate::stats::{Counters, LatencyHistogram, Snapshot, SystemInspector};
+use crate::telemetry::{
+    merge_profiles, ElementProfile, TimeSample, TraceBuffer, TraceEvent, TraceEventKind,
+};
+
+use nba_gpu::TimelineStats;
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -39,8 +44,9 @@ struct SourceEntity {
 impl Entity for SourceEntity {
     fn step(&mut self, now: Time, _ctx: &mut Ctx) -> Wake {
         let port = Rc::clone(&self.port);
-        self.gen
-            .generate(now, &self.pool, &mut |p: Packet| port.borrow_mut().deliver(p));
+        self.gen.generate(now, &self.pool, &mut |p: Packet| {
+            port.borrow_mut().deliver(p)
+        });
         if now >= self.horizon {
             Wake::Done
         } else {
@@ -51,6 +57,15 @@ impl Entity for SourceEntity {
     fn name(&self) -> &str {
         "traffic-source"
     }
+}
+
+/// Telemetry that leaves the simulation when the engine is torn down: the
+/// engine owns the worker entities (and with them the graphs holding the
+/// per-element profiles and trace rings), so workers flush here on `Drop`.
+#[derive(Default)]
+struct TelemetrySink {
+    profiles: Vec<Vec<ElementProfile>>,
+    traces: Vec<Vec<TraceEvent>>,
 }
 
 /// One simulated worker core running a pipeline replica.
@@ -76,6 +91,21 @@ struct WorkerEntity {
     /// The worker core is busy until this time; early wakes are deferred
     /// (the engine may deliver completion wakes mid-"computation").
     busy_until: Time,
+    /// Where profiles/traces go when the engine drops this worker.
+    sink: Rc<RefCell<TelemetrySink>>,
+    /// Next batch trace id (only advances while tracing is enabled).
+    trace_seq: u64,
+}
+
+impl Drop for WorkerEntity {
+    fn drop(&mut self) {
+        let mut sink = self.sink.borrow_mut();
+        sink.profiles.push(self.graph.profiles());
+        let trace = self.graph.take_trace();
+        if !trace.is_empty() {
+            sink.traces.push(trace);
+        }
+    }
 }
 
 impl WorkerEntity {
@@ -87,11 +117,24 @@ impl WorkerEntity {
         now: Time,
         cycles_before: u64,
         outcome: RunOutcome,
+        trace_batch: u64,
         ctx: &mut Ctx,
     ) -> u64 {
         let mut cycles = outcome.cycles;
         let cost = &self.cfg.cost;
         let tx_at = now + cost.cycles(cycles_before + cycles);
+        if !outcome.tx.is_empty() {
+            if let Some(tr) = self.graph.trace_mut() {
+                tr.push(TraceEvent {
+                    t: now,
+                    worker: self.id as u32,
+                    batch: trace_batch,
+                    node: None,
+                    kind: TraceEventKind::Tx,
+                    packets: outcome.tx.len() as u32,
+                });
+            }
+        }
         // Transmit packets that reached the pipeline exit.
         let mut burst_ports = 0u64;
         for (pkt, anno_set) in outcome.tx {
@@ -109,9 +152,8 @@ impl WorkerEntity {
                 };
                 Counters::add(&self.counters.tx_frame_bits, bits);
                 if now >= self.warmup_until {
-                    let lat = done_at.saturating_sub(Time::from_ps(
-                        anno_set.get(anno::TIMESTAMP),
-                    )) + self.cfg.external_latency;
+                    let lat = done_at.saturating_sub(Time::from_ps(anno_set.get(anno::TIMESTAMP)))
+                        + self.cfg.external_latency;
                     self.latency.borrow_mut().record(lat);
                     self.counters.observe_latency(lat.as_ns());
                 }
@@ -153,6 +195,17 @@ impl Entity for WorkerEntity {
         while let Some(done) = self.completions.pop() {
             did_work = true;
             cycles += cost.completion_check;
+            let trace_batch = done.batch.banno().get(anno::TRACE_ID);
+            if let Some(tr) = self.graph.trace_mut() {
+                tr.push(TraceEvent {
+                    t: now,
+                    worker: self.id as u32,
+                    batch: trace_batch,
+                    node: Some(done.node.0 as u32),
+                    kind: TraceEventKind::OffloadComplete,
+                    packets: done.batch.len() as u32,
+                });
+            }
             let mut ectx = ElemCtx {
                 now,
                 compute: self.cfg.compute,
@@ -167,7 +220,7 @@ impl Entity for WorkerEntity {
                 done.node,
                 done.batch,
             );
-            cycles += self.handle_outcome(now, cycles, outcome, ctx);
+            cycles += self.handle_outcome(now, cycles, outcome, trace_batch, ctx);
         }
 
         // 2. Poll RX queues round-robin and fetch one IO burst — unless the
@@ -213,6 +266,25 @@ impl Entity for WorkerEntity {
             }
             cycles += cost.batch_alloc;
             Counters::add(&self.counters.batches, 1);
+            let mut trace_batch = 0;
+            if self.graph.trace_enabled() {
+                // Stamp a unique id so the batch's lifecycle can be followed
+                // through the trace (nothing on the processing path reads
+                // the slot, so stamping cannot change behaviour).
+                self.trace_seq += 1;
+                trace_batch = ((self.id as u64 + 1) << 40) | self.trace_seq;
+                batch.banno_mut().set(anno::TRACE_ID, trace_batch);
+                if let Some(tr) = self.graph.trace_mut() {
+                    tr.push(TraceEvent {
+                        t: now,
+                        worker: self.id as u32,
+                        batch: trace_batch,
+                        node: None,
+                        kind: TraceEventKind::Rx,
+                        packets: batch.len() as u32,
+                    });
+                }
+            }
             let mut ectx = ElemCtx {
                 now,
                 compute: self.cfg.compute,
@@ -223,7 +295,7 @@ impl Entity for WorkerEntity {
             let outcome = self
                 .graph
                 .run_batch(&mut ectx, &cost, &self.counters, batch);
-            cycles += self.handle_outcome(now, cycles, outcome, ctx);
+            cycles += self.handle_outcome(now, cycles, outcome, trace_batch, ctx);
         }
         self.busy_until = now + cost.cycles(cycles);
         Wake::At(self.busy_until)
@@ -263,6 +335,9 @@ struct DeviceEntity {
     counters: Arc<Counters>,
     /// The device-thread core is busy until this time.
     busy_until: Time,
+    /// Batch-lifecycle trace ring shared with the run assembly (`None`
+    /// unless tracing is enabled).
+    trace: Option<Rc<RefCell<TraceBuffer>>>,
 }
 
 impl DeviceEntity {
@@ -274,8 +349,25 @@ impl DeviceEntity {
 
 impl DeviceEntity {
     fn flush(&mut self, now: Time, cycles: &mut u64, node: usize, tasks: Vec<OffloadTask>) {
+        if let Some(tr) = &self.trace {
+            let mut tr = tr.borrow_mut();
+            for t in &tasks {
+                tr.push(TraceEvent {
+                    t: now,
+                    worker: t.worker as u32,
+                    batch: t.batch.banno().get(anno::TRACE_ID),
+                    node: Some(node as u32),
+                    kind: TraceEventKind::OffloadLaunch,
+                    packets: t.batch.len() as u32,
+                });
+            }
+        }
         let cost = &self.cfg.cost;
-        let spec = self.specs.get(&node).expect("offloadable node spec").clone();
+        let spec = self
+            .specs
+            .get(&node)
+            .expect("offloadable node spec")
+            .clone();
         // Datablock reuse: a fused follower runs on the GPU-resident data
         // in the same round trip (one H2D, one D2H, two kernels).
         let fused = self
@@ -302,8 +394,10 @@ impl DeviceEntity {
         let skip = spec.heavy && self.cfg.compute == ComputeMode::HeadersOnly;
         let kernel = spec.kernel.clone();
         let fused_kernel = fused.as_ref().map(|(_, s)| s.kernel.clone());
-        let lane_ns =
-            staged.lane_ns + fused.as_ref().map_or(0.0, |(_, s)| chained_lane_ns(s, &refs));
+        let lane_ns = staged.lane_ns
+            + fused
+                .as_ref()
+                .map_or(0.0, |(_, s)| chained_lane_ns(s, &refs));
         // Offsets header length: everything before the item bytes.
         let hdr_len = staged.input.len() - staged.in_bytes;
         let timing = {
@@ -374,8 +468,11 @@ impl Entity for DeviceEntity {
                     + (cost.postproc_per_byte * t.out_bytes as f64) as u64;
                 let spec = self.specs.get(&t.node.0).expect("spec").clone();
                 if !t.skipped_kernel {
-                    let mut only: Vec<PacketBatch> =
-                        t.batches.iter_mut().map(|(_, b)| std::mem::take(b)).collect();
+                    let mut only: Vec<PacketBatch> = t
+                        .batches
+                        .iter_mut()
+                        .map(|(_, b)| std::mem::take(b))
+                        .collect();
                     offload::scatter(&spec, &mut only, &t.output);
                     for ((_, slot), b) in t.batches.iter_mut().zip(only) {
                         *slot = b;
@@ -408,7 +505,10 @@ impl Entity for DeviceEntity {
                 break;
             };
             cycles += cost.offload_dequeue;
-            let entry = self.agg.entry(task.node.0).or_insert_with(|| (now, Vec::new()));
+            let entry = self
+                .agg
+                .entry(task.node.0)
+                .or_insert_with(|| (now, Vec::new()));
             if entry.1.is_empty() {
                 entry.0 = now;
             }
@@ -474,6 +574,70 @@ impl Entity for DeviceEntity {
 
     fn name(&self) -> &str {
         "device-thread"
+    }
+}
+
+/// A read-only observer recording the run time-series (the Figure 12/13
+/// traces). It is added after every other entity, so at equal timestamps it
+/// runs last — and since it only reads counters, port statistics, GPU
+/// timelines, and the balancer, it cannot perturb the simulation: a run
+/// with the sampler produces bit-identical results to one without.
+struct SamplerEntity {
+    interval: Time,
+    horizon: Time,
+    inspector: SystemInspector,
+    balancer: SharedBalancer,
+    ports: Vec<PortHandle>,
+    gpus: Vec<Rc<RefCell<Gpu>>>,
+    prev: Snapshot,
+    prev_gpu: Vec<TimelineStats>,
+    last_t: Time,
+    samples: Rc<RefCell<Vec<TimeSample>>>,
+}
+
+impl Entity for SamplerEntity {
+    fn step(&mut self, now: Time, _ctx: &mut Ctx) -> Wake {
+        let snap = self.inspector.snapshot();
+        let gpu_now: Vec<TimelineStats> = self.gpus.iter().map(|g| g.borrow().stats()).collect();
+        if now > self.last_t {
+            let win = now - self.last_t;
+            let secs = win.as_secs_f64();
+            let w = snap - self.prev;
+            let rx_dropped: u64 = self
+                .ports
+                .iter()
+                .map(|p| p.borrow().counters().rx_dropped)
+                .sum();
+            let gpu_busy: Vec<f64> = gpu_now
+                .iter()
+                .zip(&self.prev_gpu)
+                .map(|(cur, prev)| cur.delta(prev).kernel_busy_fraction(win))
+                .collect();
+            self.samples.borrow_mut().push(TimeSample {
+                t: now,
+                tx_packets: snap.tx_packets,
+                tx_mpps: w.tx_packets as f64 / secs / 1e6,
+                tx_gbps: w.tx_frame_bits as f64 / secs / 1e9,
+                dropped: snap.dropped,
+                rx_dropped,
+                latency_ewma_ns: self.inspector.worst_latency_ewma_ns(),
+                offloaded_batches: snap.offloaded_batches,
+                offload_fraction: self.balancer.lock().offload_fraction(),
+                gpu_busy,
+            });
+        }
+        self.prev = snap;
+        self.prev_gpu = gpu_now;
+        self.last_t = now;
+        if now >= self.horizon {
+            Wake::Done
+        } else {
+            Wake::At((now + self.interval).min(self.horizon))
+        }
+    }
+
+    fn name(&self) -> &str {
+        "telemetry-sampler"
     }
 }
 
@@ -550,8 +714,9 @@ pub fn run_with_sources(
     // Queues between workers and device threads.
     let offload_qs: Vec<SimQueue<OffloadTask>> =
         (0..sockets).map(|_| SimQueue::unbounded()).collect();
-    let completion_qs: Vec<SimQueue<CompletedTask>> =
-        (0..total_workers).map(|_| SimQueue::bounded(8192)).collect();
+    let completion_qs: Vec<SimQueue<CompletedTask>> = (0..total_workers)
+        .map(|_| SimQueue::bounded(8192))
+        .collect();
 
     // Build pipeline replicas and capture the offload specs from a replica.
     let latencies: Vec<Rc<RefCell<LatencyHistogram>>> = (0..total_workers)
@@ -567,7 +732,9 @@ pub fn run_with_sources(
             balancer: balancer.clone(),
             policy: cfg.branch_policy,
         };
-        graphs.push(build(&bctx));
+        let mut g = build(&bctx);
+        g.enable_trace(cfg.telemetry.trace_capacity);
+        graphs.push(g);
     }
     let mut specs: HashMap<usize, OffloadSpec> = HashMap::new();
     let mut fuse_next: HashMap<usize, usize> = HashMap::new();
@@ -611,6 +778,13 @@ pub fn run_with_sources(
         .collect();
     let device_ids: Vec<EntityId> = (0..sockets).map(|s| EntityId(total_workers + s)).collect();
 
+    // Telemetry plumbing: the drop-time sink for worker-held state, the
+    // device-side trace ring, and the sampler's output vector.
+    let sink = Rc::new(RefCell::new(TelemetrySink::default()));
+    let device_trace: Option<Rc<RefCell<TraceBuffer>>> = (cfg.telemetry.trace_capacity > 0)
+        .then(|| Rc::new(RefCell::new(TraceBuffer::new(cfg.telemetry.trace_capacity))));
+    let samples: Rc<RefCell<Vec<TimeSample>>> = Rc::new(RefCell::new(Vec::new()));
+
     // Workers.
     for w in 0..total_workers {
         let socket = w / wps;
@@ -637,6 +811,8 @@ pub fn run_with_sources(
             latency: latencies[w].clone(),
             warmup_until: cfg.warmup,
             busy_until: Time::ZERO,
+            sink: sink.clone(),
+            trace_seq: 0,
         };
         let id = engine.add(Box::new(entity), Time::ZERO);
         debug_assert_eq!(id.0, w);
@@ -658,6 +834,7 @@ pub fn run_with_sources(
             completions,
             counters: counters[s * wps].clone(),
             busy_until: Time::ZERO,
+            trace: device_trace.clone(),
         };
         let id = engine.add_idle(Box::new(entity));
         debug_assert_eq!(id, device_ids[s]);
@@ -674,6 +851,24 @@ pub fn run_with_sources(
             pool: pools[socket].clone(),
             window: cfg.gen_window,
             horizon,
+        };
+        engine.add(Box::new(entity), Time::ZERO);
+    }
+
+    // The time-series sampler, added last: at equal timestamps it observes
+    // the state *after* every worker/device/source has acted.
+    if let Some(interval) = cfg.telemetry.sample_interval {
+        let entity = SamplerEntity {
+            interval,
+            horizon,
+            inspector: inspector.clone(),
+            balancer: balancer.clone(),
+            ports: ports.clone(),
+            gpus: gpus.clone(),
+            prev: Snapshot::default(),
+            prev_gpu: vec![TimelineStats::default(); sockets],
+            last_t: Time::ZERO,
+            samples: samples.clone(),
         };
         engine.add(Box::new(entity), Time::ZERO);
     }
@@ -707,6 +902,27 @@ pub fn run_with_sources(
     }
     let offered_packets = offered_end - offered_start;
 
+    // Tear the engine down so worker entities flush their telemetry.
+    drop(engine);
+    let sink = Rc::try_unwrap(sink)
+        .ok()
+        .expect("telemetry sink uniquely owned after engine teardown")
+        .into_inner();
+    let elements = merge_profiles(sink.profiles);
+    let mut trace: Vec<TraceEvent> = sink.traces.into_iter().flatten().collect();
+    if let Some(dt) = device_trace {
+        trace.extend(
+            Rc::try_unwrap(dt)
+                .expect("device trace uniquely owned after engine teardown")
+                .into_inner()
+                .into_events(),
+        );
+    }
+    trace.sort_by_key(|e| e.t);
+    let samples = Rc::try_unwrap(samples)
+        .expect("sample vector uniquely owned after engine teardown")
+        .into_inner();
+
     RunReport {
         duration: dur,
         tx_gbps: window.tx_frame_bits as f64 / dur.as_secs_f64() / 1e9,
@@ -718,5 +934,9 @@ pub fn run_with_sources(
         latency,
         final_w: balancer.lock().offload_fraction(),
         gpu: gpus.iter().map(|g| g.borrow().stats()).collect(),
+        elements,
+        samples,
+        trace,
+        totals: end,
     }
 }

@@ -19,6 +19,7 @@ use crate::graph::{BranchPolicy, ElementGraph};
 use crate::lb::SharedBalancer;
 use crate::nls::NodeLocalStorage;
 use crate::stats::{LatencyHistogram, Snapshot};
+use crate::telemetry::{ElementProfile, TelemetryConfig, TimeSample, TraceEvent};
 
 /// Context available to pipeline builders.
 pub struct BuildCtx {
@@ -88,6 +89,10 @@ pub struct RuntimeConfig {
     pub warmup: Time,
     /// Measurement window length.
     pub measure: Time,
+    /// Telemetry: time-series sampling interval and trace capacity.
+    /// Telemetry never perturbs the simulation — a run produces identical
+    /// throughput with it on or off.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -112,6 +117,7 @@ impl Default for RuntimeConfig {
             external_latency: Time::from_us(14),
             warmup: Time::from_ms(20),
             measure: Time::from_ms(50),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -160,6 +166,17 @@ pub struct RunReport {
     pub final_w: f64,
     /// Per-GPU busy statistics.
     pub gpu: Vec<nba_gpu::TimelineStats>,
+    /// Per-element work profiles, merged across workers and sorted by node
+    /// (whole run, warmup included).
+    pub elements: Vec<ElementProfile>,
+    /// Periodic samples over the whole run (empty when sampling is off).
+    pub samples: Vec<TimeSample>,
+    /// Batch-lifecycle trace events, merged across workers/devices and
+    /// sorted by time (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+    /// Whole-run counter totals (for reconciling element profiles against
+    /// aggregate counters).
+    pub totals: Snapshot,
 }
 
 impl RunReport {

@@ -39,10 +39,20 @@ impl Counters {
     }
 
     /// Folds one latency sample into the EWMA (alpha = 1/16).
+    ///
+    /// Uses a CAS loop rather than separate load/store so that concurrent
+    /// samples from live-runtime workers are never silently dropped: each
+    /// successful update is built from the value actually in the cell.
     pub fn observe_latency(&self, ns: u64) {
-        let cur = self.latency_ewma_ns.load(Ordering::Relaxed);
-        let next = if cur == 0 { ns } else { cur - cur / 16 + ns / 16 };
-        self.latency_ewma_ns.store(next, Ordering::Relaxed);
+        let _ = self
+            .latency_ewma_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(if cur == 0 {
+                    ns
+                } else {
+                    cur - cur / 16 + ns / 16
+                })
+            });
     }
 
     /// Reads with relaxed ordering.
@@ -77,17 +87,20 @@ pub struct Snapshot {
 impl std::ops::Sub for Snapshot {
     type Output = Snapshot;
 
+    /// Field-wise saturating difference. Saturating rather than panicking:
+    /// windows are taken over relaxed atomics, so a field read can lag a
+    /// sibling by a few increments and momentarily run "backwards".
     fn sub(self, rhs: Snapshot) -> Snapshot {
         Snapshot {
-            rx_packets: self.rx_packets - rhs.rx_packets,
-            tx_packets: self.tx_packets - rhs.tx_packets,
-            tx_frame_bits: self.tx_frame_bits - rhs.tx_frame_bits,
-            dropped: self.dropped - rhs.dropped,
-            batches: self.batches - rhs.batches,
-            split_allocs: self.split_allocs - rhs.split_allocs,
-            offloaded_batches: self.offloaded_batches - rhs.offloaded_batches,
-            cpu_processed: self.cpu_processed - rhs.cpu_processed,
-            gpu_processed: self.gpu_processed - rhs.gpu_processed,
+            rx_packets: self.rx_packets.saturating_sub(rhs.rx_packets),
+            tx_packets: self.tx_packets.saturating_sub(rhs.tx_packets),
+            tx_frame_bits: self.tx_frame_bits.saturating_sub(rhs.tx_frame_bits),
+            dropped: self.dropped.saturating_sub(rhs.dropped),
+            batches: self.batches.saturating_sub(rhs.batches),
+            split_allocs: self.split_allocs.saturating_sub(rhs.split_allocs),
+            offloaded_batches: self.offloaded_batches.saturating_sub(rhs.offloaded_batches),
+            cpu_processed: self.cpu_processed.saturating_sub(rhs.cpu_processed),
+            gpu_processed: self.gpu_processed.saturating_sub(rhs.gpu_processed),
         }
     }
 }
@@ -394,5 +407,57 @@ mod tests {
     fn bad_percentile_panics() {
         let h = LatencyHistogram::new();
         let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn snapshot_subtraction_saturates() {
+        let newer = Snapshot {
+            tx_packets: 10,
+            ..Snapshot::default()
+        };
+        let older = Snapshot {
+            tx_packets: 25,
+            dropped: 3,
+            ..Snapshot::default()
+        };
+        let w = newer - older;
+        assert_eq!(w.tx_packets, 0);
+        assert_eq!(w.dropped, 0);
+    }
+
+    #[test]
+    fn concurrent_latency_samples_are_not_lost() {
+        // With identical samples the EWMA is a fixed point: once the cell
+        // holds `c`, folding in another `c` yields `c - c/16 + c/16 = c`
+        // exactly (c divisible by 16). Under the old load/store pair a race
+        // could publish a half-applied value; under CAS every thread's
+        // update composes, so the final value must be exactly `c`.
+        let c = Arc::new(Counters::default());
+        c.observe_latency(1600);
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.observe_latency(1600);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(Counters::get(&c.latency_ewma_ns), 1600);
+    }
+
+    #[test]
+    fn ewma_converges_toward_recent_samples() {
+        let c = Counters::default();
+        c.observe_latency(32_000);
+        for _ in 0..200 {
+            c.observe_latency(1_600);
+        }
+        let v = Counters::get(&c.latency_ewma_ns);
+        assert!(v < 2_000, "EWMA failed to track recent samples: {v}");
     }
 }

@@ -1,0 +1,598 @@
+//! Telemetry: per-element profiles, run time-series, batch-lifecycle
+//! traces, and dependency-free exporters.
+//!
+//! Three observation layers, all designed to never perturb the simulation:
+//!
+//! * **Per-element profiles** — every [`crate::graph::ElementGraph`] node
+//!   accumulates batches, packets, drops, and busy time as it processes
+//!   (virtual time in the DES runtime, wall time in the live runtime).
+//!   Always on; the accumulators are plain adds on the traversal path.
+//! * **Run time-series** — a read-only sampler records a [`TimeSample`]
+//!   every [`TelemetryConfig::sample_interval`]: windowed throughput, drop
+//!   counts, the latency EWMA, per-GPU busy fractions, and the shared
+//!   balancer's offloading fraction `w` (the Figure 12/13 traces).
+//! * **Batch-lifecycle traces** — an opt-in bounded ring of
+//!   [`TraceEvent`]s following batches from RX through element hops,
+//!   branch misses, and the offload round trip to TX. Zero overhead when
+//!   [`TelemetryConfig::trace_capacity`] is 0 (the buffer does not exist).
+//!
+//! Exporters are dependency-free: JSONL writers for each stream and a
+//! Prometheus text rendering of a [`crate::runtime::RunReport`].
+//! Determinism contract: a run with telemetry fully enabled produces a
+//! bit-identical throughput report to the same run with it disabled —
+//! observation only reads simulation state and writes side tables.
+
+use nba_sim::Time;
+
+use crate::runtime::RunReport;
+
+/// Telemetry knobs of a run (part of [`crate::runtime::RuntimeConfig`]).
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Time-series sampling interval; `None` disables the sampler.
+    pub sample_interval: Option<Time>,
+    /// Capacity (events) of each batch-lifecycle trace ring; 0 disables
+    /// tracing entirely — no buffers are allocated, no ids are stamped.
+    pub trace_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_interval: Some(Time::from_ms(2)),
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off: no sampler, no tracing (profiles are always on).
+    pub fn off() -> TelemetryConfig {
+        TelemetryConfig {
+            sample_interval: None,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Work accumulated by one element graph node (internal accumulator; the
+/// exported form is [`ElementProfile`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ProfileAcc {
+    pub batches: u64,
+    pub packets: u64,
+    pub drops: u64,
+    pub cycles: u64,
+    pub busy_ns: u64,
+}
+
+/// Per-element work totals over a whole run (warmup included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementProfile {
+    /// Node index in the element graph.
+    pub node: usize,
+    /// Element class name.
+    pub element: &'static str,
+    /// Batches the element processed (CPU-side visits).
+    pub batches: u64,
+    /// Packets presented to the element.
+    pub packets: u64,
+    /// Packets the element dropped.
+    pub drops: u64,
+    /// Modeled CPU cycles charged while the element held the batch.
+    pub cycles: u64,
+    /// Busy time: virtual (cycle-derived) in the DES runtime, wall-clock
+    /// in the live runtime.
+    pub busy: Time,
+}
+
+/// Merges per-worker profile lists into per-node totals (summed across
+/// replicas, ordered by node index).
+pub fn merge_profiles(
+    per_worker: impl IntoIterator<Item = Vec<ElementProfile>>,
+) -> Vec<ElementProfile> {
+    let mut merged: Vec<ElementProfile> = Vec::new();
+    for profiles in per_worker {
+        for p in profiles {
+            match merged.iter_mut().find(|m| m.node == p.node) {
+                Some(m) => {
+                    m.batches += p.batches;
+                    m.packets += p.packets;
+                    m.drops += p.drops;
+                    m.cycles += p.cycles;
+                    m.busy += p.busy;
+                }
+                None => merged.push(p),
+            }
+        }
+    }
+    merged.sort_by_key(|p| p.node);
+    merged
+}
+
+/// One point of the run time-series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSample {
+    /// Sample time: virtual in the DES runtime, elapsed wall time in the
+    /// live runtime.
+    pub t: Time,
+    /// Cumulative packets transmitted at `t` (monotone).
+    pub tx_packets: u64,
+    /// Transmit rate over the window since the previous sample, in Mpps.
+    pub tx_mpps: f64,
+    /// Transmit rate over the window, in frame Gbps.
+    pub tx_gbps: f64,
+    /// Cumulative pipeline drops at `t`.
+    pub dropped: u64,
+    /// Cumulative RX-ring drops at `t`.
+    pub rx_dropped: u64,
+    /// Worst per-worker latency EWMA at `t`, nanoseconds.
+    pub latency_ewma_ns: u64,
+    /// Cumulative batches offloaded at `t`.
+    pub offloaded_batches: u64,
+    /// The shared balancer's offloading fraction `w` at `t`.
+    pub offload_fraction: f64,
+    /// Per-GPU compute-engine busy fraction over the window.
+    pub gpu_busy: Vec<f64>,
+}
+
+/// What happened to a batch at one point of its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Packets fetched from RX queues and wrapped into the batch.
+    Rx,
+    /// An element processed the batch.
+    Element,
+    /// The batch hit a real branch (packets split over several ports).
+    Branch,
+    /// Packets diverged from the predicted output port.
+    BranchMiss,
+    /// The batch suspended at an offloadable element and was shipped to
+    /// the device thread.
+    OffloadEnqueue,
+    /// The device thread launched the batch (inside an aggregated task).
+    OffloadLaunch,
+    /// The offload round trip completed; the pipeline resumes.
+    OffloadComplete,
+    /// Packets from the batch were transmitted.
+    Tx,
+    /// Packets from the batch were dropped.
+    Drop,
+}
+
+impl TraceEventKind {
+    /// Stable lowercase name used by the exporters.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceEventKind::Rx => "rx",
+            TraceEventKind::Element => "element",
+            TraceEventKind::Branch => "branch",
+            TraceEventKind::BranchMiss => "branch_miss",
+            TraceEventKind::OffloadEnqueue => "offload_enqueue",
+            TraceEventKind::OffloadLaunch => "offload_launch",
+            TraceEventKind::OffloadComplete => "offload_complete",
+            TraceEventKind::Tx => "tx",
+            TraceEventKind::Drop => "drop",
+        }
+    }
+}
+
+/// One batch-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time (virtual in DES, elapsed wall time in live).
+    pub t: Time,
+    /// Worker that owned the batch (or shipped it, for device events).
+    pub worker: u32,
+    /// The batch's trace id (stamped at RX; 0 for split offspring).
+    pub batch: u64,
+    /// Graph node involved, if any.
+    pub node: Option<u32>,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Packets involved.
+    pub packets: u32,
+}
+
+/// A bounded ring of [`TraceEvent`]s: pushes never allocate past capacity,
+/// the oldest events are overwritten and counted.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    next: usize,
+    overwritten: u64,
+}
+
+impl TraceBuffer {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 (callers gate on the config instead).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        assert!(capacity > 0, "trace buffer needs nonzero capacity");
+        TraceBuffer {
+            events: Vec::with_capacity(capacity.min(4096)),
+            cap: capacity,
+            next: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.events[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that were overwritten after the ring filled.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Consumes the ring, returning events in arrival order.
+    pub fn into_events(mut self) -> Vec<TraceEvent> {
+        if self.overwritten > 0 {
+            self.events.rotate_left(self.next);
+        }
+        self.events
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters: dependency-free JSONL and Prometheus text renderers.
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Finite JSON number or `0` (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders per-element profiles as one JSON object per line.
+pub fn profiles_to_jsonl(profiles: &[ElementProfile]) -> String {
+    let mut out = String::new();
+    for p in profiles {
+        out.push_str(&format!(
+            "{{\"node\":{},\"element\":\"{}\",\"batches\":{},\"packets\":{},\"drops\":{},\"cycles\":{},\"busy_ns\":{}}}\n",
+            p.node,
+            json_escape(p.element),
+            p.batches,
+            p.packets,
+            p.drops,
+            p.cycles,
+            p.busy.as_ns(),
+        ));
+    }
+    out
+}
+
+/// Renders the time-series as one JSON object per line.
+pub fn samples_to_jsonl(samples: &[TimeSample]) -> String {
+    let mut out = String::new();
+    for s in samples {
+        let gpu: Vec<String> = s.gpu_busy.iter().map(|&g| json_f64(g)).collect();
+        out.push_str(&format!(
+            "{{\"t_us\":{},\"tx_packets\":{},\"tx_mpps\":{},\"tx_gbps\":{},\"dropped\":{},\"rx_dropped\":{},\"latency_ewma_ns\":{},\"offloaded_batches\":{},\"w\":{},\"gpu_busy\":[{}]}}\n",
+            s.t.as_ns() / 1000,
+            s.tx_packets,
+            json_f64(s.tx_mpps),
+            json_f64(s.tx_gbps),
+            s.dropped,
+            s.rx_dropped,
+            s.latency_ewma_ns,
+            s.offloaded_batches,
+            json_f64(s.offload_fraction),
+            gpu.join(","),
+        ));
+    }
+    out
+}
+
+/// Renders a batch-lifecycle trace as one JSON object per line.
+pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let node = match e.node {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "{{\"t_ns\":{},\"worker\":{},\"batch\":{},\"node\":{},\"kind\":\"{}\",\"packets\":{}}}\n",
+            e.t.as_ns(),
+            e.worker,
+            e.batch,
+            node,
+            e.kind.as_str(),
+            e.packets,
+        ));
+    }
+    out
+}
+
+/// Renders per-element profiles as an aligned text table.
+pub fn profile_table(profiles: &[ElementProfile]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4}  {:<20} {:>12} {:>14} {:>10} {:>14} {:>12}\n",
+        "node", "element", "batches", "packets", "drops", "cycles", "busy"
+    ));
+    for p in profiles {
+        out.push_str(&format!(
+            "{:>4}  {:<20} {:>12} {:>14} {:>10} {:>14} {:>12}\n",
+            p.node,
+            p.element,
+            p.batches,
+            p.packets,
+            p.drops,
+            p.cycles,
+            format!("{:.3}ms", p.busy.as_ns() as f64 / 1e6),
+        ));
+    }
+    out
+}
+
+fn prom_metric(out: &mut String, name: &str, help: &str, kind: &str, value: String) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    ));
+}
+
+/// Renders a [`RunReport`] in the Prometheus text exposition format.
+pub fn report_to_prometheus(r: &RunReport) -> String {
+    let mut out = String::new();
+    prom_metric(
+        &mut out,
+        "nba_tx_gbps",
+        "Transmitted frame gigabits per second over the measurement window",
+        "gauge",
+        json_f64(r.tx_gbps),
+    );
+    prom_metric(
+        &mut out,
+        "nba_tx_mpps",
+        "Transmitted packets per second (millions) over the measurement window",
+        "gauge",
+        json_f64(r.tx_mpps()),
+    );
+    prom_metric(
+        &mut out,
+        "nba_offered_gbps",
+        "Offered load in gigabits per second",
+        "gauge",
+        json_f64(r.offered_gbps),
+    );
+    prom_metric(
+        &mut out,
+        "nba_tx_packets_total",
+        "Packets transmitted in the measurement window",
+        "counter",
+        r.tx_packets.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_rx_dropped_total",
+        "RX-ring drops in the measurement window",
+        "counter",
+        r.rx_dropped.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_pipeline_dropped_total",
+        "Packets dropped inside the pipeline in the measurement window",
+        "counter",
+        r.window.dropped.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_offload_fraction",
+        "Final offloading fraction w of the shared balancer",
+        "gauge",
+        json_f64(r.final_w),
+    );
+    prom_metric(
+        &mut out,
+        "nba_latency_p50_ns",
+        "Median round-trip latency in nanoseconds",
+        "gauge",
+        r.latency.percentile(50.0).as_ns().to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_latency_p99_ns",
+        "99th-percentile round-trip latency in nanoseconds",
+        "gauge",
+        r.latency.percentile(99.0).as_ns().to_string(),
+    );
+
+    out.push_str("# HELP nba_gpu_tasks_total Offload tasks completed per device\n");
+    out.push_str("# TYPE nba_gpu_tasks_total counter\n");
+    for (i, g) in r.gpu.iter().enumerate() {
+        out.push_str(&format!("nba_gpu_tasks_total{{gpu=\"{i}\"}} {}\n", g.tasks));
+    }
+    out.push_str("# HELP nba_gpu_kernel_busy_seconds Compute-engine busy time per device\n");
+    out.push_str("# TYPE nba_gpu_kernel_busy_seconds counter\n");
+    for (i, g) in r.gpu.iter().enumerate() {
+        out.push_str(&format!(
+            "nba_gpu_kernel_busy_seconds{{gpu=\"{i}\"}} {}\n",
+            json_f64(g.kernel_busy.as_secs_f64())
+        ));
+    }
+
+    out.push_str("# HELP nba_element_packets_total Packets presented to each element\n");
+    out.push_str("# TYPE nba_element_packets_total counter\n");
+    for p in &r.elements {
+        out.push_str(&format!(
+            "nba_element_packets_total{{node=\"{}\",element=\"{}\"}} {}\n",
+            p.node, p.element, p.packets
+        ));
+    }
+    out.push_str("# HELP nba_element_busy_seconds Busy time accumulated by each element\n");
+    out.push_str("# TYPE nba_element_busy_seconds counter\n");
+    for p in &r.elements {
+        out.push_str(&format!(
+            "nba_element_busy_seconds{{node=\"{}\",element=\"{}\"}} {}\n",
+            p.node,
+            p.element,
+            json_f64(p.busy.as_secs_f64())
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, batch: u64) -> TraceEvent {
+        TraceEvent {
+            t: Time::from_ns(t_ns),
+            worker: 0,
+            batch,
+            node: None,
+            kind: TraceEventKind::Rx,
+            packets: 1,
+        }
+    }
+
+    #[test]
+    fn trace_ring_overwrites_oldest() {
+        let mut tb = TraceBuffer::new(4);
+        for i in 0..6 {
+            tb.push(ev(i, i));
+        }
+        assert_eq!(tb.len(), 4);
+        assert_eq!(tb.overwritten(), 2);
+        let ids: Vec<u64> = tb.into_events().iter().map(|e| e.batch).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn trace_ring_preserves_order_when_not_full() {
+        let mut tb = TraceBuffer::new(10);
+        for i in 0..3 {
+            tb.push(ev(i, i));
+        }
+        assert_eq!(tb.overwritten(), 0);
+        let ids: Vec<u64> = tb.into_events().iter().map(|e| e.batch).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn merge_sums_by_node() {
+        let a = vec![ElementProfile {
+            node: 0,
+            element: "A",
+            batches: 1,
+            packets: 10,
+            drops: 1,
+            cycles: 100,
+            busy: Time::from_us(1),
+        }];
+        let b = vec![
+            ElementProfile {
+                node: 1,
+                element: "B",
+                batches: 2,
+                packets: 20,
+                drops: 0,
+                cycles: 50,
+                busy: Time::from_us(2),
+            },
+            ElementProfile {
+                node: 0,
+                element: "A",
+                batches: 3,
+                packets: 30,
+                drops: 2,
+                cycles: 300,
+                busy: Time::from_us(3),
+            },
+        ];
+        let m = merge_profiles([a, b]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].node, 0);
+        assert_eq!(m[0].packets, 40);
+        assert_eq!(m[0].drops, 3);
+        assert_eq!(m[0].busy, Time::from_us(4));
+        assert_eq!(m[1].packets, 20);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_as_flat_objects() {
+        let profiles = vec![ElementProfile {
+            node: 3,
+            element: "IPLookup\"quoted\"",
+            batches: 7,
+            packets: 448,
+            drops: 0,
+            cycles: 12345,
+            busy: Time::from_us(9),
+        }];
+        let s = profiles_to_jsonl(&profiles);
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+
+        let samples = vec![TimeSample {
+            t: Time::from_ms(2),
+            tx_packets: 100,
+            tx_mpps: 0.05,
+            tx_gbps: f64::NAN, // must not leak NaN into JSON
+            dropped: 0,
+            rx_dropped: 0,
+            latency_ewma_ns: 1500,
+            offloaded_batches: 4,
+            offload_fraction: 0.5,
+            gpu_busy: vec![0.25],
+        }];
+        let s = samples_to_jsonl(&samples);
+        assert!(!s.contains("NaN"));
+        assert!(s.contains("\"gpu_busy\":[0.25]"));
+
+        let s = trace_to_jsonl(&[ev(1000, 42)]);
+        assert!(s.contains("\"kind\":\"rx\""));
+        assert!(s.contains("\"node\":null"));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TraceEventKind::OffloadEnqueue.as_str(), "offload_enqueue");
+        assert_eq!(TraceEventKind::BranchMiss.as_str(), "branch_miss");
+    }
+}

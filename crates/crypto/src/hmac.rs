@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn rfc2202_vectors() {
         let m = HmacSha1::new(&[0x0b; 20]);
-        assert_eq!(hex(&m.mac(b"Hi There")), "b617318655057264e28bc0b6fb378c8ef146be00");
+        assert_eq!(
+            hex(&m.mac(b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
 
         let m = HmacSha1::new(b"Jefe");
         assert_eq!(
@@ -93,7 +96,10 @@ mod tests {
         );
 
         let m = HmacSha1::new(&[0xaa; 20]);
-        assert_eq!(hex(&m.mac(&[0xdd; 50])), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+        assert_eq!(
+            hex(&m.mac(&[0xdd; 50])),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
 
         let m = HmacSha1::new(&[0xaa; 80]);
         assert_eq!(

@@ -134,7 +134,12 @@ impl DeviceMemory {
 
     /// Copies host bytes into a device buffer (the functional half of an
     /// H2D DMA; the temporal half is the timeline's job).
-    pub fn write(&mut self, buf: &DeviceBuffer, offset: usize, data: &[u8]) -> Result<(), MemError> {
+    pub fn write(
+        &mut self,
+        buf: &DeviceBuffer,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), MemError> {
         let slot = self.check(buf)?;
         let dst = &mut self.slots[slot].data;
         if offset + data.len() > dst.len() {
@@ -224,7 +229,10 @@ mod tests {
         assert_eq!(m.write(&a, 0, b"x").unwrap_err(), MemError::StaleHandle);
         // A new allocation reusing the slot gets a fresh generation.
         let b = m.alloc(8).unwrap();
-        assert_eq!(m.read(&a, 0, &mut [0u8; 1]).unwrap_err(), MemError::StaleHandle);
+        assert_eq!(
+            m.read(&a, 0, &mut [0u8; 1]).unwrap_err(),
+            MemError::StaleHandle
+        );
         assert!(m.read(&b, 0, &mut [0u8; 1]).is_ok());
     }
 
@@ -233,7 +241,10 @@ mod tests {
         let mut m = DeviceMemory::new(64);
         let b = m.alloc(8).unwrap();
         assert_eq!(m.write(&b, 6, b"abc").unwrap_err(), MemError::OutOfBounds);
-        assert_eq!(m.read(&b, 8, &mut [0u8; 1]).unwrap_err(), MemError::OutOfBounds);
+        assert_eq!(
+            m.read(&b, 8, &mut [0u8; 1]).unwrap_err(),
+            MemError::OutOfBounds
+        );
     }
 
     #[test]

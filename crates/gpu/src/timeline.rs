@@ -45,6 +45,32 @@ pub struct TimelineStats {
     pub kernel_busy: Time,
 }
 
+impl TimelineStats {
+    /// Counters accumulated since `earlier` (an older snapshot of the same
+    /// timeline); saturating so stale snapshots cannot panic.
+    pub fn delta(&self, earlier: &TimelineStats) -> TimelineStats {
+        TimelineStats {
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            h2d_bytes: self.h2d_bytes.saturating_sub(earlier.h2d_bytes),
+            d2h_bytes: self.d2h_bytes.saturating_sub(earlier.d2h_bytes),
+            copy_busy: self.copy_busy.saturating_sub(earlier.copy_busy),
+            kernel_busy: self.kernel_busy.saturating_sub(earlier.kernel_busy),
+        }
+    }
+
+    /// Fraction of `window` the compute engine was busy. Can exceed 1.0:
+    /// busy time is booked at submission, so a burst of deep-queued kernels
+    /// may outrun the wall window it was submitted in.
+    pub fn kernel_busy_fraction(&self, window: Time) -> f64 {
+        let w = window.as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.kernel_busy.as_secs_f64() / w
+        }
+    }
+}
+
 /// The three-engine device timeline.
 #[derive(Debug, Clone)]
 pub struct Timeline {
@@ -154,7 +180,9 @@ impl Timeline {
     /// When the busiest engine frees up (copy engines included) — the
     /// device-thread backpressure signal.
     pub fn free_at(&self) -> Time {
-        self.kernel_free_at.max(self.h2d_free_at).max(self.d2h_free_at)
+        self.kernel_free_at
+            .max(self.h2d_free_at)
+            .max(self.d2h_free_at)
     }
 }
 
@@ -233,6 +261,30 @@ mod tests {
         tl.submit(Time::ZERO, s0, 10, 10.0, 10);
         let s1 = tl.best_stream();
         assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn stats_delta_and_busy_fraction() {
+        let mut tl = Timeline::new(model(), 1);
+        tl.submit(Time::ZERO, StreamId(0), 500, 100.0, 700);
+        let a = tl.stats();
+        tl.submit(Time::from_ms(1), StreamId(0), 500, 100.0, 700);
+        let b = tl.stats();
+        let d = b.delta(&a);
+        assert_eq!(d.tasks, 1);
+        assert_eq!(d.h2d_bytes, 500);
+        assert_eq!(d.kernel_busy, b.kernel_busy - a.kernel_busy);
+        // One ~10.01 us kernel over a 1 ms window ~ 1 %.
+        let f = d.kernel_busy_fraction(Time::from_ms(1));
+        assert!(f > 0.0 && f < 0.05, "fraction = {f}");
+        // Stale (reversed) snapshots saturate instead of panicking.
+        let z = a.delta(&b);
+        assert_eq!(z.tasks, 0);
+        assert_eq!(z.kernel_busy, Time::ZERO);
+        assert_eq!(
+            TimelineStats::default().kernel_busy_fraction(Time::ZERO),
+            0.0
+        );
     }
 
     #[test]

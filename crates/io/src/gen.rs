@@ -50,8 +50,14 @@ impl SizeDist {
             },
             SizeDist::CaidaLike => {
                 // (frame length, per-mille probability).
-                const MIX: [(usize, u32); 6] =
-                    [(64, 700), (128, 140), (256, 60), (576, 40), (1024, 20), (1500, 40)];
+                const MIX: [(usize, u32); 6] = [
+                    (64, 700),
+                    (128, 140),
+                    (256, 60),
+                    (576, 40),
+                    (1024, 20),
+                    (1500, 40),
+                ];
                 let mut roll = rng.gen_range(0..1000u32);
                 for (len, p) in MIX {
                     if roll < p {
@@ -226,7 +232,9 @@ impl TrafficGen {
             self.rng.gen_range(0..self.flows.len())
         } else {
             let u: f64 = self.rng.gen();
-            self.zipf_cdf.partition_point(|&c| c < u).min(self.flows.len() - 1)
+            self.zipf_cdf
+                .partition_point(|&c| c < u)
+                .min(self.flows.len() - 1)
         };
         self.flows[idx]
     }
@@ -235,12 +243,7 @@ impl TrafficGen {
     ///
     /// Packets carry `ts_gen` pacing timestamps spaced so the stream's wire
     /// rate equals the configured offered load. Returns the number emitted.
-    pub fn generate(
-        &mut self,
-        until: Time,
-        pool: &Mempool,
-        sink: &mut dyn FnMut(Packet),
-    ) -> u64 {
+    pub fn generate(&mut self, until: Time, pool: &Mempool, sink: &mut dyn FnMut(Packet)) -> u64 {
         let mut emitted = 0;
         while self.next_ts < until {
             let len = self.cfg.size.sample(&mut self.rng).max(self.min_len());
@@ -261,13 +264,15 @@ impl TrafficGen {
                 IpVersion::V4 => {
                     self.builder.src_port = flow.src_port;
                     self.builder.dst_port = flow.dst_port;
-                    self.builder.build_ipv4(frame, len, flow.src_v4, flow.dst_v4);
+                    self.builder
+                        .build_ipv4(frame, len, flow.src_v4, flow.dst_v4);
                     self.fill_payload(frame, FrameBuilder::MIN_V4_LEN);
                 }
                 IpVersion::V6 => {
                     self.builder.src_port = flow.src_port;
                     self.builder.dst_port = flow.dst_port;
-                    self.builder.build_ipv6(frame, len, flow.src_v6, flow.dst_v6);
+                    self.builder
+                        .build_ipv6(frame, len, flow.src_v6, flow.dst_v6);
                     self.fill_payload(frame, FrameBuilder::MIN_V6_LEN);
                 }
             }
@@ -299,7 +304,10 @@ impl TrafficGen {
                 for b in body.iter_mut() {
                     *b = b'a' + (self.rng.gen::<u8>() % 26);
                 }
-                if every > 0 && self.seq % u64::from(every) == 0 && body.len() >= needle.len() {
+                if every > 0
+                    && self.seq.is_multiple_of(u64::from(every))
+                    && body.len() >= needle.len()
+                {
                     let at = if body.len() == needle.len() {
                         0
                     } else {
@@ -331,7 +339,12 @@ mod tests {
         let cfg = TrafficConfig::default();
         let (pkts, stats) = run_gen(cfg, Time::from_ms(1));
         let expect = (10e9 / 672.0 * 1e-3) as i64;
-        assert!((pkts.len() as i64 - expect).abs() <= 1, "{} vs {}", pkts.len(), expect);
+        assert!(
+            (pkts.len() as i64 - expect).abs() <= 1,
+            "{} vs {}",
+            pkts.len(),
+            expect
+        );
         assert_eq!(stats.generated, pkts.len() as u64);
     }
 

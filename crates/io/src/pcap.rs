@@ -64,8 +64,10 @@ impl<W: Write> PcapWriter<W> {
     /// Appends one frame with the given capture timestamp.
     pub fn write(&mut self, ts: Time, frame: &[u8]) -> io::Result<()> {
         let us = ts.as_us();
-        self.out.write_all(&((us / 1_000_000) as u32).to_le_bytes())?;
-        self.out.write_all(&((us % 1_000_000) as u32).to_le_bytes())?;
+        self.out
+            .write_all(&((us / 1_000_000) as u32).to_le_bytes())?;
+        self.out
+            .write_all(&((us % 1_000_000) as u32).to_le_bytes())?;
         self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
         self.out.write_all(&(frame.len() as u32).to_le_bytes())?;
         self.out.write_all(frame)?;
@@ -176,7 +178,10 @@ impl PacketSource for Replay {
             let Some(mut buf) = pool.alloc() else {
                 continue;
             };
-            buf.fill(DEFAULT_HEADROOM.min(buf.capacity() - rec.frame.len()), &rec.frame);
+            buf.fill(
+                DEFAULT_HEADROOM.min(buf.capacity() - rec.frame.len()),
+                &rec.frame,
+            );
             let mut pkt = Packet::from_pool(buf, pool.clone());
             pkt.ts_gen = ts;
             self.emitted += 1;
@@ -211,7 +216,7 @@ mod tests {
 
     #[test]
     fn rejects_foreign_magic_and_linktype() {
-        let mut bad = vec![0u8; 24];
+        let mut bad = [0u8; 24];
         bad[0..4].copy_from_slice(&0xdead_beefu32.to_le_bytes());
         assert!(read_pcap(&bad[..]).is_err());
 

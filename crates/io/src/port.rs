@@ -77,7 +77,9 @@ impl Port {
         Port {
             id,
             speed_bps: speed_gbps * 1e9,
-            rx_queues: (0..rx_queues).map(|_| SimQueue::bounded(rxq_depth)).collect(),
+            rx_queues: (0..rx_queues)
+                .map(|_| SimQueue::bounded(rxq_depth))
+                .collect(),
             hasher: Toeplitz::default(),
             tx_busy_until: Time::ZERO,
             // 512 descriptors of full-size frames at line rate.
@@ -162,7 +164,9 @@ pub fn rss_hash(hasher: &Toeplitz, frame: &[u8]) -> u32 {
             match ip.protocol() {
                 proto::IPPROTO_UDP | proto::IPPROTO_TCP => match UdpView::parse(ip.payload()) {
                     // TCP ports sit at the same offsets as UDP's.
-                    Ok(udp) => hasher.hash_ipv4_l4(ip.src(), ip.dst(), udp.src_port(), udp.dst_port()),
+                    Ok(udp) => {
+                        hasher.hash_ipv4_l4(ip.src(), ip.dst(), udp.src_port(), udp.dst_port())
+                    }
                     Err(_) => hasher.hash_ipv4(ip.src(), ip.dst()),
                 },
                 _ => hasher.hash_ipv4(ip.src(), ip.dst()),
@@ -174,7 +178,9 @@ pub fn rss_hash(hasher: &Toeplitz, frame: &[u8]) -> u32 {
             };
             match ip.next_header() {
                 proto::IPPROTO_UDP | proto::IPPROTO_TCP => match UdpView::parse(ip.payload()) {
-                    Ok(udp) => hasher.hash_ipv6_l4(ip.src(), ip.dst(), udp.src_port(), udp.dst_port()),
+                    Ok(udp) => {
+                        hasher.hash_ipv6_l4(ip.src(), ip.dst(), udp.src_port(), udp.dst_port())
+                    }
                     Err(_) => hasher.hash_ipv6(ip.src(), ip.dst()),
                 },
                 _ => hasher.hash_ipv6(ip.src(), ip.dst()),
@@ -260,7 +266,7 @@ mod tests {
             }
         }
         // The ring holds roughly 512 full frames of backlog.
-        assert!(sent >= 512 && sent <= 520, "sent = {sent}");
+        assert!((512..=520).contains(&sent), "sent = {sent}");
         assert!(dropped > 0);
         assert_eq!(port.counters().tx_dropped as u32, dropped);
     }

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        assert_eq!(EtherView::parse(&[0u8; 13]).unwrap_err(), ParseError::Truncated);
+        assert_eq!(
+            EtherView::parse(&[0u8; 13]).unwrap_err(),
+            ParseError::Truncated
+        );
     }
 
     #[test]

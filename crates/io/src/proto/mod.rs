@@ -88,7 +88,10 @@ impl FrameBuilder {
     /// Panics if `frame_len < Self::MIN_V4_LEN` or `out` is shorter than
     /// `frame_len`.
     pub fn build_ipv4(&self, out: &mut [u8], frame_len: usize, src: u32, dst: u32) {
-        assert!(frame_len >= Self::MIN_V4_LEN, "frame too short for IPv4/UDP");
+        assert!(
+            frame_len >= Self::MIN_V4_LEN,
+            "frame too short for IPv4/UDP"
+        );
         let out = &mut out[..frame_len];
         out.fill(0);
         out[0..6].copy_from_slice(&self.dst_mac);
@@ -121,7 +124,10 @@ impl FrameBuilder {
     /// Panics if `frame_len < Self::MIN_V6_LEN` or `out` is shorter than
     /// `frame_len`.
     pub fn build_ipv6(&self, out: &mut [u8], frame_len: usize, src: u128, dst: u128) {
-        assert!(frame_len >= Self::MIN_V6_LEN, "frame too short for IPv6/UDP");
+        assert!(
+            frame_len >= Self::MIN_V6_LEN,
+            "frame too short for IPv6/UDP"
+        );
         let out = &mut out[..frame_len];
         out.fill(0);
         out[0..6].copy_from_slice(&self.dst_mac);

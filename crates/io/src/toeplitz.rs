@@ -6,9 +6,9 @@
 
 /// The de-facto standard 40-byte RSS key (Microsoft's verification key).
 pub const DEFAULT_RSS_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// A Toeplitz hasher with a fixed key.
@@ -35,9 +35,8 @@ impl Toeplitz {
     pub fn hash(&self, input: &[u8]) -> u32 {
         // The running 32-bit key window starts at the key's first 4 bytes
         // and shifts left one bit per input bit.
-        let mut window =
-            u64::from(u32::from_be_bytes(self.key[0..4].try_into().unwrap())) << 32
-                | u64::from(u32::from_be_bytes(self.key[4..8].try_into().unwrap()));
+        let mut window = u64::from(u32::from_be_bytes(self.key[0..4].try_into().unwrap())) << 32
+            | u64::from(u32::from_be_bytes(self.key[4..8].try_into().unwrap()));
         let mut next_key_byte = 8;
         let mut bits_used = 0u32;
         let mut result = 0u32;
@@ -120,11 +119,46 @@ mod tests {
     fn microsoft_ipv4_vectors() {
         let t = Toeplitz::default();
         let cases = [
-            (ip(66, 9, 149, 187), 2794, ip(161, 142, 100, 80), 1766, 0x51ccc178u32, 0x323e8fc2u32),
-            (ip(199, 92, 111, 2), 14230, ip(65, 69, 140, 83), 4739, 0xc626b0ea, 0xd718262a),
-            (ip(24, 19, 198, 95), 12898, ip(12, 22, 207, 184), 38024, 0x5c2b394a, 0xd2d0a5de),
-            (ip(38, 27, 205, 30), 48228, ip(209, 142, 163, 6), 2217, 0xafc7327f, 0x82989176),
-            (ip(153, 39, 163, 191), 44251, ip(202, 188, 127, 2), 1303, 0x10e828a2, 0x5d1809c5),
+            (
+                ip(66, 9, 149, 187),
+                2794,
+                ip(161, 142, 100, 80),
+                1766,
+                0x51ccc178u32,
+                0x323e8fc2u32,
+            ),
+            (
+                ip(199, 92, 111, 2),
+                14230,
+                ip(65, 69, 140, 83),
+                4739,
+                0xc626b0ea,
+                0xd718262a,
+            ),
+            (
+                ip(24, 19, 198, 95),
+                12898,
+                ip(12, 22, 207, 184),
+                38024,
+                0x5c2b394a,
+                0xd2d0a5de,
+            ),
+            (
+                ip(38, 27, 205, 30),
+                48228,
+                ip(209, 142, 163, 6),
+                2217,
+                0xafc7327f,
+                0x82989176,
+            ),
+            (
+                ip(153, 39, 163, 191),
+                44251,
+                ip(202, 188, 127, 2),
+                1303,
+                0x10e828a2,
+                0x5d1809c5,
+            ),
         ];
         for (src, sport, dst, dport, l4, ip_only) in cases {
             assert_eq!(t.hash_ipv4_l4(src, dst, sport, dport), l4);

@@ -210,7 +210,7 @@ impl<'a> Parser<'a> {
         if self.bump() != Some(b'}') {
             return self.err("unterminated repeat");
         }
-        if m > MAX_REPEAT || n.map_or(false, |n| n > MAX_REPEAT) {
+        if m > MAX_REPEAT || n.is_some_and(|n| n > MAX_REPEAT) {
             return Err(RegexError::RepeatTooLarge);
         }
         if let Some(n) = n {
@@ -616,18 +616,12 @@ impl Regex {
                         stack.push(*a);
                         stack.push(*b);
                     }
-                    NfaState::AssertStart(n) => {
-                        if at_start {
-                            stack.push(*n);
-                        }
-                    }
-                    NfaState::AssertEnd(n) => {
-                        // Whether the continuation accepts is resolved at
-                        // end of input; approximate by checking if `n`
-                        // reaches Accept through epsilons.
-                        if reaches_accept_eps(nfa, *n) {
-                            accept_at_end = true;
-                        }
+                    NfaState::AssertStart(n) if at_start => stack.push(*n),
+                    // Whether the continuation accepts is resolved at end
+                    // of input; approximate by checking if `n` reaches
+                    // Accept through epsilons.
+                    NfaState::AssertEnd(n) if reaches_accept_eps(nfa, *n) => {
+                        accept_at_end = true;
                     }
                     _ => {}
                 }
@@ -673,7 +667,9 @@ impl Regex {
         let mut i = 0usize;
         while i < order.len() {
             let (set, _at_start) = order[i].clone();
-            let accepts = set.iter().any(|&s| matches!(nfa.states[s], NfaState::Accept));
+            let accepts = set
+                .iter()
+                .any(|&s| matches!(nfa.states[s], NfaState::Accept));
             accepting.push(accepts);
             accepting_at_end.push(accepts || end_acc_flags[i]);
             let base = delta.len();
@@ -881,14 +877,19 @@ mod tests {
 
     #[test]
     fn syntax_errors_are_reported() {
-        for bad in ["(", ")", "a)", "[abc", "a{2,1}", "*a", "a{", r"\x4", r"\xzz", "a|*"] {
+        for bad in [
+            "(", ")", "a)", "[abc", "a{2,1}", "*a", "a{", r"\x4", r"\xzz", "a|*",
+        ] {
             assert!(Regex::new(bad).is_err(), "{bad:?} should fail");
         }
     }
 
     #[test]
     fn repeat_budget_enforced() {
-        assert_eq!(Regex::new("a{999}").unwrap_err(), RegexError::RepeatTooLarge);
+        assert_eq!(
+            Regex::new("a{999}").unwrap_err(),
+            RegexError::RepeatTooLarge
+        );
     }
 
     #[test]
@@ -897,8 +898,7 @@ mod tests {
         fn naive(pat: &str, hay: &[u8]) -> bool {
             // Oracle via this engine's own NFA would be circular; instead
             // rely on hand-computed cases covering operator combinations.
-            let re = regex_lite_eval(pat, hay);
-            re
+            regex_lite_eval(pat, hay)
         }
         // Hand-evaluated truth table.
         fn regex_lite_eval(pat: &str, hay: &[u8]) -> bool {

@@ -278,8 +278,14 @@ mod tests {
             h2d_bytes_per_sec: 1e9,
             d2h_bytes_per_sec: 2e9,
         };
-        assert_eq!(gpu.h2d_time(1_000_000), Time::from_us(10) + Time::from_ms(1));
-        assert_eq!(gpu.d2h_time(1_000_000), Time::from_us(10) + Time::from_us(500));
+        assert_eq!(
+            gpu.h2d_time(1_000_000),
+            Time::from_us(10) + Time::from_ms(1)
+        );
+        assert_eq!(
+            gpu.d2h_time(1_000_000),
+            Time::from_us(10) + Time::from_us(500)
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ fn main() {
     );
 
     for (label, balancer) in [
-        ("CPU-only", lb::shared(Box::new(lb::CpuOnly)) as nba::core::lb::SharedBalancer),
+        (
+            "CPU-only",
+            lb::shared(Box::new(lb::CpuOnly)) as nba::core::lb::SharedBalancer,
+        ),
         ("GPU-only", lb::shared(Box::new(lb::GpuOnly))),
     ] {
         let (pipeline, alerts) = pipelines::ids(&app);

@@ -42,7 +42,11 @@ fn main() {
     gen.generate(Time::from_ms(2), &pool, &mut |p| {
         w.write(p.ts_gen, p.data()).unwrap();
     });
-    println!("captured {} frames into a {} KiB pcap", w.records(), file.len() / 1024);
+    println!(
+        "captured {} frames into a {} KiB pcap",
+        w.records(),
+        file.len() / 1024
+    );
 
     // 2. Compile the rule file and build an IDS pipeline around it.
     let rules = Arc::new(parse_snort_rules(RULES).expect("rule file"));
@@ -66,8 +70,14 @@ fn main() {
             )));
             let ac = gb.add(Box::new(nba::apps::ids::ACMatch::new(rules.clone())));
             let re = gb.add(Box::new(nba::apps::ids::RegexMatch::new(rules.clone())));
-            let ok = gb.add(Box::new(nba::apps::ids::IDSAlert::new(alerts.clone(), ports)));
-            let hit = gb.add(Box::new(nba::apps::ids::IDSAlert::new(alerts.clone(), ports)));
+            let ok = gb.add(Box::new(nba::apps::ids::IDSAlert::new(
+                alerts.clone(),
+                ports,
+            )));
+            let hit = gb.add(Box::new(nba::apps::ids::IDSAlert::new(
+                alerts.clone(),
+                ports,
+            )));
             gb.connect(chk, 0, lbe);
             gb.connect_discard(chk, 1);
             gb.connect(lbe, 0, ac);

@@ -47,8 +47,18 @@ fn alb_tracks_the_better_processor() {
         warmup: Time::from_ms(5),
         ..cfg.clone()
     };
-    let cpu = des::run(&fast, &pipeline, &lb::shared(Box::new(lb::CpuOnly)), &traffic);
-    let gpu = des::run(&fast, &pipeline, &lb::shared(Box::new(lb::GpuOnly)), &traffic);
+    let cpu = des::run(
+        &fast,
+        &pipeline,
+        &lb::shared(Box::new(lb::CpuOnly)),
+        &traffic,
+    );
+    let gpu = des::run(
+        &fast,
+        &pipeline,
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &traffic,
+    );
     let best = cpu.tx_gbps.max(gpu.tx_gbps);
 
     let balancer = alb();

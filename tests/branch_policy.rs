@@ -27,7 +27,12 @@ fn run(policy: BranchPolicy, minority: f64) -> nba::core::runtime::RunReport {
     } else {
         pipelines::branch_echo(minority, ports)
     };
-    des::run(&cfg, &pipeline, &lb::shared(Box::new(lb::CpuOnly)), &traffic)
+    des::run(
+        &cfg,
+        &pipeline,
+        &lb::shared(Box::new(lb::CpuOnly)),
+        &traffic,
+    )
 }
 
 #[test]

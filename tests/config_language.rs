@@ -28,8 +28,18 @@ fn ipv4_config_matches_programmatic_pipeline() {
     );
     let from_config = pipelines::pipeline_from_config(pipelines::IPV4_CONFIG, &app);
     let programmatic = pipelines::ipv4_router(&app);
-    let a = des::run(&cfg, &from_config, &lb::shared(Box::new(lb::CpuOnly)), &traffic);
-    let b = des::run(&cfg, &programmatic, &lb::shared(Box::new(lb::CpuOnly)), &traffic);
+    let a = des::run(
+        &cfg,
+        &from_config,
+        &lb::shared(Box::new(lb::CpuOnly)),
+        &traffic,
+    );
+    let b = des::run(
+        &cfg,
+        &programmatic,
+        &lb::shared(Box::new(lb::CpuOnly)),
+        &traffic,
+    );
     // Same elements, same order, same tables, same traffic: identical runs.
     assert_eq!(a.tx_packets, b.tx_packets);
     assert_eq!(a.window.tx_frame_bits, b.window.tx_frame_bits);
@@ -47,7 +57,12 @@ fn ipsec_config_builds_and_encrypts() {
         },
     );
     let pipeline = pipelines::pipeline_from_config(pipelines::IPSEC_CONFIG, &app);
-    let r = des::run(&cfg, &pipeline, &lb::shared(Box::new(lb::CpuOnly)), &traffic);
+    let r = des::run(
+        &cfg,
+        &pipeline,
+        &lb::shared(Box::new(lb::CpuOnly)),
+        &traffic,
+    );
     assert!(r.tx_packets > 100);
     // Throughput accounting is input-normalized: exactly 64 B per frame
     // even though the transmitted ESP frames are larger.

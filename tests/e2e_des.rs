@@ -122,7 +122,11 @@ fn ipsec_gateway_grows_frames_and_offloads_under_gpu() {
     // Throughput is input-normalized: exactly the 128-byte input per frame
     // even though ESP grows the transmitted frames.
     let mean_frame_bits = report.window.tx_frame_bits / report.window.tx_packets;
-    assert_eq!(mean_frame_bits, 128 * 8, "mean frame bits {mean_frame_bits}");
+    assert_eq!(
+        mean_frame_bits,
+        128 * 8,
+        "mean frame bits {mean_frame_bits}"
+    );
 }
 
 #[test]
@@ -149,7 +153,9 @@ fn ids_detects_planted_attacks() {
         &traffic,
     );
     assert_flows(&report);
-    let lit = alerts.literal_hits.load(std::sync::atomic::Ordering::Relaxed);
+    let lit = alerts
+        .literal_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
     let confirmed = alerts.confirmed.load(std::sync::atomic::Ordering::Relaxed);
     // Roughly one in ten packets carries the needle.
     assert!(lit > 0, "no literal alerts");
@@ -180,8 +186,12 @@ fn ids_gpu_path_detects_equally() {
     let (p_gpu, a_gpu) = pipelines::ids(&app);
     let r_cpu = des::run(&cfg, &p_cpu, &lb::shared(Box::new(lb::CpuOnly)), &traffic);
     let r_gpu = des::run(&cfg, &p_gpu, &lb::shared(Box::new(lb::GpuOnly)), &traffic);
-    let lit_cpu = a_cpu.literal_hits.load(std::sync::atomic::Ordering::Relaxed);
-    let lit_gpu = a_gpu.literal_hits.load(std::sync::atomic::Ordering::Relaxed);
+    let lit_cpu = a_cpu
+        .literal_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let lit_gpu = a_gpu
+        .literal_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert!(lit_cpu > 0 && lit_gpu > 0);
     // Same deterministic traffic: hit counts within a few percent (batch
     // boundary effects at the measurement edges only).

@@ -56,7 +56,12 @@ fn fig9_batching_gains() {
             assert!(speedup < 8.0, "{label}: {speedup}");
         }
         // Batch 64 within a whisker of batch 32 or better overall shape.
-        assert!(g[2] >= g[1] * 0.9, "{label}: 64 ({}) << 32 ({})", g[2], g[1]);
+        assert!(
+            g[2] >= g[1] * 0.9,
+            "{label}: 64 ({}) << 32 ({})",
+            g[2],
+            g[1]
+        );
     }
 }
 

@@ -76,6 +76,8 @@ fn live_ids_detects_with_real_threads() {
         ..live_cfg()
     };
     let report = live::run(&cfg, &pipeline, &lb::shared(Box::new(lb::CpuOnly)));
-    let hits = alerts.literal_hits.load(std::sync::atomic::Ordering::Relaxed);
+    let hits = alerts
+        .literal_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
     assert!(hits > 0, "no detections in {report:?}");
 }

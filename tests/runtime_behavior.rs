@@ -146,8 +146,16 @@ fn external_latency_is_additive() {
     );
     let balancer = lb::shared(Box::new(lb::CpuOnly));
     let a = des::run(&base, &pipelines::ipv4_router(&app0), &balancer, &traffic);
-    let b = des::run(&shifted, &pipelines::ipv4_router(&app0), &balancer, &traffic);
-    let d50 = b.latency.percentile(50.0).saturating_sub(a.latency.percentile(50.0));
+    let b = des::run(
+        &shifted,
+        &pipelines::ipv4_router(&app0),
+        &balancer,
+        &traffic,
+    );
+    let d50 = b
+        .latency
+        .percentile(50.0)
+        .saturating_sub(a.latency.percentile(50.0));
     // Within histogram resolution of the configured 100 us shift.
     assert!(
         (d50.as_us_f64() - 100.0).abs() < 12.0,
@@ -209,7 +217,10 @@ fn pipeline_depth_shows_up_in_latency() {
         short.latency.mean()
     );
     let ratio = long.tx_packets as f64 / short.tx_packets as f64;
-    assert!((0.95..=1.05).contains(&ratio), "throughput changed: {ratio}");
+    assert!(
+        (0.95..=1.05).contains(&ratio),
+        "throughput changed: {ratio}"
+    );
 }
 
 #[test]

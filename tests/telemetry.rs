@@ -1,0 +1,215 @@
+//! Telemetry: per-element profiles reconcile with aggregate counters, the
+//! time-series is monotone and internally consistent, batch-lifecycle
+//! traces follow the offload round trip, and — the contract that makes all
+//! of it trustworthy — observation never changes the result.
+
+use std::time::Duration;
+
+use nba::apps::{pipelines, AppConfig};
+use nba::core::lb;
+use nba::core::runtime::live::{self, LiveConfig};
+use nba::core::runtime::{des, traffic_per_port, RuntimeConfig};
+use nba::core::telemetry::{TelemetryConfig, TraceEventKind};
+use nba::io::{SizeDist, TrafficConfig};
+use nba::sim::Time;
+
+fn app_for(cfg: &RuntimeConfig) -> AppConfig {
+    AppConfig {
+        ports: cfg.topology.ports.len() as u16,
+        v4_routes: 2048,
+        ..AppConfig::default()
+    }
+}
+
+fn traffic(cfg: &RuntimeConfig, gbps: f64) -> Vec<TrafficConfig> {
+    traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: gbps,
+            size: SizeDist::Fixed(128),
+            ..TrafficConfig::default()
+        },
+    )
+}
+
+#[test]
+fn element_profiles_reconcile_with_counters() {
+    let cfg = RuntimeConfig::test_default();
+    let app = app_for(&cfg);
+    let r = des::run(
+        &cfg,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::CpuOnly)),
+        &traffic(&cfg, 2.0),
+    );
+    assert!(!r.elements.is_empty());
+    // Every RX'd packet is wrapped into a batch and presented to the entry
+    // element exactly once, so its profile must match the aggregate RX
+    // counter exactly (CPU-only: no resume visits anywhere).
+    let entry = r
+        .elements
+        .iter()
+        .find(|p| p.node == 0)
+        .expect("entry profile");
+    assert_eq!(entry.packets, r.totals.rx_packets, "{:?}", r.elements);
+    assert!(entry.batches > 0 && entry.busy > Time::ZERO && entry.cycles > 0);
+    // Per-element drop attribution sums to the aggregate drop counter
+    // (both count per-packet `PacketResult::Drop` verdicts).
+    let element_drops: u64 = r.elements.iter().map(|p| p.drops).sum();
+    assert_eq!(element_drops, r.totals.dropped);
+}
+
+#[test]
+fn time_series_is_monotone_and_consistent() {
+    let mut cfg = RuntimeConfig::test_default();
+    cfg.telemetry.sample_interval = Some(Time::from_ms(1));
+    let app = app_for(&cfg);
+    let r = des::run(
+        &cfg,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::CpuOnly)),
+        &traffic(&cfg, 2.0),
+    );
+    assert!(r.samples.len() >= 10, "only {} samples", r.samples.len());
+    for pair in r.samples.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert!(b.t > a.t, "time not strictly increasing");
+        assert!(b.tx_packets >= a.tx_packets, "cumulative tx ran backwards");
+        assert!(b.dropped >= a.dropped);
+        assert!(b.rx_dropped >= a.rx_dropped);
+        assert!(b.offloaded_batches >= a.offloaded_batches);
+        // Window rates are derived from the cumulative deltas.
+        let win = (b.t - a.t).as_secs_f64();
+        let expect = (b.tx_packets - a.tx_packets) as f64 / win / 1e6;
+        assert!(
+            (b.tx_mpps - expect).abs() < 1e-6,
+            "window rate inconsistent: {} vs {expect}",
+            b.tx_mpps
+        );
+    }
+    // The last sample lands on the horizon and has seen all transmitted
+    // traffic (the sampler runs last at equal timestamps).
+    let last = r.samples.last().unwrap();
+    assert_eq!(last.t, cfg.warmup + cfg.measure);
+    assert_eq!(last.tx_packets, r.totals.tx_packets);
+}
+
+#[test]
+fn trace_follows_the_offload_round_trip() {
+    let mut cfg = RuntimeConfig::test_default();
+    cfg.telemetry.trace_capacity = 1 << 16;
+    let app = app_for(&cfg);
+    let r = des::run(
+        &cfg,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &traffic(&cfg, 1.0),
+    );
+    assert!(!r.trace.is_empty());
+    // Find a traced batch that went through the full device round trip and
+    // check its lifecycle stages appear in causal order.
+    let mut found = false;
+    'outer: for e in &r.trace {
+        if e.kind != TraceEventKind::Rx || e.batch == 0 {
+            continue;
+        }
+        let mine: Vec<_> = r.trace.iter().filter(|x| x.batch == e.batch).collect();
+        let at = |k: TraceEventKind| mine.iter().find(|x| x.kind == k).map(|x| x.t);
+        let (Some(rx), Some(enq), Some(launch), Some(done), Some(tx)) = (
+            at(TraceEventKind::Rx),
+            at(TraceEventKind::OffloadEnqueue),
+            at(TraceEventKind::OffloadLaunch),
+            at(TraceEventKind::OffloadComplete),
+            at(TraceEventKind::Tx),
+        ) else {
+            continue 'outer;
+        };
+        assert!(rx <= enq && enq <= launch && launch <= done && done <= tx);
+        found = true;
+        break;
+    }
+    assert!(found, "no batch completed a traced offload round trip");
+    // Tracing off means genuinely off: no buffer, no events.
+    let cfg_off = RuntimeConfig::test_default();
+    let r_off = des::run(
+        &cfg_off,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &traffic(&cfg_off, 1.0),
+    );
+    assert!(r_off.trace.is_empty());
+}
+
+#[test]
+fn telemetry_never_changes_the_result() {
+    let mut quiet = RuntimeConfig::test_default();
+    quiet.telemetry = TelemetryConfig::off();
+    let mut loud = RuntimeConfig::test_default();
+    loud.telemetry = TelemetryConfig {
+        sample_interval: Some(Time::from_us(500)),
+        trace_capacity: 4096,
+    };
+    let app = app_for(&quiet);
+    // An adaptive balancer makes this stringent: any perturbation of event
+    // order or timing would steer `w` differently and diverge throughput.
+    let alb = || {
+        lb::shared(Box::new(lb::Adaptive::new(lb::AlbConfig {
+            update_interval: Time::from_ms(1),
+            min_wait: 0,
+            max_wait: 2,
+            ..lb::AlbConfig::default()
+        })))
+    };
+    let a = des::run(
+        &quiet,
+        &pipelines::ipv4_router(&app),
+        &alb(),
+        &traffic(&quiet, 2.0),
+    );
+    let b = des::run(
+        &loud,
+        &pipelines::ipv4_router(&app),
+        &alb(),
+        &traffic(&loud, 2.0),
+    );
+    assert_eq!(a.tx_gbps.to_bits(), b.tx_gbps.to_bits());
+    assert_eq!(a.tx_packets, b.tx_packets);
+    assert_eq!(a.final_w.to_bits(), b.final_w.to_bits());
+    assert_eq!(a.window, b.window);
+    // And the observed run actually observed things.
+    assert!(!b.samples.is_empty() && !b.trace.is_empty());
+    assert!(a.samples.is_empty() && a.trace.is_empty());
+}
+
+#[test]
+fn live_runtime_reports_telemetry() {
+    let cfg = LiveConfig {
+        workers: 2,
+        duration: Duration::from_millis(150),
+        telemetry: TelemetryConfig {
+            sample_interval: Some(Time::from_ms(10)),
+            trace_capacity: 4096,
+        },
+        ..LiveConfig::default()
+    };
+    let app = AppConfig {
+        ports: 4,
+        v4_routes: 1024,
+        ..AppConfig::default()
+    };
+    let report = live::run(
+        &cfg,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::CpuOnly)),
+    );
+    assert!(!report.elements.is_empty());
+    let entry = report.elements.iter().find(|p| p.node == 0).expect("entry");
+    assert_eq!(entry.packets, report.totals.rx_packets);
+    // Wall-clock busy time was measured.
+    assert!(entry.busy > Time::ZERO);
+    assert!(!report.samples.is_empty());
+    for pair in report.samples.windows(2) {
+        assert!(pair[1].tx_packets >= pair[0].tx_packets);
+    }
+    assert!(!report.trace.is_empty());
+}

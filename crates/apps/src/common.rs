@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
-use nba_core::element::{ElemCtx, Element};
+use nba_core::element::{ElemCtx, Element, SlotClaim};
 use nba_io::proto::{self, ether, ipv4::Ipv4View, ipv6::Ipv6View};
 use nba_io::Packet;
 use nba_sim::CpuProfile;
@@ -52,6 +52,11 @@ impl L2Forward {
 impl Element for L2Forward {
     fn class_name(&self) -> &'static str {
         "L2Forward"
+    }
+
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        const CLAIMS: &[SlotClaim] = &[SlotClaim::writes(anno::IFACE_OUT)];
+        CLAIMS
     }
 
     fn process(&mut self, _: &mut ElemCtx<'_>, pkt: &mut Packet, anno: &mut Anno) -> PacketResult {
@@ -272,6 +277,11 @@ impl Element for RoundRobinOutput {
         "RoundRobinOutput"
     }
 
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        const CLAIMS: &[SlotClaim] = &[SlotClaim::writes(anno::IFACE_OUT)];
+        CLAIMS
+    }
+
     fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, anno: &mut Anno) -> PacketResult {
         anno.set(anno::IFACE_OUT, u64::from(self.next));
         self.next = (self.next + 1) % self.ports;
@@ -340,6 +350,15 @@ impl Element for Paint {
         "Paint"
     }
 
+    // Paint read-modify-writes the high byte of the RSS flow-id slot.
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        const CLAIMS: &[SlotClaim] = &[
+            SlotClaim::reads(anno::FLOW_ID),
+            SlotClaim::writes(anno::FLOW_ID),
+        ];
+        CLAIMS
+    }
+
     fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, anno: &mut Anno) -> PacketResult {
         let v = anno.get(anno::FLOW_ID) & !(0xffu64 << PAINT_SHIFT);
         anno.set(anno::FLOW_ID, v | u64::from(self.color) << PAINT_SHIFT);
@@ -368,6 +387,11 @@ impl CheckPaint {
 impl Element for CheckPaint {
     fn class_name(&self) -> &'static str {
         "CheckPaint"
+    }
+
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        const CLAIMS: &[SlotClaim] = &[SlotClaim::reads(anno::FLOW_ID)];
+        CLAIMS
     }
 
     fn output_count(&self) -> usize {

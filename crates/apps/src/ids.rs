@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
 use nba_core::element::{
-    ComputeMode, DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess,
+    ComputeMode, DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess, SlotClaim,
 };
 use nba_io::proto::ether::ETHER_HDR_LEN;
 use nba_io::Packet;
@@ -127,6 +127,16 @@ impl Element for ACMatch {
         "ACMatch"
     }
 
+    // The CPU path writes the verdict; post_offload reads it back to pick
+    // the output port (the GPU-path write is implicit via the spec).
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        const CLAIMS: &[SlotClaim] = &[
+            SlotClaim::writes(anno::AC_MATCH),
+            SlotClaim::reads(anno::AC_MATCH),
+        ];
+        CLAIMS
+    }
+
     fn output_count(&self) -> usize {
         2
     }
@@ -218,6 +228,11 @@ impl RegexMatch {
 impl Element for RegexMatch {
     fn class_name(&self) -> &'static str {
         "RegexMatch"
+    }
+
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        const CLAIMS: &[SlotClaim] = &[SlotClaim::writes(anno::RE_MATCH)];
+        CLAIMS
     }
 
     fn process(
@@ -314,6 +329,15 @@ impl IDSAlert {
 impl Element for IDSAlert {
     fn class_name(&self) -> &'static str {
         "IDSAlert"
+    }
+
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        const CLAIMS: &[SlotClaim] = &[
+            SlotClaim::reads(anno::AC_MATCH),
+            SlotClaim::reads(anno::RE_MATCH),
+            SlotClaim::writes(anno::IFACE_OUT),
+        ];
+        CLAIMS
     }
 
     fn process(

@@ -381,6 +381,15 @@ impl Element for IPsecAuthVerify {
         "IPsecAuthVerify"
     }
 
+    // The GPU verdict lands in the scratch slot via the spec's annotation
+    // postprocess (implicit write claim); post_offload reads it back.
+    fn slot_claims(&self) -> &'static [nba_core::element::SlotClaim] {
+        const CLAIMS: &[nba_core::element::SlotClaim] = &[nba_core::element::SlotClaim::reads(
+            nba_core::batch::anno::RE_MATCH,
+        )];
+        CLAIMS
+    }
+
     fn process(&mut self, ctx: &mut ElemCtx<'_>, pkt: &mut Packet, _: &mut Anno) -> PacketResult {
         if ctx.compute == ComputeMode::Full && verify_icv(&self.sa, &pkt.data()[IP_OFF..]) == 0 {
             return PacketResult::Drop;

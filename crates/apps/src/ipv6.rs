@@ -15,7 +15,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
-use nba_core::element::{DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess};
+use nba_core::element::{
+    DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess, SlotClaim,
+};
 use nba_io::proto::ether::ETHER_HDR_LEN;
 use nba_io::Packet;
 use nba_sim::{CpuProfile, GpuProfile};
@@ -267,6 +269,16 @@ impl LookupIP6 {
 impl Element for LookupIP6 {
     fn class_name(&self) -> &'static str {
         "LookupIP6"
+    }
+
+    // The CPU path writes the next-hop port; post_offload reads the slot
+    // the kernel's annotation postprocess filled.
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        const CLAIMS: &[SlotClaim] = &[
+            SlotClaim::writes(anno::IFACE_OUT),
+            SlotClaim::reads(anno::IFACE_OUT),
+        ];
+        CLAIMS
     }
 
     fn process(&mut self, _: &mut ElemCtx<'_>, pkt: &mut Packet, anno: &mut Anno) -> PacketResult {

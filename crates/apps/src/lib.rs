@@ -15,6 +15,8 @@
 //! runnable [`nba_core::runtime::PipelineBuilder`]s and registering every
 //! element with the configuration language.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod ids;
 pub mod ipsec;

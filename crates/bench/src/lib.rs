@@ -7,5 +7,7 @@
 //! * `src/bin/repro.rs` runs a single one (`cargo run -p nba-bench --bin
 //!   repro -- fig12`).
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod table;

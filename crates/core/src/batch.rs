@@ -42,6 +42,21 @@ pub mod anno {
     /// Nothing on the processing path reads it, so stamping cannot change
     /// behaviour.
     pub const TRACE_ID: usize = 1;
+
+    /// Per-packet slots the framework owns: elements must never write
+    /// these ([`TIMESTAMP`] and [`IFACE_IN`] are seeded at RX,
+    /// [`ORIG_BITS`] drives input-normalized throughput accounting).
+    /// The static verifier rejects write claims on them (`NBA011`).
+    pub const RESERVED_PACKET_WRITES: &[usize] = &[TIMESTAMP, IFACE_IN, ORIG_BITS];
+
+    /// Per-batch slots the framework owns ([`TRACE_ID`] is stamped by the
+    /// runtime at RX; [`LB_DEVICE`] is intentionally element-writable —
+    /// it is the designated load-balancer decision slot).
+    pub const RESERVED_BATCH_WRITES: &[usize] = &[TRACE_ID];
+
+    /// Per-packet slots the framework seeds on every packet at RX, so
+    /// element reads of them are always defined ([`crate::batch::PacketBatch::push`]).
+    pub const FRAMEWORK_SEEDED: &[usize] = &[TIMESTAMP, IFACE_IN, FLOW_ID, ORIG_BITS];
 }
 
 /// A per-packet or per-batch annotation set.

@@ -29,6 +29,7 @@ use std::sync::Arc;
 
 use crate::element::Element;
 use crate::graph::{BranchPolicy, ElementGraph, GraphBuilder, NodeId};
+use crate::lint::{Code, Diagnostic, LintReport, SourceMap};
 
 /// An element factory: builds an element from its quoted parameters.
 pub type Factory = Arc<dyn Fn(&[String]) -> Result<Box<dyn Element>, String> + Send + Sync>;
@@ -239,7 +240,32 @@ struct Decl {
     line: usize,
 }
 
-/// Parses a configuration and builds a ready-to-run graph.
+/// One `from [port] -> to` hop, with the line of its connection statement
+/// so the assembler and the linter can report token-accurate spans.
+#[derive(Debug)]
+struct Conn {
+    from: String,
+    port: usize,
+    to: String,
+    line: usize,
+}
+
+/// A graph built from configuration text together with its `nba-lint`
+/// report and source map (produced by [`build_graph_checked`]).
+#[derive(Debug)]
+pub struct CheckedGraph {
+    /// The wired pipeline replica.
+    pub graph: ElementGraph,
+    /// All `nba-lint` findings, warnings included.
+    pub report: LintReport,
+    /// Node/connection → configuration-line mapping.
+    pub source: SourceMap,
+}
+
+/// Parses a configuration and builds a ready-to-run graph, rejecting any
+/// pipeline the `nba-lint` static verifier finds unsound (`Error`-severity
+/// diagnostics become [`ConfigError`]s with the offending source line;
+/// warnings are available via [`build_graph_checked`]).
 ///
 /// Each call produces an independent replica (the runtime builds one per
 /// worker thread, §3.2 "replicated pipelines").
@@ -248,13 +274,47 @@ pub fn build_graph(
     registry: &ElementRegistry,
     policy: BranchPolicy,
 ) -> Result<ElementGraph, ConfigError> {
+    let checked = build_graph_checked(src, registry, policy)?;
+    if let Some(e) = checked.report.first_error() {
+        return Err(ConfigError {
+            msg: format!("[{}] {}", e.code, e.message),
+            line: e.line.unwrap_or(1),
+        });
+    }
+    Ok(checked.graph)
+}
+
+/// Like [`build_graph`], but returns the full `nba-lint` report and the
+/// source map instead of failing on `Error` diagnostics — the `probe
+/// --check` frontend renders everything, the runtimes decide severity.
+/// Parse and wiring errors (syntax, unknown classes, double connections)
+/// still fail fast as [`ConfigError`]s.
+pub fn build_graph_checked(
+    src: &str,
+    registry: &ElementRegistry,
+    policy: BranchPolicy,
+) -> Result<CheckedGraph, ConfigError> {
+    let (decls, conns) = parse(src)?;
+    let (graph, source, pre) = assemble(&decls, &conns, registry, policy)?;
+    let lint = crate::lint::verify_graph(&graph, Some(&source));
+    let mut report = LintReport { diagnostics: pre };
+    report.diagnostics.extend(lint.diagnostics);
+    Ok(CheckedGraph {
+        graph,
+        report,
+        source,
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn parse(src: &str) -> Result<(HashMap<String, Decl>, Vec<Conn>), ConfigError> {
     let toks = lex(src)?;
     let mut pos = 0;
 
     let mut decls: HashMap<String, Decl> = HashMap::new();
-    // Connections: (from name, from port, to name), plus anonymous uses of
-    // pseudo-element classes in connection position.
-    let mut conns: Vec<(String, usize, String, usize)> = Vec::new();
+    // Connections by name, plus anonymous uses of pseudo-element classes in
+    // connection position.
+    let mut conns: Vec<Conn> = Vec::new();
 
     fn peek(toks: &[(Tok, usize)], pos: usize) -> Option<&Tok> {
         toks.get(pos).map(|(t, _)| t)
@@ -281,9 +341,10 @@ pub fn build_graph(
                 // Declaration.
                 pos += 1;
                 let Some(Tok::Ident(class)) = peek(&toks, pos) else {
+                    // Point at the offending token, not the statement start.
                     return Err(ConfigError {
                         msg: "expected class name after '::'".to_owned(),
-                        line,
+                        line: line_at(&toks, pos),
                     });
                 };
                 let class = class.clone();
@@ -378,15 +439,22 @@ pub fn build_graph(
                         }
                         pos += 1;
                     }
+                    let hop_line = line_at(&toks, pos);
                     let Some(Tok::Ident(to)) = peek(&toks, pos) else {
                         return Err(ConfigError {
                             msg: "expected element name after '->'".to_owned(),
-                            line: line_at(&toks, pos),
+                            line: hop_line,
                         });
                     };
                     let to = to.clone();
                     pos += 1;
-                    conns.push((from.clone(), out_port, to.clone(), in_port));
+                    let _ = in_port; // accepted, ignored: one input per element
+                    conns.push(Conn {
+                        from: from.clone(),
+                        port: out_port,
+                        to: to.clone(),
+                        line: hop_line,
+                    });
                     from = to;
                 }
                 expect_semi(&toks, &mut pos)?;
@@ -400,7 +468,7 @@ pub fn build_graph(
         }
     }
 
-    assemble(&decls, &conns, registry, policy)
+    Ok((decls, conns))
 }
 
 fn expect_semi(toks: &[(Tok, usize)], pos: &mut usize) -> Result<(), ConfigError> {
@@ -419,13 +487,15 @@ fn expect_semi(toks: &[(Tok, usize)], pos: &mut usize) -> Result<(), ConfigError
     }
 }
 
-/// Resolves names (declared or pseudo) and wires the graph.
+/// Resolves names (declared or pseudo) and wires the graph, collecting the
+/// [`SourceMap`] and pre-wiring diagnostics (`NBA002` arity violations are
+/// recorded instead of panicking in [`GraphBuilder::connect`]).
 fn assemble(
     decls: &HashMap<String, Decl>,
-    conns: &[(String, usize, String, usize)],
+    conns: &[Conn],
     registry: &ElementRegistry,
     policy: BranchPolicy,
-) -> Result<ElementGraph, ConfigError> {
+) -> Result<(ElementGraph, SourceMap, Vec<Diagnostic>), ConfigError> {
     #[derive(Debug, Clone, Copy, PartialEq)]
     enum Resolved {
         Real(NodeId),
@@ -437,18 +507,24 @@ fn assemble(
     let mut gb = GraphBuilder::new();
     gb.branch_policy(policy);
 
+    let mut src = SourceMap::default();
     let mut nodes: HashMap<String, Resolved> = HashMap::new();
+    let mut classes: Vec<String> = Vec::new(); // class per node id
     let resolve = |name: &str,
+                   use_line: usize,
                    nodes: &mut HashMap<String, Resolved>,
-                   gb: &mut GraphBuilder|
+                   gb: &mut GraphBuilder,
+                   src: &mut SourceMap,
+                   classes: &mut Vec<String>|
      -> Result<Resolved, ConfigError> {
         if let Some(r) = nodes.get(name) {
             return Ok(*r);
         }
         let (class, params, line) = match decls.get(name) {
             Some(d) => (d.class.as_str(), d.params.as_slice(), d.line),
-            // Anonymous pseudo-element use: `x -> Discard;`.
-            None => (name, &[][..], 1),
+            // Anonymous pseudo-element use: `x -> Discard;` — attribute it
+            // to the connection that mentions it.
+            None => (name, &[][..], use_line),
         };
         let r = match class {
             "FromInput" => Resolved::FromInput,
@@ -467,40 +543,69 @@ fn assemble(
                     msg: format!("configuring {name:?} ({class}): {e}"),
                     line,
                 })?;
-                Resolved::Real(gb.add(el))
+                let id = gb.add(el);
+                src.node_names.push(name.to_owned());
+                src.node_lines.push(line);
+                classes.push(class.to_owned());
+                Resolved::Real(id)
             }
         };
         nodes.insert(name.to_owned(), r);
         Ok(r)
     };
 
+    let mut pre: Vec<Diagnostic> = Vec::new();
     let mut entry: Option<NodeId> = None;
-    let mut connected: HashMap<(usize, usize), usize> = HashMap::new();
-    for (from, port, to, _in_port) in conns {
-        let f = resolve(from, &mut nodes, &mut gb)?;
-        let t = resolve(to, &mut nodes, &mut gb)?;
+    for conn in conns {
+        let Conn {
+            from,
+            port,
+            to,
+            line,
+        } = conn;
+        let f = resolve(from, *line, &mut nodes, &mut gb, &mut src, &mut classes)?;
+        let t = resolve(to, *line, &mut nodes, &mut gb, &mut src, &mut classes)?;
         match (f, t) {
             (Resolved::FromInput, Resolved::Real(n)) => {
                 if entry.replace(n).is_some() {
                     return Err(ConfigError {
                         msg: "FromInput connected more than once".to_owned(),
-                        line: 1,
+                        line: *line,
                     });
                 }
             }
             (Resolved::FromInput, _) => {
                 return Err(ConfigError {
                     msg: "FromInput must feed a real element".to_owned(),
-                    line: 1,
+                    line: *line,
                 });
             }
             (Resolved::Real(n), target) => {
-                if connected.insert((n.0, *port), 1).is_some() {
+                let ports = gb.output_count_of(n);
+                if *port >= ports {
+                    // Record NBA002 and leave the port unwired — connect()
+                    // would panic on the out-of-range index.
+                    pre.push(Diagnostic {
+                        code: Code::PortArity,
+                        severity: Code::PortArity.severity(),
+                        message: format!(
+                            "{from:?} ({}) has {ports} output port(s) but the \
+                             connection uses port {port}",
+                            classes[n.0]
+                        ),
+                        node: Some(n.0),
+                        element: Some(classes[n.0].clone()),
+                        line: Some(*line),
+                    });
+                    continue;
+                }
+                if !src.connected.insert((n.0, *port)) {
                     return Err(ConfigError {
                         msg: format!("output port {port} of {from:?} connected twice"),
-                        line: 1,
+                        line: *line,
                     });
                 }
+                src.conn_lines.insert((n.0, *port), *line);
                 match target {
                     Resolved::Real(m) => {
                         gb.connect(n, *port, m);
@@ -514,7 +619,7 @@ fn assemble(
                     Resolved::FromInput => {
                         return Err(ConfigError {
                             msg: "cannot connect into FromInput".to_owned(),
-                            line: 1,
+                            line: *line,
                         });
                     }
                 }
@@ -522,21 +627,32 @@ fn assemble(
             (Resolved::ToOutput, _) | (Resolved::Discard, _) => {
                 return Err(ConfigError {
                     msg: format!("{from:?} is a sink and has no outputs"),
-                    line: 1,
+                    line: *line,
                 });
             }
         }
     }
+
+    // Declared names no connection ever mentioned (the linter reports them
+    // as NBA001 — they cannot correspond to graph nodes).
+    let mut unused: Vec<(String, String, usize)> = decls
+        .iter()
+        .filter(|(name, _)| !nodes.contains_key(*name))
+        .map(|(name, d)| (name.clone(), d.class.clone(), d.line))
+        .collect();
+    unused.sort_by_key(|(_, _, line)| *line);
+    src.unused_decls = unused;
 
     let entry = entry.ok_or(ConfigError {
         msg: "configuration needs `FromInput -> <element>`".to_owned(),
         line: 1,
     })?;
     gb.entry(entry);
-    gb.build().map_err(|e| ConfigError {
+    let graph = gb.build().map_err(|e| ConfigError {
         msg: e.to_string(),
         line: 1,
-    })
+    })?;
+    Ok((graph, src, pre))
 }
 
 #[cfg(test)]
@@ -729,6 +845,106 @@ mod tests {
 
         let err = build_graph("a :: \"oops\";", &registry(), BranchPolicy::Predict).unwrap_err();
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn class_name_error_points_at_offending_token() {
+        // The bad token sits on line 2; the statement starts on line 1.
+        let err = build_graph("a ::\n42;", &registry(), BranchPolicy::Predict).unwrap_err();
+        assert!(err.msg.contains("class name"), "{err}");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn undeclared_element_error_carries_connection_line() {
+        let err = build_graph(
+            "src :: FromInput();\na :: NoOp();\nsrc -> a -> ghost;",
+            &registry(),
+            BranchPolicy::Predict,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("undeclared"), "{err}");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn double_connection_error_carries_connection_line() {
+        let err = build_graph(
+            "src :: FromInput();\na :: NoOp();\nb :: NoOp();\nsrc -> a;\na -> b;\na -> ToOutput;\nb -> ToOutput;",
+            &registry(),
+            BranchPolicy::Predict,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("connected twice"), "{err}");
+        assert_eq!(err.line, 6);
+    }
+
+    #[test]
+    fn sink_in_source_position_carries_connection_line() {
+        let err = build_graph(
+            "src :: FromInput();\na :: NoOp();\nsrc -> a;\na -> Discard;\nDiscard -> a;",
+            &registry(),
+            BranchPolicy::Predict,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("sink"), "{err}");
+        assert_eq!(err.line, 5);
+    }
+
+    #[test]
+    fn port_arity_violation_is_nba002_with_line() {
+        let checked = build_graph_checked(
+            "src :: FromInput();\nchk :: TwoWay();\nsrc -> chk;\nchk [5] -> ToOutput;\nchk [0] -> ToOutput;\nchk [1] -> Discard;",
+            &registry(),
+            BranchPolicy::Predict,
+        )
+        .unwrap();
+        let d = checked
+            .report
+            .with_code(crate::lint::Code::PortArity)
+            .next()
+            .expect("NBA002");
+        assert_eq!(d.line, Some(4));
+        assert_eq!(d.element.as_deref(), Some("TwoWay"));
+        // The strict frontend refuses the same config outright.
+        let err = build_graph(
+            "src :: FromInput();\nchk :: TwoWay();\nsrc -> chk;\nchk [5] -> ToOutput;\nchk [0] -> ToOutput;\nchk [1] -> Discard;",
+            &registry(),
+            BranchPolicy::Predict,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("NBA002"), "{err}");
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn unused_declaration_is_nba001_with_decl_line() {
+        let err = build_graph(
+            "src :: FromInput();\na :: NoOp();\nlost :: NoOp();\nsrc -> a -> ToOutput;",
+            &registry(),
+            BranchPolicy::Predict,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("NBA001"), "{err}");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn checked_build_reports_source_map() {
+        let checked = build_graph_checked(
+            "src :: FromInput();\na :: NoOp();\nb :: NoOp();\nsrc -> a -> b -> ToOutput;",
+            &registry(),
+            BranchPolicy::Predict,
+        )
+        .unwrap();
+        assert!(
+            checked.report.is_clean(),
+            "{}",
+            checked.report.render_text()
+        );
+        assert_eq!(checked.source.name(0), Some("a"));
+        assert_eq!(checked.source.name(1), Some("b"));
+        assert_eq!(checked.source.node_lines, vec![2, 3]);
     }
 
     #[test]

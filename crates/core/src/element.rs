@@ -58,10 +58,93 @@ pub enum ComputeMode {
     HeadersOnly,
 }
 
+/// Which annotation set a [`SlotClaim`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotScope {
+    /// A per-packet annotation slot.
+    Packet,
+    /// The per-batch annotation slot.
+    Batch,
+}
+
+/// How an element touches a claimed annotation slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotAccess {
+    /// The element only reads the slot.
+    Read,
+    /// The element writes (or read-modify-writes) the slot.
+    Write,
+}
+
+/// One annotation slot an element touches, declared for the static
+/// verifier (`nba-lint`). The 7-slot cache-line annotation layout
+/// ([`crate::batch::ANNO_SLOTS`]) is shared by the framework and every
+/// element in a pipeline; claims make that sharing checkable at
+/// graph-load time instead of a silent-corruption hazard at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotClaim {
+    /// Per-packet or per-batch annotation set.
+    pub scope: SlotScope,
+    /// Slot index (must be `< ANNO_SLOTS`).
+    pub slot: usize,
+    /// Read or write.
+    pub access: SlotAccess,
+}
+
+impl SlotClaim {
+    /// A per-packet read claim.
+    pub const fn reads(slot: usize) -> SlotClaim {
+        SlotClaim {
+            scope: SlotScope::Packet,
+            slot,
+            access: SlotAccess::Read,
+        }
+    }
+
+    /// A per-packet write claim.
+    pub const fn writes(slot: usize) -> SlotClaim {
+        SlotClaim {
+            scope: SlotScope::Packet,
+            slot,
+            access: SlotAccess::Write,
+        }
+    }
+
+    /// A per-batch read claim.
+    pub const fn batch_reads(slot: usize) -> SlotClaim {
+        SlotClaim {
+            scope: SlotScope::Batch,
+            slot,
+            access: SlotAccess::Read,
+        }
+    }
+
+    /// A per-batch write claim.
+    pub const fn batch_writes(slot: usize) -> SlotClaim {
+        SlotClaim {
+            scope: SlotScope::Batch,
+            slot,
+            access: SlotAccess::Write,
+        }
+    }
+}
+
 /// A packet-processing operator composed into a pipeline.
 pub trait Element: Send {
     /// The class name used by the configuration language.
     fn class_name(&self) -> &'static str;
+
+    /// Annotation slots this element reads or writes, for the static
+    /// verifier. Elements that never touch [`Anno`] sets keep the empty
+    /// default. An offloadable element's [`Postprocess::Annotation`] slot
+    /// is claimed implicitly — only CPU-path accesses need declaring.
+    ///
+    /// The linter rejects claims on reserved framework slots and
+    /// write-write collisions between different element classes in one
+    /// pipeline (`NBA010`–`NBA013`).
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        &[]
+    }
 
     /// Number of output ports (edges) this element has.
     fn output_count(&self) -> usize {

@@ -208,6 +208,17 @@ impl GraphBuilder {
         self
     }
 
+    /// Output-port count of an already-added element (the config assembler
+    /// pre-checks connection arity so a bad port becomes a diagnostic, not
+    /// a panic in [`GraphBuilder::connect`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn output_count_of(&self, node: NodeId) -> usize {
+        self.nodes[node.0].element.output_count().max(1)
+    }
+
     /// Overrides the entry node (defaults to the first added element).
     pub fn entry(&mut self, node: NodeId) -> &mut Self {
         self.entry = Some(node);
@@ -263,6 +274,29 @@ impl ElementGraph {
     /// Panics if the id is out of range.
     pub fn element_mut(&mut self, id: NodeId) -> &mut dyn Element {
         &mut *self.nodes[id.0].element
+    }
+
+    /// Borrows an element immutably (the static verifier, reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn element(&self, id: NodeId) -> &dyn Element {
+        &*self.nodes[id.0].element
+    }
+
+    /// The branch policy the graph was built with.
+    pub fn branch_policy(&self) -> BranchPolicy {
+        self.policy
+    }
+
+    /// Runs the `nba-lint` static verifier over this graph (structural,
+    /// annotation-slot, datablock, and branch-shape checks). Graphs built
+    /// from configuration text get source line spans via
+    /// [`crate::config::build_graph_checked`]; this entry point reports
+    /// node ids and element class names only.
+    pub fn verify(&self) -> crate::lint::LintReport {
+        crate::lint::verify_graph(self, None)
     }
 
     /// The edge out of `id`'s output `port`, if that port exists (used by

@@ -375,6 +375,14 @@ impl Element for LoadBalanceElement {
         "LoadBalance"
     }
 
+    // The device decision slot is deliberately element-writable: stamping
+    // it is this element's whole job.
+    fn slot_claims(&self) -> &'static [crate::element::SlotClaim] {
+        const CLAIMS: &[crate::element::SlotClaim] =
+            &[crate::element::SlotClaim::batch_writes(anno::LB_DEVICE)];
+        CLAIMS
+    }
+
     fn kind(&self) -> ElementKind {
         ElementKind::PerBatch
     }

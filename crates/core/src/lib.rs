@@ -12,6 +12,9 @@
 //!   problem, and batch-level branch prediction,
 //! * [`config`] — the Click configuration language dialect (quoted
 //!   parameters) with an element registry,
+//! * [`lint`] — `nba-lint`, the static pipeline verifier: structural,
+//!   annotation-slot, datablock, and branch-shape checks with stable
+//!   `NBA0xx` diagnostic codes,
 //! * [`offload`] — datablock gather/scatter between batches and devices,
 //! * [`lb`] — load balancers, including the paper's adaptive algorithm,
 //! * [`nls`] — node-local storage for shared read-mostly tables,
@@ -21,11 +24,14 @@
 //! * [`runtime`] — the discrete-event runtime (all experiments) and a live
 //!   multi-threaded runtime.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod config;
 pub mod element;
 pub mod graph;
 pub mod lb;
+pub mod lint;
 pub mod nls;
 pub mod offload;
 pub mod runtime;
@@ -33,16 +39,17 @@ pub mod stats;
 pub mod telemetry;
 
 pub use batch::{anno, Anno, PacketBatch, PacketResult};
-pub use config::{build_graph, ConfigError, ElementRegistry};
+pub use config::{build_graph, build_graph_checked, CheckedGraph, ConfigError, ElementRegistry};
 pub use element::{
     ComputeMode, DbInput, DbOutput, ElemCtx, Element, ElementKind, Kernel, KernelIo, OffloadSpec,
-    Postprocess,
+    Postprocess, SlotAccess, SlotClaim, SlotScope,
 };
 pub use graph::{BranchPolicy, ElementGraph, GraphBuilder, NodeId, OutEdge, RunOutcome};
 pub use lb::{
     Adaptive, AlbConfig, CpuOnly, FixedFraction, GpuOnly, LatencyBounded, LoadBalancer,
     SharedBalancer,
 };
+pub use lint::{Code, Diagnostic, LintReport, Severity, SourceMap};
 pub use nls::NodeLocalStorage;
 pub use runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
 pub use stats::{Counters, LatencyHistogram, Snapshot, SystemInspector};

@@ -1,0 +1,969 @@
+//! `nba-lint`: the static pipeline verifier.
+//!
+//! NBA's design rests on invariants the Rust compiler cannot see: the
+//! element graph must be a push-only DAG, the 7-slot cache-line annotation
+//! layout ([`crate::batch::ANNO_SLOTS`]) is shared by the framework and
+//! every element, offloadable elements declare datablock byte ranges the
+//! device engine trusts blindly, and branch shapes decide whether
+//! batch-level branch prediction pays off (§3.2–§3.3 of the paper). A
+//! violation of any of them — a slot collision, a cycle, a stale datablock
+//! range — surfaces as silent corruption or a hung worker at runtime.
+//!
+//! This module checks all of them at graph-load time, before any batch
+//! flows:
+//!
+//! * **structural** — unreachable nodes, ports exceeding
+//!   [`Element::output_count`], cycles, exit coverage, unconnected output
+//!   ports, branch-policy/fan-out interactions,
+//! * **semantic** — the annotation-slot registry built from
+//!   [`Element::slot_claims`] plus implicit claims from
+//!   [`Postprocess::Annotation`]: reserved-slot writes, write-write
+//!   collisions between element classes, reads of never-written slots,
+//! * **datablock** — conflicting byte-range declarations between
+//!   consecutive [`OffloadSpec`]s and degenerate ranges.
+//!
+//! Every diagnostic carries a stable code (`NBA001`…), a severity, and —
+//! when the graph came from configuration text via
+//! [`crate::config::build_graph_checked`] — the Click-source line of the
+//! offending declaration or connection. Both runtimes run [`preflight`]
+//! before starting: `Error` refuses the graph, `Warn` logs.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::batch::{anno, ANNO_SLOTS};
+use crate::element::{
+    DbInput, DbOutput, Element, OffloadSpec, Postprocess, SlotAccess, SlotClaim, SlotScope,
+};
+use crate::graph::{BranchPolicy, ElementGraph, NodeId, OutEdge};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but runnable; runtimes log and continue.
+    Warn,
+    /// The graph is unsafe to run; runtimes refuse to start.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. The numeric ranges group the check families:
+/// `NBA00x` structural, `NBA01x` annotation slots, `NBA02x` datablocks,
+/// `NBA03x` branch shape. Codes are append-only — they appear in CI logs,
+/// docs, and tests, so existing numbers never change meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `NBA001` — element unreachable from the entry (or declared and
+    /// never connected).
+    UnreachableNode,
+    /// `NBA002` — connection uses an output port the element lacks.
+    PortArity,
+    /// `NBA003` — cycle in the push-only element graph.
+    Cycle,
+    /// `NBA004` — no path from the entry to a `ToOutput` exit edge.
+    NoExit,
+    /// `NBA005` — multi-output element leaves a port unconnected (it
+    /// silently defaults to the exit).
+    UnconnectedPort,
+    /// `NBA010` — slot claim outside the 7-slot annotation layout.
+    SlotOutOfRange,
+    /// `NBA011` — element writes a framework-reserved annotation slot.
+    ReservedSlotWrite,
+    /// `NBA012` — two element classes write the same annotation slot.
+    SlotCollision,
+    /// `NBA013` — element reads a slot nothing in the pipeline writes.
+    SlotReadUnwritten,
+    /// `NBA020` — size-changing datablock write overlaps the byte range a
+    /// consecutive offloadable element declared.
+    DatablockOverlap,
+    /// `NBA021` — annotation postprocess truncates a result wider than
+    /// the 8-byte slot.
+    AnnotationTruncated,
+    /// `NBA022` — datablock declares an empty byte range.
+    EmptyDatablock,
+    /// `NBA030` — branch under `SplitAlways` policy: every batch splits
+    /// (the Figure 1 batch-split problem).
+    BatchSplit,
+    /// `NBA031` — wide fan-out under `Predict`: prediction covers one
+    /// port, so most packets still split.
+    WideFanOut,
+}
+
+impl Code {
+    /// The stable code string (`"NBA001"`…).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnreachableNode => "NBA001",
+            Code::PortArity => "NBA002",
+            Code::Cycle => "NBA003",
+            Code::NoExit => "NBA004",
+            Code::UnconnectedPort => "NBA005",
+            Code::SlotOutOfRange => "NBA010",
+            Code::ReservedSlotWrite => "NBA011",
+            Code::SlotCollision => "NBA012",
+            Code::SlotReadUnwritten => "NBA013",
+            Code::DatablockOverlap => "NBA020",
+            Code::AnnotationTruncated => "NBA021",
+            Code::EmptyDatablock => "NBA022",
+            Code::BatchSplit => "NBA030",
+            Code::WideFanOut => "NBA031",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnreachableNode
+            | Code::PortArity
+            | Code::Cycle
+            | Code::SlotOutOfRange
+            | Code::ReservedSlotWrite
+            | Code::SlotCollision
+            | Code::DatablockOverlap => Severity::Error,
+            Code::NoExit
+            | Code::UnconnectedPort
+            | Code::SlotReadUnwritten
+            | Code::AnnotationTruncated
+            | Code::EmptyDatablock
+            | Code::BatchSplit
+            | Code::WideFanOut => Severity::Warn,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One verifier finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Graph node the finding anchors to, if any.
+    pub node: Option<usize>,
+    /// Element class name of that node.
+    pub element: Option<String>,
+    /// Click-source line (1-based) when the graph came from configuration
+    /// text; `None` for programmatically built graphs.
+    pub line: Option<usize>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(line) = self.line {
+            write!(f, " line {line}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        match (&self.node, &self.element) {
+            (Some(n), Some(e)) => write!(f, " (node {n}, {e})"),
+            (Some(n), None) => write!(f, " (node {n})"),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Maps graph nodes and connections back to configuration-source lines.
+/// Produced by [`crate::config::build_graph_checked`]; a graph built
+/// programmatically has none and its diagnostics carry node ids only.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    /// Configuration name of each node (parallel to graph node ids).
+    pub node_names: Vec<String>,
+    /// Declaration line of each node (0 when unknown).
+    pub node_lines: Vec<usize>,
+    /// Line of the connection statement wiring `(node, port)`.
+    pub conn_lines: HashMap<(usize, usize), usize>,
+    /// `(node, port)` pairs the configuration explicitly connected.
+    pub connected: HashSet<(usize, usize)>,
+    /// Declared names never used by any connection: `(name, class, line)`.
+    pub unused_decls: Vec<(String, String, usize)>,
+}
+
+impl SourceMap {
+    fn node_line(&self, node: usize) -> Option<usize> {
+        self.node_lines.get(node).copied().filter(|&l| l > 0)
+    }
+
+    fn conn_line(&self, node: usize, port: usize) -> Option<usize> {
+        self.conn_lines.get(&(node, port)).copied()
+    }
+
+    /// The configuration name of `node`, if known.
+    pub fn name(&self, node: usize) -> Option<&str> {
+        self.node_names.get(node).map(String::as_str)
+    }
+}
+
+/// All findings of one verification pass.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Findings, in check order (structural, slots, datablocks, branches).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// `true` when nothing was found (errors *or* warnings).
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` when at least one `Error` finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// The first `Error` finding, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+    }
+
+    /// All `Warn` findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+    }
+
+    /// Findings carrying `code`.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// One line per finding, errors first.
+    pub fn render_text(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by_key(|d| std::cmp::Reverse(d.severity));
+        let mut out = String::new();
+        for d in sorted {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The whole report as one JSON array (machine-readable `--check`
+    /// output; dependency-free like the telemetry exporters).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+                d.code,
+                d.severity,
+                crate::telemetry::json_escape(&d.message),
+            ));
+            if let Some(n) = d.node {
+                out.push_str(&format!(",\"node\":{n}"));
+            }
+            if let Some(e) = &d.element {
+                out.push_str(&format!(
+                    ",\"element\":\"{}\"",
+                    crate::telemetry::json_escape(e)
+                ));
+            }
+            if let Some(l) = d.line {
+                out.push_str(&format!(",\"line\":{l}"));
+            }
+            out.push('}');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    fn push(&mut self, code: Code, message: String, node: Option<usize>, line: Option<usize>) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity: code.severity(),
+            message,
+            node,
+            element: None,
+            line,
+        });
+    }
+}
+
+/// Runtime preflight: logs warnings to stderr and **panics** — refusing to
+/// start — when the graph fails verification at `Error` severity. Both the
+/// DES and live runtimes call this on the first pipeline replica before
+/// any batch flows.
+pub fn preflight(graph: &ElementGraph) {
+    let report = graph.verify();
+    for w in report.warnings() {
+        eprintln!("nba-lint: {w}");
+    }
+    if report.has_errors() {
+        panic!(
+            "pipeline failed static verification (nba-lint):\n{}",
+            report.render_text()
+        );
+    }
+}
+
+/// Runs every check over `graph`. With a [`SourceMap`] (configuration
+/// path), diagnostics carry source lines and configuration-only checks
+/// (unused declarations, unconnected ports) run too.
+pub fn verify_graph(graph: &ElementGraph, src: Option<&SourceMap>) -> LintReport {
+    let mut report = LintReport::default();
+    let n = graph.len();
+    let entry = graph.entry_node();
+
+    // Fill in element class names at the end; checks record node ids.
+    let class = |i: usize| graph.element(NodeId(i)).class_name();
+    let node_line = |i: usize| src.and_then(|s| s.node_line(i));
+    let label = |i: usize| -> String {
+        match src.and_then(|s| s.name(i)) {
+            Some(name) => format!("{name:?} ({})", class(i)),
+            None => class(i).to_string(),
+        }
+    };
+
+    // --- Structural: reachability, cycles, exit coverage -----------------
+
+    let out_ports = |i: usize| graph.element(NodeId(i)).output_count().max(1);
+    let edges = |i: usize| -> Vec<OutEdge> {
+        (0..out_ports(i))
+            .filter_map(|p| graph.out_edge(NodeId(i), p))
+            .collect()
+    };
+
+    let mut reachable = vec![false; n];
+    let mut stack = vec![entry.0];
+    let mut exit_reachable = false;
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut reachable[i], true) {
+            continue;
+        }
+        for e in edges(i) {
+            match e {
+                OutEdge::Node(m) => stack.push(m.0),
+                OutEdge::Exit => exit_reachable = true,
+                OutEdge::Discard => {}
+            }
+        }
+    }
+    for (i, r) in reachable.iter().enumerate() {
+        if !r {
+            report.push(
+                Code::UnreachableNode,
+                format!("element {} is unreachable from the entry", label(i)),
+                Some(i),
+                node_line(i),
+            );
+        }
+    }
+    if let Some(s) = src {
+        for (name, cls, line) in &s.unused_decls {
+            report.push(
+                Code::UnreachableNode,
+                format!("declared element {name:?} ({cls}) is never connected"),
+                None,
+                Some(*line),
+            );
+        }
+    }
+    if !exit_reachable {
+        report.push(
+            Code::NoExit,
+            "no path from the entry reaches ToOutput; every packet is dropped".to_owned(),
+            Some(entry.0),
+            node_line(entry.0),
+        );
+    }
+
+    // Cycle detection: iterative DFS with colors (0 = white, 1 = on the
+    // stack, 2 = done). The traversal worklist would loop forever on a
+    // cycle, so this is an Error.
+    let mut color = vec![0u8; n];
+    for start in 0..n {
+        if color[start] != 0 || !reachable[start] {
+            continue;
+        }
+        // (node, next edge index) — explicit stack to avoid recursion.
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&(i, next)) = dfs.last() {
+            let es = edges(i);
+            if next >= es.len() {
+                color[i] = 2;
+                dfs.pop();
+                continue;
+            }
+            dfs.last_mut().unwrap().1 += 1;
+            if let OutEdge::Node(m) = es[next] {
+                match color[m.0] {
+                    0 => {
+                        color[m.0] = 1;
+                        dfs.push((m.0, 0));
+                    }
+                    1 => {
+                        let line = src
+                            .and_then(|s| s.conn_line(i, next))
+                            .or_else(|| node_line(m.0));
+                        report.push(
+                            Code::Cycle,
+                            format!(
+                                "cycle: {} port {next} feeds back into {} (push-only \
+                                 graphs must be acyclic)",
+                                label(i),
+                                label(m.0)
+                            ),
+                            Some(m.0),
+                            line,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Unconnected ports (configuration path only: programmatic builders
+    // default ports to the exit on purpose).
+    if let Some(s) = src {
+        for i in 0..n {
+            let ports = out_ports(i);
+            if ports < 2 {
+                continue;
+            }
+            for p in 0..ports {
+                if !s.connected.contains(&(i, p)) {
+                    report.push(
+                        Code::UnconnectedPort,
+                        format!(
+                            "output port {p} of {} is not connected and silently \
+                             defaults to ToOutput",
+                            label(i)
+                        ),
+                        Some(i),
+                        node_line(i),
+                    );
+                }
+            }
+        }
+    }
+
+    // --- Semantic: the annotation-slot registry --------------------------
+
+    // Gather explicit claims plus the implicit write claim of an
+    // offloadable element's annotation postprocess.
+    let claims_of = |i: usize| -> Vec<SlotClaim> {
+        let el: &dyn Element = graph.element(NodeId(i));
+        let mut claims: Vec<SlotClaim> = el.slot_claims().to_vec();
+        if let Some(spec) = el.offload() {
+            if let Postprocess::Annotation(slot) = spec.postprocess {
+                let implicit = SlotClaim::writes(slot);
+                if !claims.contains(&implicit) {
+                    claims.push(implicit);
+                }
+            }
+        }
+        claims
+    };
+
+    // (scope, slot) -> writers as (node, class).
+    let mut writers: HashMap<(SlotScope, usize), Vec<(usize, &'static str)>> = HashMap::new();
+    for i in 0..n {
+        for c in claims_of(i) {
+            if c.slot >= ANNO_SLOTS {
+                report.push(
+                    Code::SlotOutOfRange,
+                    format!(
+                        "{} claims {:?} slot {} but the annotation layout has {} slots",
+                        label(i),
+                        c.scope,
+                        c.slot,
+                        ANNO_SLOTS
+                    ),
+                    Some(i),
+                    node_line(i),
+                );
+                continue;
+            }
+            if c.access == SlotAccess::Write {
+                let reserved = match c.scope {
+                    SlotScope::Packet => anno::RESERVED_PACKET_WRITES,
+                    SlotScope::Batch => anno::RESERVED_BATCH_WRITES,
+                };
+                if reserved.contains(&c.slot) {
+                    report.push(
+                        Code::ReservedSlotWrite,
+                        format!(
+                            "{} writes framework-reserved {:?} slot {}",
+                            label(i),
+                            c.scope,
+                            c.slot
+                        ),
+                        Some(i),
+                        node_line(i),
+                    );
+                }
+                writers
+                    .entry((c.scope, c.slot))
+                    .or_default()
+                    .push((i, class(i)));
+            }
+        }
+    }
+
+    // Write-write collisions: two *different* classes writing one slot in
+    // one pipeline means the later stage silently clobbers the earlier
+    // one's state (instances of the same class are presumed compatible —
+    // replicated stages write the same meaning).
+    let mut collision_keys: Vec<(SlotScope, usize)> = writers.keys().copied().collect();
+    collision_keys.sort_by_key(|&(s, slot)| (s == SlotScope::Batch, slot));
+    for key in collision_keys {
+        let ws = &writers[&key];
+        let classes: Vec<&'static str> = {
+            let mut cs: Vec<&'static str> = ws.iter().map(|&(_, c)| c).collect();
+            cs.sort_unstable();
+            cs.dedup();
+            cs
+        };
+        if classes.len() >= 2 {
+            let at = ws.iter().map(|&(i, _)| i).max().unwrap_or(0);
+            report.push(
+                Code::SlotCollision,
+                format!(
+                    "{:?} slot {} is written by multiple element classes: {}",
+                    key.0,
+                    key.1,
+                    classes.join(", ")
+                ),
+                Some(at),
+                node_line(at),
+            );
+        }
+    }
+
+    // Reads of never-written slots (graph-level approximation: any writer
+    // anywhere in the pipeline satisfies the read, path-insensitively).
+    for i in 0..n {
+        for c in claims_of(i) {
+            if c.access != SlotAccess::Read || c.slot >= ANNO_SLOTS {
+                continue;
+            }
+            let seeded = c.scope == SlotScope::Packet && anno::FRAMEWORK_SEEDED.contains(&c.slot);
+            let written = writers.contains_key(&(c.scope, c.slot));
+            if !seeded && !written {
+                report.push(
+                    Code::SlotReadUnwritten,
+                    format!(
+                        "{} reads {:?} slot {} but nothing in this pipeline writes it",
+                        label(i),
+                        c.scope,
+                        c.slot
+                    ),
+                    Some(i),
+                    node_line(i),
+                );
+            }
+        }
+    }
+
+    // --- Datablocks: byte-range conflicts between consecutive specs ------
+
+    let spec_of = |i: usize| -> Option<OffloadSpec> { graph.element(NodeId(i)).offload() };
+    for i in 0..n {
+        let Some(spec) = spec_of(i) else { continue };
+
+        // Degenerate ranges: a datablock that gathers or produces nothing.
+        if let DbInput::PartialPacket { len: 0, .. } = spec.input {
+            report.push(
+                Code::EmptyDatablock,
+                format!("{} declares a zero-length input datablock range", label(i)),
+                Some(i),
+                node_line(i),
+            );
+        }
+        if let DbOutput::PerItem { len } = spec.output {
+            if len == 0 {
+                report.push(
+                    Code::EmptyDatablock,
+                    format!("{} declares a zero-length per-item output", label(i)),
+                    Some(i),
+                    node_line(i),
+                );
+            } else if len > 8 && matches!(spec.postprocess, Postprocess::Annotation(_)) {
+                report.push(
+                    Code::AnnotationTruncated,
+                    format!(
+                        "{} scatters {len}-byte items into an 8-byte annotation \
+                         slot; results are truncated",
+                        label(i)
+                    ),
+                    Some(i),
+                    node_line(i),
+                );
+            }
+        }
+
+        // Consecutive offloadable elements: a size-changing in-place write
+        // shifts every byte at or after its range start, so a downstream
+        // spec whose declared range touches that region reads stale
+        // offsets (and defeats GPU-resident datablock reuse).
+        let grows = matches!(spec.output, DbOutput::InPlace { extra } if extra > 0);
+        if !grows {
+            continue;
+        }
+        let up_start = match spec.input {
+            DbInput::PartialPacket { offset, .. } | DbInput::WholePacket { offset } => offset,
+        };
+        for p in 0..out_ports(i) {
+            let Some(OutEdge::Node(m)) = graph.out_edge(NodeId(i), p) else {
+                continue;
+            };
+            let Some(next) = spec_of(m.0) else { continue };
+            // Downstream's declared end (None = to end of frame).
+            let down_end = match next.input {
+                DbInput::PartialPacket { offset, len } => Some(offset + len),
+                DbInput::WholePacket { .. } => None,
+            };
+            let conflicts = down_end.is_none_or(|e| e > up_start);
+            if conflicts {
+                let line = src
+                    .and_then(|s| s.node_line(m.0))
+                    .or_else(|| src.and_then(|s| s.conn_line(i, p)));
+                report.push(
+                    Code::DatablockOverlap,
+                    format!(
+                        "{} rewrites packet bytes from offset {up_start} with a size \
+                         delta, but consecutive offloadable {} declares a datablock \
+                         range over those bytes",
+                        label(i),
+                        label(m.0)
+                    ),
+                    Some(m.0),
+                    line,
+                );
+            }
+        }
+    }
+
+    // --- Branch shape vs. policy (the batch-split problem, Figure 1) -----
+
+    for (i, _) in reachable.iter().enumerate().filter(|&(_, &r)| r) {
+        let real: usize = edges(i)
+            .into_iter()
+            .filter(|&e| e != OutEdge::Discard)
+            .count();
+        if real >= 2 && graph.branch_policy() == BranchPolicy::SplitAlways {
+            report.push(
+                Code::BatchSplit,
+                format!(
+                    "{} branches over {real} ports under SplitAlways: every batch is \
+                     reorganized (the batch-split problem); consider Predict",
+                    label(i)
+                ),
+                Some(i),
+                node_line(i),
+            );
+        } else if real >= 3 && graph.branch_policy() == BranchPolicy::Predict {
+            report.push(
+                Code::WideFanOut,
+                format!(
+                    "{} fans out over {real} ports: branch prediction reuses the batch \
+                     for one port only, so most packets split anyway",
+                    label(i)
+                ),
+                Some(i),
+                node_line(i),
+            );
+        }
+    }
+
+    // Attach element class names to node-anchored diagnostics.
+    for d in &mut report.diagnostics {
+        if let Some(i) = d.node {
+            if d.element.is_none() {
+                d.element = Some(class(i).to_owned());
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{Anno, PacketResult};
+    use crate::element::{DbInput, DbOutput, ElemCtx, KernelIo, OffloadSpec, Postprocess};
+    use crate::graph::GraphBuilder;
+    use nba_io::Packet;
+    use nba_sim::GpuProfile;
+    use std::sync::Arc;
+
+    struct Probe {
+        name: &'static str,
+        ports: usize,
+        claims: &'static [SlotClaim],
+        spec: Option<OffloadSpec>,
+    }
+
+    impl Probe {
+        fn new(name: &'static str) -> Probe {
+            Probe {
+                name,
+                ports: 1,
+                claims: &[],
+                spec: None,
+            }
+        }
+    }
+
+    impl Element for Probe {
+        fn class_name(&self) -> &'static str {
+            self.name
+        }
+        fn output_count(&self) -> usize {
+            self.ports
+        }
+        fn slot_claims(&self) -> &'static [SlotClaim] {
+            self.claims
+        }
+        fn offload(&self) -> Option<OffloadSpec> {
+            self.spec.clone()
+        }
+        fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, _: &mut Anno) -> PacketResult {
+            PacketResult::Out(0)
+        }
+    }
+
+    fn noop_kernel() -> crate::element::Kernel {
+        Arc::new(|_: KernelIo<'_>| {})
+    }
+
+    fn spec(input: DbInput, output: DbOutput, post: Postprocess) -> OffloadSpec {
+        OffloadSpec {
+            input,
+            output,
+            gpu: GpuProfile::default(),
+            kernel: noop_kernel(),
+            heavy: false,
+            postprocess: post,
+        }
+    }
+
+    fn codes(report: &LintReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_linear_graph_verifies() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe::new("A")));
+        let b = gb.add(Box::new(Probe::new("B")));
+        gb.connect(a, 0, b);
+        gb.connect_exit(b, 0);
+        let g = gb.build().unwrap();
+        let report = g.verify();
+        assert!(report.is_clean(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn cycle_is_an_error() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe::new("A")));
+        let b = gb.add(Box::new(Probe::new("B")));
+        gb.connect(a, 0, b);
+        gb.connect(b, 0, a);
+        let g = gb.build().unwrap();
+        let report = g.verify();
+        assert!(report.has_errors());
+        assert!(codes(&report).contains(&"NBA003"), "{:?}", codes(&report));
+    }
+
+    #[test]
+    fn unreachable_node_is_an_error() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe::new("A")));
+        let _orphan = gb.add(Box::new(Probe::new("Orphan")));
+        gb.connect_exit(a, 0);
+        gb.entry(a);
+        let g = gb.build().unwrap();
+        let report = g.verify();
+        let d = report.with_code(Code::UnreachableNode).next().unwrap();
+        assert_eq!(d.node, Some(1));
+        assert_eq!(d.element.as_deref(), Some("Orphan"));
+    }
+
+    #[test]
+    fn reserved_write_and_collision_and_unwritten_read() {
+        static W_TS: &[SlotClaim] = &[SlotClaim::writes(anno::TIMESTAMP)];
+        static W5_A: &[SlotClaim] = &[SlotClaim::writes(5)];
+        static W5_B: &[SlotClaim] = &[SlotClaim::writes(5)];
+        static R4: &[SlotClaim] = &[SlotClaim::reads(4)];
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe {
+            claims: W_TS,
+            ..Probe::new("A")
+        }));
+        let b = gb.add(Box::new(Probe {
+            claims: W5_A,
+            ..Probe::new("B")
+        }));
+        let c = gb.add(Box::new(Probe {
+            claims: W5_B,
+            ..Probe::new("C")
+        }));
+        let d = gb.add(Box::new(Probe {
+            claims: R4,
+            ..Probe::new("D")
+        }));
+        gb.connect(a, 0, b);
+        gb.connect(b, 0, c);
+        gb.connect(c, 0, d);
+        gb.connect_exit(d, 0);
+        let g = gb.build().unwrap();
+        let report = g.verify();
+        let cs = codes(&report);
+        assert!(cs.contains(&"NBA011"), "{cs:?}");
+        assert!(cs.contains(&"NBA012"), "{cs:?}");
+        assert!(cs.contains(&"NBA013"), "{cs:?}");
+    }
+
+    #[test]
+    fn same_class_writers_do_not_collide() {
+        static W5: &[SlotClaim] = &[SlotClaim::writes(5)];
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe {
+            claims: W5,
+            ..Probe::new("Same")
+        }));
+        let b = gb.add(Box::new(Probe {
+            claims: W5,
+            ..Probe::new("Same")
+        }));
+        gb.connect(a, 0, b);
+        gb.connect_exit(b, 0);
+        let g = gb.build().unwrap();
+        assert_eq!(g.verify().with_code(Code::SlotCollision).count(), 0);
+    }
+
+    #[test]
+    fn size_delta_overlap_is_an_error() {
+        let grow = spec(
+            DbInput::WholePacket { offset: 14 },
+            DbOutput::InPlace { extra: 16 },
+            Postprocess::WriteBack,
+        );
+        let read = spec(
+            DbInput::WholePacket { offset: 14 },
+            DbOutput::InPlace { extra: 0 },
+            Postprocess::WriteBack,
+        );
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe {
+            spec: Some(grow),
+            ..Probe::new("Grow")
+        }));
+        let b = gb.add(Box::new(Probe {
+            spec: Some(read),
+            ..Probe::new("Read")
+        }));
+        gb.connect(a, 0, b);
+        gb.connect_exit(b, 0);
+        let g = gb.build().unwrap();
+        let report = g.verify();
+        assert!(codes(&report).contains(&"NBA020"), "{:?}", codes(&report));
+        // The non-growing pair in the other order is fine.
+        let read2 = spec(
+            DbInput::WholePacket { offset: 14 },
+            DbOutput::InPlace { extra: 0 },
+            Postprocess::WriteBack,
+        );
+        let read3 = spec(
+            DbInput::WholePacket { offset: 14 },
+            DbOutput::InPlace { extra: 0 },
+            Postprocess::WriteBack,
+        );
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe {
+            spec: Some(read2),
+            ..Probe::new("A")
+        }));
+        let b = gb.add(Box::new(Probe {
+            spec: Some(read3),
+            ..Probe::new("B")
+        }));
+        gb.connect(a, 0, b);
+        gb.connect_exit(b, 0);
+        let g = gb.build().unwrap();
+        assert_eq!(g.verify().with_code(Code::DatablockOverlap).count(), 0);
+    }
+
+    #[test]
+    fn split_always_branch_warns() {
+        let mut gb = GraphBuilder::new();
+        gb.branch_policy(BranchPolicy::SplitAlways);
+        let a = gb.add(Box::new(Probe {
+            ports: 2,
+            ..Probe::new("Branch")
+        }));
+        let l = gb.add(Box::new(Probe::new("L")));
+        let r = gb.add(Box::new(Probe::new("R")));
+        gb.connect(a, 0, l);
+        gb.connect(a, 1, r);
+        gb.connect_exit(l, 0);
+        gb.connect_exit(r, 0);
+        let g = gb.build().unwrap();
+        let report = g.verify();
+        assert!(!report.has_errors());
+        assert_eq!(report.with_code(Code::BatchSplit).count(), 1);
+    }
+
+    #[test]
+    fn truncated_annotation_warns() {
+        let wide = spec(
+            DbInput::WholePacket { offset: 0 },
+            DbOutput::PerItem { len: 16 },
+            Postprocess::Annotation(4),
+        );
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe {
+            spec: Some(wide),
+            ..Probe::new("Wide")
+        }));
+        gb.connect_exit(a, 0);
+        let g = gb.build().unwrap();
+        assert_eq!(g.verify().with_code(Code::AnnotationTruncated).count(), 1);
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Probe::new("A")));
+        let b = gb.add(Box::new(Probe::new("B")));
+        gb.connect(a, 0, b);
+        gb.connect(b, 0, a);
+        let g = gb.build().unwrap();
+        let report = g.verify();
+        let text = report.render_text();
+        assert!(text.contains("error[NBA003]"), "{text}");
+        let json = report.render_json();
+        assert!(json.contains("\"code\":\"NBA003\""), "{json}");
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    }
+}

@@ -733,6 +733,12 @@ pub fn run_with_sources(
             policy: cfg.branch_policy,
         };
         let mut g = build(&bctx);
+        if w == 0 {
+            // Mandatory nba-lint preflight on the first replica (all
+            // replicas are clones of one pipeline): log warnings, refuse
+            // to start on Error-severity findings.
+            crate::lint::preflight(&g);
+        }
         g.enable_trace(cfg.telemetry.trace_capacity);
         graphs.push(g);
     }

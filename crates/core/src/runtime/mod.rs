@@ -190,7 +190,9 @@ impl RunReport {
 pub fn traffic_per_port(topology: &Topology, t: &TrafficConfig) -> Vec<TrafficConfig> {
     (0..topology.ports.len())
         .map(|i| TrafficConfig {
-            seed: t.seed.wrapping_add(i as u64 * 0x9e37_79b9_7f4a_7c15),
+            seed: t
+                .seed
+                .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
             ..t.clone()
         })
         .collect()

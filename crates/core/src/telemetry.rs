@@ -259,7 +259,7 @@ impl TraceBuffer {
 // Exporters: dependency-free JSONL and Prometheus text renderers.
 // ---------------------------------------------------------------------------
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,0 +1,268 @@
+//! One failing fixture pipeline per `nba-lint` diagnostic code, asserting
+//! both the stable code and the configuration source line it points at —
+//! the contract `probe --check` and editor integrations build on.
+
+use std::sync::Arc;
+
+use nba_core::batch::{anno, Anno, PacketResult};
+use nba_core::config::{build_graph, build_graph_checked, ElementRegistry};
+use nba_core::element::{
+    DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess, SlotClaim,
+};
+use nba_core::graph::{BranchPolicy, GraphBuilder};
+use nba_core::lint::{Code, Severity};
+use nba_core::runtime::{des, traffic_per_port, PipelineBuilder, RuntimeConfig};
+use nba_io::Packet;
+use nba_sim::{GpuProfile, Time};
+
+/// A configurable fixture element: class name, fan-out, slot claims, and an
+/// optional offload spec are all injectable per registry entry.
+struct Fx {
+    name: &'static str,
+    ports: usize,
+    claims: &'static [SlotClaim],
+    spec: Option<OffloadSpec>,
+}
+
+impl Element for Fx {
+    fn class_name(&self) -> &'static str {
+        self.name
+    }
+    fn output_count(&self) -> usize {
+        self.ports
+    }
+    fn slot_claims(&self) -> &'static [SlotClaim] {
+        self.claims
+    }
+    fn offload(&self) -> Option<OffloadSpec> {
+        self.spec.clone()
+    }
+    fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, _: &mut Anno) -> PacketResult {
+        PacketResult::Out(0)
+    }
+}
+
+fn spec(input: DbInput, output: DbOutput, post: Postprocess) -> OffloadSpec {
+    OffloadSpec {
+        input,
+        output,
+        gpu: GpuProfile::default(),
+        kernel: Arc::new(|_: KernelIo<'_>| {}),
+        heavy: false,
+        postprocess: post,
+    }
+}
+
+static WRITE_FLOW: &[SlotClaim] = &[SlotClaim::writes(anno::FLOW_ID)];
+static READ_AC: &[SlotClaim] = &[SlotClaim::reads(anno::AC_MATCH)];
+static WRITE_TS: &[SlotClaim] = &[SlotClaim::writes(anno::TIMESTAMP)];
+static SLOT_99: &[SlotClaim] = &[SlotClaim::writes(99)];
+
+fn registry() -> ElementRegistry {
+    let mut r = ElementRegistry::new();
+    let fx = |name: &'static str, ports: usize, claims: &'static [SlotClaim]| Fx {
+        name,
+        ports,
+        claims,
+        spec: None,
+    };
+    r.register("Stage", move |_| Ok(Box::new(fx("Stage", 1, &[]))));
+    r.register("Fork", move |_| Ok(Box::new(fx("Fork", 2, &[]))));
+    r.register("WriteFlow", move |_| {
+        Ok(Box::new(fx("WriteFlow", 1, WRITE_FLOW)))
+    });
+    r.register("StampFlow", move |_| {
+        Ok(Box::new(fx("StampFlow", 1, WRITE_FLOW)))
+    });
+    r.register("ReadAc", move |_| Ok(Box::new(fx("ReadAc", 1, READ_AC))));
+    r.register("WriteTs", move |_| Ok(Box::new(fx("WriteTs", 1, WRITE_TS))));
+    r.register("BigSlot", move |_| Ok(Box::new(fx("BigSlot", 1, SLOT_99))));
+    // A size-changing in-place rewrite from byte 14 on.
+    r.register("Grow", |_| {
+        Ok(Box::new(Fx {
+            name: "Grow",
+            ports: 1,
+            claims: &[],
+            spec: Some(spec(
+                DbInput::PartialPacket {
+                    offset: 14,
+                    len: 64,
+                },
+                DbOutput::InPlace { extra: 16 },
+                Postprocess::WriteBack,
+            )),
+        }))
+    });
+    // A whole-packet scanner scattering verdicts into an annotation.
+    r.register("Scan", |_| {
+        Ok(Box::new(Fx {
+            name: "Scan",
+            ports: 1,
+            claims: &[],
+            spec: Some(spec(
+                DbInput::WholePacket { offset: 0 },
+                DbOutput::PerItem { len: 8 },
+                Postprocess::Annotation(anno::AC_MATCH),
+            )),
+        }))
+    });
+    r
+}
+
+/// The first diagnostic with `code`, with its (severity, line).
+fn first(src: &str, policy: BranchPolicy, code: Code) -> (Severity, Option<usize>) {
+    let checked = build_graph_checked(src, &registry(), policy).expect("fixture must assemble");
+    let d = checked
+        .report
+        .with_code(code)
+        .next()
+        .unwrap_or_else(|| panic!("expected {code:?} in:\n{}", checked.report.render_text()));
+    (d.severity, d.line)
+}
+
+#[test]
+fn nba001_unreachable_node_points_at_declaration() {
+    let (sev, line) = first(
+        "src :: FromInput();\na :: Stage();\nb :: Stage();\nsrc -> a -> ToOutput;\nb -> ToOutput;",
+        BranchPolicy::Predict,
+        Code::UnreachableNode,
+    );
+    assert_eq!(sev, Severity::Error);
+    assert_eq!(line, Some(3));
+}
+
+#[test]
+fn nba002_port_arity_points_at_connection() {
+    let (sev, line) = first(
+        "src :: FromInput();\na :: Stage();\nsrc -> a;\na [2] -> ToOutput;\na [0] -> ToOutput;",
+        BranchPolicy::Predict,
+        Code::PortArity,
+    );
+    assert_eq!(sev, Severity::Error);
+    assert_eq!(line, Some(4));
+}
+
+#[test]
+fn nba003_cycle_points_at_back_edge() {
+    let (sev, line) = first(
+        "src :: FromInput();\na :: Stage();\nb :: Stage();\nsrc -> a;\na -> b;\nb -> a;",
+        BranchPolicy::Predict,
+        Code::Cycle,
+    );
+    assert_eq!(sev, Severity::Error);
+    assert_eq!(line, Some(6));
+}
+
+#[test]
+fn nba010_slot_out_of_range() {
+    let (sev, line) = first(
+        "src :: FromInput();\nx :: BigSlot();\nsrc -> x -> ToOutput;",
+        BranchPolicy::Predict,
+        Code::SlotOutOfRange,
+    );
+    assert_eq!(sev, Severity::Error);
+    assert_eq!(line, Some(2));
+}
+
+#[test]
+fn nba011_reserved_slot_write() {
+    let (sev, line) = first(
+        "src :: FromInput();\nt :: WriteTs();\nsrc -> t -> ToOutput;",
+        BranchPolicy::Predict,
+        Code::ReservedSlotWrite,
+    );
+    assert_eq!(sev, Severity::Error);
+    assert_eq!(line, Some(2));
+}
+
+#[test]
+fn nba012_slot_collision_between_classes() {
+    let (sev, line) = first(
+        "src :: FromInput();\nw1 :: WriteFlow();\nw2 :: StampFlow();\nsrc -> w1 -> w2 -> ToOutput;",
+        BranchPolicy::Predict,
+        Code::SlotCollision,
+    );
+    assert_eq!(sev, Severity::Error);
+    assert_eq!(line, Some(3));
+}
+
+#[test]
+fn nba013_read_of_unwritten_slot() {
+    let (sev, line) = first(
+        "src :: FromInput();\nr :: ReadAc();\nsrc -> r -> ToOutput;",
+        BranchPolicy::Predict,
+        Code::SlotReadUnwritten,
+    );
+    assert_eq!(sev, Severity::Warn);
+    assert_eq!(line, Some(2));
+}
+
+#[test]
+fn nba020_datablock_overlap_after_size_delta() {
+    let (sev, line) = first(
+        "src :: FromInput();\ng :: Grow();\ns :: Scan();\nsrc -> g -> s -> ToOutput;",
+        BranchPolicy::Predict,
+        Code::DatablockOverlap,
+    );
+    assert_eq!(sev, Severity::Error);
+    assert_eq!(line, Some(3));
+}
+
+#[test]
+fn nba030_batch_split_under_split_always() {
+    let cfg = "src :: FromInput();\nf :: Fork();\na :: Stage();\nb :: Stage();\n\
+               src -> f;\nf [0] -> a -> ToOutput;\nf [1] -> b -> ToOutput;";
+    let (sev, line) = first(cfg, BranchPolicy::SplitAlways, Code::BatchSplit);
+    assert_eq!(sev, Severity::Warn);
+    assert_eq!(line, Some(2));
+    // Warnings never block the strict frontend.
+    build_graph(cfg, &registry(), BranchPolicy::SplitAlways).expect("warn-only config builds");
+}
+
+#[test]
+fn strict_frontend_rejects_error_fixture_with_code_and_line() {
+    let err = build_graph(
+        "src :: FromInput();\na :: Stage();\nb :: Stage();\nsrc -> a;\na -> b;\nb -> a;",
+        &registry(),
+        BranchPolicy::Predict,
+    )
+    .unwrap_err();
+    assert!(err.msg.contains("NBA003"), "{err}");
+    assert_eq!(err.line, 6);
+}
+
+/// The runtimes refuse to start a pipeline that fails verification: the
+/// mandatory preflight panics before any batch flows.
+#[test]
+#[should_panic(expected = "static verification")]
+fn des_runtime_refuses_unverified_graph() {
+    let build: PipelineBuilder = Arc::new(|ctx| {
+        let mut gb = GraphBuilder::new();
+        gb.branch_policy(ctx.policy);
+        let a = gb.add(Box::new(Fx {
+            name: "Entry",
+            ports: 1,
+            claims: &[],
+            spec: None,
+        }));
+        // An orphan node nothing feeds: NBA001 at Error severity.
+        let b = gb.add(Box::new(Fx {
+            name: "Orphan",
+            ports: 1,
+            claims: &[],
+            spec: None,
+        }));
+        gb.connect_exit(a, 0);
+        gb.connect_exit(b, 0);
+        gb.entry(a);
+        gb.build().expect("builder accepts the orphan")
+    });
+    let cfg = RuntimeConfig {
+        warmup: Time::from_ms(1),
+        measure: Time::from_ms(1),
+        ..RuntimeConfig::default()
+    };
+    let traffic = traffic_per_port(&cfg.topology, &nba_io::TrafficConfig::default());
+    let balancer = nba_core::lb::shared(Box::new(nba_core::lb::CpuOnly));
+    des::run(&cfg, &build, &balancer, &traffic);
+}

@@ -11,6 +11,8 @@
 //! Verified against FIPS-197 appendices, NIST SP 800-38A CTR vectors,
 //! FIPS 180-4 SHA-1 vectors, and RFC 2202 HMAC vectors.
 
+#![forbid(unsafe_code)]
+
 pub mod aes;
 pub mod hmac;
 pub mod sha1;

@@ -13,6 +13,8 @@
 //!   GPU-path output is bit-identical to the CPU path) while completion
 //!   times come from the timeline model.
 
+#![forbid(unsafe_code)]
+
 pub mod mem;
 pub mod shim;
 pub mod timeline;

@@ -18,6 +18,8 @@
 //!   IMIX, CAIDA-like mixes over Zipf flow populations),
 //! * [`pcap`] — classic pcap capture and rate-controlled trace replay.
 
+#![forbid(unsafe_code)]
+
 pub mod buf;
 pub mod checksum;
 pub mod gen;

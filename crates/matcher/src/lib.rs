@@ -12,6 +12,8 @@
 //! Both expose a raw `step(state, byte)` interface so the simulated GPU
 //! kernels run exactly the same automata as the CPU elements.
 
+#![forbid(unsafe_code)]
+
 pub mod aho;
 pub mod regex;
 

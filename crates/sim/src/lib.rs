@@ -15,6 +15,8 @@
 //! Nothing here knows about packets or elements; higher crates (`nba-io`,
 //! `nba-gpu`, `nba-core`) build the actual framework on these primitives.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod engine;
 pub mod queue;

@@ -1,0 +1,18 @@
+// Intrusion detection system (Figure 8d): Aho-Corasick prefilter, regex
+// confirmation on literal hits, alert counting on both paths. Matches
+// `pipelines::ids`.
+src    :: FromInput();
+chk    :: CheckIPHeader();
+lb     :: LoadBalance();
+ac     :: ACMatch();
+re     :: RegexMatch();
+alert  :: IDSAlert();
+alert2 :: IDSAlert();
+out    :: ToOutput();
+out2   :: ToOutput();
+
+src -> chk;
+chk [0] -> lb -> ac;
+chk [1] -> Discard;
+ac [0] -> alert -> out;
+ac [1] -> re -> alert2 -> out2;

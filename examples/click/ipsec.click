@@ -1,0 +1,15 @@
+// IPsec encryption gateway (Figure 8c): route, then ESP-encapsulate and
+// run both offloadable crypto stages. Matches `pipelines::ipsec_gateway`.
+src   :: FromInput();
+chk   :: CheckIPHeader();
+rt    :: IPLookup();
+ttl   :: DecIPTTL();
+encap :: IPsecESPEncap();
+lb    :: LoadBalance();
+aes   :: IPsecAES();
+auth  :: IPsecAuthHMAC();
+out   :: ToOutput();
+
+src -> chk;
+chk [0] -> rt -> ttl -> encap -> lb -> aes -> auth -> out;
+chk [1] -> Discard;

@@ -1,0 +1,16 @@
+// IPsec receive side: verify the ICV, decrypt, strip the ESP layout, then
+// route the recovered inner packet. Matches
+// `pipelines::ipsec_decap_gateway`.
+src     :: FromInput();
+chk     :: CheckIPHeader();
+lb      :: LoadBalance();
+verify  :: IPsecAuthVerify();
+decrypt :: IPsecDecrypt();
+decap   :: IPsecESPDecap();
+rt      :: IPLookup();
+ttl     :: DecIPTTL();
+out     :: ToOutput();
+
+src -> chk;
+chk [0] -> lb -> verify -> decrypt -> decap -> rt -> ttl -> out;
+chk [1] -> Discard;

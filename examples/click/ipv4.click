@@ -1,0 +1,12 @@
+// IPv4 router (Figure 8a): header check, load balance, DIR-24-8 lookup,
+// TTL decrement. Matches `pipelines::ipv4_router`.
+src :: FromInput();
+chk :: CheckIPHeader();
+lb  :: LoadBalance();
+rt  :: IPLookup();
+ttl :: DecIPTTL();
+out :: ToOutput();
+
+src -> chk;
+chk [0] -> lb -> rt -> ttl -> out;
+chk [1] -> Discard;

@@ -1,0 +1,13 @@
+// IPv6 router (Figure 8b): header check, load balance, binary-search
+// longest-prefix lookup, hop-limit decrement. Matches
+// `pipelines::ipv6_router`.
+src  :: FromInput();
+chk  :: CheckIP6Header();
+lb   :: LoadBalance();
+rt   :: LookupIP6();
+hlim :: DecIP6HLIM();
+out  :: ToOutput();
+
+src -> chk;
+chk [0] -> lb -> rt -> hlim -> out;
+chk [1] -> Discard;

@@ -1,0 +1,7 @@
+// Minimal L2 forwarder (the §4.6 latency baseline): swap MACs, pick the
+// output NIC from the input port annotation. Matches `pipelines::l2fwd`.
+src :: FromInput();
+fwd :: L2Forward();
+out :: ToOutput();
+
+src -> fwd -> out;

@@ -7,6 +7,8 @@
 //! when configured). Good for smoke-running benches and catching
 //! regressions by eye; not a measurement-grade harness.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque hint preventing the optimizer from deleting a value.

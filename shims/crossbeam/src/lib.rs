@@ -2,6 +2,8 @@
 //! only, implementing multi-producer multi-consumer unbounded channels with
 //! cloneable receivers over `std::sync` primitives.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     //! MPMC unbounded channels with `try_recv`/`recv_timeout`.
 

@@ -3,6 +3,8 @@
 //! API (no `Result`). A panicked holder does not poison the lock; the data
 //! is still returned to later lockers, matching parking_lot semantics.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, PoisonError};
 
 /// A mutual-exclusion lock whose `lock` never fails.

@@ -11,6 +11,8 @@
 //! deterministic seed per test (derived from file/line/name), and failing
 //! cases are **not shrunk** — the failing input is printed as-is.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Case-driving machinery: config, RNG, and case errors.
 

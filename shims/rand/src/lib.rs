@@ -9,6 +9,8 @@
 //! seeds explicitly and only relies on self-consistent determinism, never on
 //! a specific upstream stream.
 
+#![forbid(unsafe_code)]
+
 /// Sources of uniformly random 64-bit words.
 pub trait RngCore {
     /// The next 64 uniformly random bits.

@@ -1,0 +1,222 @@
+//! Continuous-benchmarking CLI: canonical `BENCH_*.json` artifacts and the
+//! regression gate.
+//!
+//! Usage:
+//!
+//! * `nba-bench run <app> [--out PATH] [--mode alb|cpu|gpu|<w>]`
+//!   Runs one app (`ipv4` | `ipv6` | `ipsec` | `ids`) on the simulated
+//!   paper testbed and writes a versioned [`BenchReport`] to
+//!   `BENCH_<app>.json` (or `--out`). `NBA_QUICK=1` shortens the
+//!   measurement windows for CI smoke runs. The default `alb` mode runs
+//!   the adaptive balancer so the artifact captures convergence stats.
+//! * `nba-bench compare <baseline.json> <current.json>
+//!   [--tol-throughput R] [--tol-latency R] [--tol-w A]`
+//!   Diffs two reports under per-metric tolerances, prints the verdict
+//!   table, and exits 1 on regression. Gates are one-sided — improvements
+//!   never fail.
+//!
+//! Exit codes: 0 ok, 1 regression, 2 usage/parse error.
+//!
+//! The DES runtime is deterministic, so two runs of the same binary and
+//! config produce identical reports — baselines under `bench/baselines/`
+//! are machine-independent.
+
+use nba_apps::{pipelines, AppConfig};
+use nba_bench::report::{compare, BenchReport, Tolerances};
+use nba_core::lb::{self, AlbConfig, SharedBalancer};
+use nba_core::runtime::{des, traffic_per_port, PipelineBuilder, RuntimeConfig};
+use nba_io::{IpVersion, SizeDist, TrafficConfig};
+use nba_sim::Time;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]"
+    );
+    std::process::exit(2);
+}
+
+/// True when `NBA_QUICK` asks for shortened smoke windows.
+fn quick() -> bool {
+    std::env::var("NBA_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// The canonical benchmark configuration. Quick mode shrinks the windows
+/// (and is recorded in the artifact, so `compare` warns when a quick run
+/// is diffed against a full baseline).
+fn bench_cfg(q: bool) -> RuntimeConfig {
+    let (warmup, measure) = if q {
+        (Time::from_ms(6), Time::from_ms(20))
+    } else {
+        (Time::from_ms(10), Time::from_ms(60))
+    };
+    RuntimeConfig {
+        warmup,
+        measure,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Resolves an app name to its pipeline builder and IP version.
+fn pipeline_for(app: &str, a: &AppConfig) -> Option<(PipelineBuilder, bool)> {
+    Some(match app {
+        "ipv4" | "v4" => (pipelines::ipv4_router(a), false),
+        "ipv6" | "v6" => (pipelines::ipv6_router(a), true),
+        "ipsec" => (pipelines::ipsec_gateway(a), false),
+        "ids" => (pipelines::ids(a).0, false),
+        _ => return None,
+    })
+}
+
+/// The scaled adaptive balancer used for benchmark artifacts — same
+/// algorithm as the paper's, time constants shrunk to converge within the
+/// simulated horizon (see EXPERIMENTS.md).
+fn balancer_for(mode: &str) -> Option<SharedBalancer> {
+    Some(match mode {
+        "alb" => lb::shared(Box::new(lb::Adaptive::new(AlbConfig {
+            delta: 0.08,
+            update_interval: Time::from_ms(4),
+            avg_window: 2,
+            min_wait: 0,
+            max_wait: 2,
+            initial_w: 0.5,
+        }))),
+        "cpu" => lb::shared(Box::new(lb::CpuOnly)),
+        "gpu" => lb::shared(Box::new(lb::GpuOnly)),
+        w => lb::shared(Box::new(lb::FixedFraction::new(w.parse().ok()?))),
+    })
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let positional: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let Some(&app) = positional.first() else {
+        usage();
+    };
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| {
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
+            })
+    };
+    let mode = opt("--mode").unwrap_or_else(|| "alb".to_string());
+    // Canonical app name so ipv4 and v4 produce the same artifact.
+    let app = match app {
+        "v4" => "ipv4",
+        "v6" => "ipv6",
+        other => other,
+    };
+    let out_path = opt("--out").unwrap_or_else(|| format!("BENCH_{app}.json"));
+
+    let q = quick();
+    let cfg = bench_cfg(q);
+    let appcfg = AppConfig {
+        ports: cfg.topology.ports.len() as u16,
+        ..AppConfig::default()
+    };
+    let Some((pipeline, v6)) = pipeline_for(app, &appcfg) else {
+        eprintln!("unknown app '{app}' (expected ipv4|ipv6|ipsec|ids)");
+        return 2;
+    };
+    let Some(balancer) = balancer_for(&mode) else {
+        eprintln!("unknown mode '{mode}' (expected alb|cpu|gpu|<fraction>)");
+        return 2;
+    };
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(64),
+            ip_version: if v6 { IpVersion::V6 } else { IpVersion::V4 },
+            ..TrafficConfig::default()
+        },
+    );
+    let r = des::run(&cfg, &pipeline, &balancer, &traffic);
+    let report = BenchReport::from_run(app, &cfg, &r, q);
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return 2;
+    }
+    println!(
+        "{app}: {:.2} Gbps ({:.2} Mpps), p50 {}ns p99 {}ns, w {:.3} -> {out_path}",
+        report.tx_gbps,
+        report.tx_mpps,
+        report.latency.p50_ns,
+        report.latency.p99_ns,
+        report.balancer.final_w,
+    );
+    0
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let positional: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let [base_path, cur_path] = positional[..] else {
+        usage();
+    };
+    let tol_of = |name: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| {
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
+            })
+            .map(|v| match v.parse() {
+                Ok(f) => f,
+                Err(_) => {
+                    eprintln!("{name}: not a number: {v}");
+                    std::process::exit(2);
+                }
+            })
+            .unwrap_or(default)
+    };
+    let defaults = Tolerances::default();
+    let tol = Tolerances {
+        throughput_rel: tol_of("--tol-throughput", defaults.throughput_rel),
+        latency_rel: tol_of("--tol-latency", defaults.latency_rel),
+        w_abs: tol_of("--tol-w", defaults.w_abs),
+        ..defaults
+    };
+    let load = |path: &str| -> BenchReport {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match BenchReport::parse(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let base = load(base_path);
+    let cur = load(cur_path);
+    let c = compare(&base, &cur, &tol);
+    print!("{}", c.render());
+    i32::from(c.regressed())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}

@@ -13,7 +13,11 @@
 //! * `--series`    — run time-series as JSONL (w-vs-time, Figures 12/13)
 //! * `--trace[=N]` — batch-lifecycle trace as JSONL (ring of N events per
 //!   worker, default 4096)
+//! * `--chrome`    — emit the batch trace as Chrome Trace Event Format
+//!   JSON only (open in Perfetto / `chrome://tracing`); implies `--trace`
 //! * `--prom`      — the whole report in Prometheus text format
+//! * `--json`      — the run as a canonical `BenchReport` JSON document
+//!   (the same schema `nba-bench run` writes to `BENCH_*.json`)
 //! * `--no-telemetry` — disable the sampler (for determinism comparisons)
 //!
 //! Static analysis:
@@ -23,12 +27,13 @@
 //!   nonzero if any file fails to parse or produces *any* diagnostic
 //!   (warnings included — CI keeps shipped configs spotless).
 use nba_apps::{pipelines, AppConfig};
+use nba_bench::report::BenchReport;
 use nba_core::graph::BranchPolicy;
 use nba_core::lb;
 use nba_core::nls::NodeLocalStorage;
 use nba_core::runtime::{des, traffic_per_port, BuildCtx, RuntimeConfig};
 use nba_core::telemetry::{
-    self, profile_table, report_to_prometheus, samples_to_jsonl, trace_to_jsonl,
+    self, profile_table, report_to_prometheus, samples_to_jsonl, trace_to_chrome, trace_to_jsonl,
 };
 use nba_io::{IpVersion, SizeDist, TrafficConfig};
 use nba_sim::Time;
@@ -110,7 +115,8 @@ fn main() {
                     .unwrap_or(4096)
             })
         })
-        .unwrap_or(0);
+        // --chrome is useless without a trace buffer, so it implies one.
+        .unwrap_or(if flag("--chrome") { 4096 } else { 0 });
 
     let mut telemetry = telemetry::TelemetryConfig {
         trace_capacity,
@@ -168,6 +174,21 @@ fn main() {
         w => lb::shared(Box::new(lb::FixedFraction::new(w.parse().unwrap()))),
     };
     let r = des::run(&cfg, &pipeline, &balancer, &traffic);
+    if flag("--json") {
+        // The same versioned schema `nba-bench run` writes, so one parser
+        // serves both tools.
+        print!(
+            "{}",
+            BenchReport::from_run(which, &cfg, &r, false).to_json()
+        );
+        return;
+    }
+    if flag("--chrome") {
+        // Pure JSON on stdout so `probe ... --trace --chrome > t.json`
+        // loads straight into Perfetto (implies --trace if not given).
+        print!("{}", trace_to_chrome(&r.trace, &r.elements));
+        return;
+    }
     println!(
         "{which} {size}B {mode}: {:.2} Gbps ({:.2} Mpps)",
         r.tx_gbps,

@@ -3,6 +3,8 @@
 //!
 //! * [`experiments`] — one function per figure/table, each printing the
 //!   rows the paper plots and returning them for shape assertions,
+//! * [`report`] — versioned `BENCH_*.json` benchmark artifacts and the
+//!   regression gate (`nba-bench run` / `nba-bench compare`),
 //! * `benches/figures.rs` (`cargo bench`) runs all of them,
 //! * `src/bin/repro.rs` runs a single one (`cargo run -p nba-bench --bin
 //!   repro -- fig12`).
@@ -10,4 +12,5 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod report;
 pub mod table;

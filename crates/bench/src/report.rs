@@ -1,0 +1,865 @@
+//! Versioned benchmark artifacts (`BENCH_<app>.json`) and the regression
+//! gate.
+//!
+//! A [`BenchReport`] captures one app run as a machine-readable record:
+//! provenance (git SHA, rustc version, config digest), headline throughput
+//! (Gbps/Mpps), end-to-end latency percentiles, per-element attribution,
+//! and balancer convergence (final `w`, settle time, the whole `w`
+//! trajectory). Reports serialize to JSON with our own writer and parse
+//! back with [`nba_core::json`], so the artifact pipeline stays
+//! dependency-free.
+//!
+//! [`compare`] diffs two reports under per-metric [`Tolerances`]. The gate
+//! is one-sided — improvements never fail — and deliberately generous by
+//! default: the DES runtime is deterministic, so only real cliffs should
+//! trip CI, not noise.
+//!
+//! All latency fields are nanoseconds with the `_ns` suffix (see
+//! DESIGN.md, "Units").
+
+use nba_core::json::{self, Value};
+use nba_core::runtime::{RunReport, RuntimeConfig};
+use nba_core::stats::LatencyHistogram;
+use nba_core::telemetry::{json_escape, json_f64, TimeSample};
+
+use crate::table::Table;
+
+/// Version of the `BENCH_*.json` schema this code writes and reads.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// End-to-end latency percentile summary, nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Mean.
+    pub mean_ns: u64,
+    /// Maximum observed.
+    pub max_ns: u64,
+    /// Sample count.
+    pub count: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a recorded histogram.
+    pub fn from_histogram(h: &LatencyHistogram) -> LatencySummary {
+        if h.count() == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            p50_ns: h.percentile_ns(50.0),
+            p90_ns: h.percentile_ns(90.0),
+            p99_ns: h.percentile_ns(99.0),
+            p999_ns: h.percentile_ns(99.9),
+            mean_ns: h.mean_ns(),
+            max_ns: h.max_ns(),
+            count: h.count(),
+        }
+    }
+}
+
+/// Per-element attribution: work totals plus service-time percentiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementReport {
+    /// Node index in the element graph.
+    pub node: u64,
+    /// Element class name.
+    pub element: String,
+    /// Batches processed.
+    pub batches: u64,
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets dropped here.
+    pub drops: u64,
+    /// Busy time, nanoseconds.
+    pub busy_ns: u64,
+    /// Median per-visit service time, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-visit service time, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// One point of the balancer's `w` trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WPoint {
+    /// Run time of the sample, nanoseconds.
+    pub t_ns: u64,
+    /// Offloading fraction at that time.
+    pub w: f64,
+}
+
+/// Balancer convergence statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BalancerReport {
+    /// Final offloading fraction.
+    pub final_w: f64,
+    /// Time after which `w` stayed within the settle band around
+    /// `final_w`, nanoseconds; `None` when it never settled or the run
+    /// produced no samples.
+    pub settle_ns: Option<u64>,
+    /// The sampled `w` trajectory (empty when sampling was off).
+    pub trajectory: Vec<WPoint>,
+}
+
+/// Band half-width around `final_w` used for settle-time detection.
+const SETTLE_BAND: f64 = 0.05;
+
+/// Settle time from a sampled trajectory: the time of the first sample
+/// after which every later sample stays within [`SETTLE_BAND`] of the
+/// final fraction.
+pub fn settle_time_ns(samples: &[TimeSample], final_w: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut settled_at = None;
+    for s in samples {
+        if (s.offload_fraction - final_w).abs() <= SETTLE_BAND {
+            settled_at.get_or_insert(s.t.as_ns());
+        } else {
+            settled_at = None;
+        }
+    }
+    settled_at
+}
+
+/// One benchmark run as a versioned, machine-readable artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// App name (`ipv4` / `ipv6` / `ipsec` / `ids`).
+    pub app: String,
+    /// `git rev-parse HEAD` of the working tree, or `"unknown"`.
+    pub git_sha: String,
+    /// `rustc --version`, or `"unknown"`.
+    pub rustc: String,
+    /// FNV-1a digest over the run configuration (hex). Comparing reports
+    /// with different digests still works but warns: the numbers describe
+    /// different experiments.
+    pub config_digest: String,
+    /// Whether the run used the shortened `NBA_QUICK` windows.
+    pub quick: bool,
+    /// Measurement window length, nanoseconds.
+    pub duration_ns: u64,
+    /// Offered load over the window, Gbps.
+    pub offered_gbps: f64,
+    /// Transmitted throughput, Gbps (the paper's headline metric).
+    pub tx_gbps: f64,
+    /// Transmitted throughput, Mpps.
+    pub tx_mpps: f64,
+    /// RX-ring drops in the window.
+    pub rx_dropped: u64,
+    /// End-to-end round-trip latency summary.
+    pub latency: LatencySummary,
+    /// Balancer convergence.
+    pub balancer: BalancerReport,
+    /// Per-element attribution, sorted by node.
+    pub elements: Vec<ElementReport>,
+}
+
+/// FNV-1a over the configuration knobs that define the experiment. Not a
+/// cryptographic identity — a cheap "same experiment?" check.
+pub fn config_digest(cfg: &RuntimeConfig) -> String {
+    let canon = format!(
+        "sockets={} ports={} wps={} io={} comp={} agg={} aggto={} inflight={} backlog={} reuse={} policy={:?} compute={:?} warmup={} measure={}",
+        cfg.topology.sockets.len(),
+        cfg.topology.ports.len(),
+        cfg.workers_per_socket,
+        cfg.io_batch,
+        cfg.comp_batch,
+        cfg.offload_aggregate,
+        cfg.offload_agg_timeout.as_ns(),
+        cfg.gpu_max_inflight,
+        cfg.device_backlog_batches,
+        cfg.datablock_reuse,
+        cfg.branch_policy,
+        cfg.compute,
+        cfg.warmup.as_ns(),
+        cfg.measure.as_ns(),
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canon.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// `git rev-parse HEAD`, or `"unknown"` outside a repository.
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `rustc --version`, or `"unknown"`.
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+impl BenchReport {
+    /// Builds a report from a finished run. Provenance fields (`git_sha`,
+    /// `rustc`) are captured from the environment here.
+    pub fn from_run(app: &str, cfg: &RuntimeConfig, run: &RunReport, quick: bool) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            app: app.to_string(),
+            git_sha: git_sha(),
+            rustc: rustc_version(),
+            config_digest: config_digest(cfg),
+            quick,
+            duration_ns: run.duration.as_ns(),
+            offered_gbps: run.offered_gbps,
+            tx_gbps: run.tx_gbps,
+            tx_mpps: run.tx_mpps(),
+            rx_dropped: run.rx_dropped,
+            latency: LatencySummary::from_histogram(&run.latency),
+            balancer: BalancerReport {
+                final_w: run.final_w,
+                settle_ns: settle_time_ns(&run.samples, run.final_w),
+                trajectory: run
+                    .samples
+                    .iter()
+                    .map(|s| WPoint {
+                        t_ns: s.t.as_ns(),
+                        w: s.offload_fraction,
+                    })
+                    .collect(),
+            },
+            elements: run
+                .elements
+                .iter()
+                .map(|p| ElementReport {
+                    node: p.node as u64,
+                    element: p.element.to_string(),
+                    batches: p.batches,
+                    packets: p.packets,
+                    drops: p.drops,
+                    busy_ns: p.busy.as_ns(),
+                    p50_ns: p.latency.percentile_ns(50.0),
+                    p99_ns: p.latency.percentile_ns(99.0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes to pretty-printed JSON (the `BENCH_*.json` artifact).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        s.push_str(&format!("  \"app\": \"{}\",\n", json_escape(&self.app)));
+        s.push_str(&format!(
+            "  \"git_sha\": \"{}\",\n",
+            json_escape(&self.git_sha)
+        ));
+        s.push_str(&format!("  \"rustc\": \"{}\",\n", json_escape(&self.rustc)));
+        s.push_str(&format!(
+            "  \"config_digest\": \"{}\",\n",
+            json_escape(&self.config_digest)
+        ));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"duration_ns\": {},\n", self.duration_ns));
+        s.push_str(&format!(
+            "  \"offered_gbps\": {},\n",
+            json_f64(self.offered_gbps)
+        ));
+        s.push_str(&format!("  \"tx_gbps\": {},\n", json_f64(self.tx_gbps)));
+        s.push_str(&format!("  \"tx_mpps\": {},\n", json_f64(self.tx_mpps)));
+        s.push_str(&format!("  \"rx_dropped\": {},\n", self.rx_dropped));
+        let l = &self.latency;
+        s.push_str(&format!(
+            "  \"latency\": {{\"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}, \"count\": {}}},\n",
+            l.p50_ns, l.p90_ns, l.p99_ns, l.p999_ns, l.mean_ns, l.max_ns, l.count
+        ));
+        s.push_str("  \"balancer\": {\n");
+        s.push_str(&format!(
+            "    \"final_w\": {},\n",
+            json_f64(self.balancer.final_w)
+        ));
+        match self.balancer.settle_ns {
+            Some(ns) => s.push_str(&format!("    \"settle_ns\": {ns},\n")),
+            None => s.push_str("    \"settle_ns\": null,\n"),
+        }
+        let traj: Vec<String> = self
+            .balancer
+            .trajectory
+            .iter()
+            .map(|p| format!("{{\"t_ns\": {}, \"w\": {}}}", p.t_ns, json_f64(p.w)))
+            .collect();
+        s.push_str(&format!("    \"trajectory\": [{}]\n", traj.join(", ")));
+        s.push_str("  },\n");
+        s.push_str("  \"elements\": [\n");
+        for (i, e) in self.elements.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"node\": {}, \"element\": \"{}\", \"batches\": {}, \"packets\": {}, \"drops\": {}, \"busy_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+                e.node,
+                json_escape(&e.element),
+                e.batches,
+                e.packets,
+                e.drops,
+                e.busy_ns,
+                e.p50_ns,
+                e.p99_ns,
+                if i + 1 < self.elements.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parses a report back from JSON, validating the schema version.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        let obj = v.as_obj().ok_or("report is not a JSON object")?;
+        let need = |k: &str| -> Result<&Value, String> {
+            obj.get(k).ok_or_else(|| format!("missing field '{k}'"))
+        };
+        let u64_of = |k: &str| -> Result<u64, String> {
+            need(k)?
+                .as_u64()
+                .ok_or_else(|| format!("field '{k}' is not a non-negative integer"))
+        };
+        let f64_of = |k: &str| -> Result<f64, String> {
+            need(k)?
+                .as_f64()
+                .ok_or_else(|| format!("field '{k}' is not a number"))
+        };
+        let str_of = |k: &str| -> Result<String, String> {
+            Ok(need(k)?
+                .as_str()
+                .ok_or_else(|| format!("field '{k}' is not a string"))?
+                .to_string())
+        };
+        let schema_version = u64_of("schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let lat = need("latency")?;
+        let lat_u64 = |k: &str| -> Result<u64, String> {
+            lat.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("latency.{k} missing or not an integer"))
+        };
+        let bal = need("balancer")?;
+        let final_w = bal
+            .get("final_w")
+            .and_then(Value::as_f64)
+            .ok_or("balancer.final_w missing or not a number")?;
+        let settle_ns = match bal.get("settle_ns") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(v.as_u64().ok_or("balancer.settle_ns is not an integer")?),
+        };
+        let mut trajectory = Vec::new();
+        if let Some(traj) = bal.get("trajectory").and_then(Value::as_arr) {
+            for p in traj {
+                trajectory.push(WPoint {
+                    t_ns: p
+                        .get("t_ns")
+                        .and_then(Value::as_u64)
+                        .ok_or("trajectory point missing t_ns")?,
+                    w: p.get("w")
+                        .and_then(Value::as_f64)
+                        .ok_or("trajectory point missing w")?,
+                });
+            }
+        }
+        let mut elements = Vec::new();
+        for e in need("elements")?
+            .as_arr()
+            .ok_or("elements is not an array")?
+        {
+            let eu = |k: &str| -> Result<u64, String> {
+                e.get(k)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("element field '{k}' missing or not an integer"))
+            };
+            elements.push(ElementReport {
+                node: eu("node")?,
+                element: e
+                    .get("element")
+                    .and_then(Value::as_str)
+                    .ok_or("element missing name")?
+                    .to_string(),
+                batches: eu("batches")?,
+                packets: eu("packets")?,
+                drops: eu("drops")?,
+                busy_ns: eu("busy_ns")?,
+                p50_ns: eu("p50_ns")?,
+                p99_ns: eu("p99_ns")?,
+            });
+        }
+        Ok(BenchReport {
+            schema_version,
+            app: str_of("app")?,
+            git_sha: str_of("git_sha")?,
+            rustc: str_of("rustc")?,
+            config_digest: str_of("config_digest")?,
+            quick: matches!(need("quick")?, Value::Bool(true)),
+            duration_ns: u64_of("duration_ns")?,
+            offered_gbps: f64_of("offered_gbps")?,
+            tx_gbps: f64_of("tx_gbps")?,
+            tx_mpps: f64_of("tx_mpps")?,
+            rx_dropped: u64_of("rx_dropped")?,
+            latency: LatencySummary {
+                p50_ns: lat_u64("p50_ns")?,
+                p90_ns: lat_u64("p90_ns")?,
+                p99_ns: lat_u64("p99_ns")?,
+                p999_ns: lat_u64("p999_ns")?,
+                mean_ns: lat_u64("mean_ns")?,
+                max_ns: lat_u64("max_ns")?,
+                count: lat_u64("count")?,
+            },
+            balancer: BalancerReport {
+                final_w,
+                settle_ns,
+                trajectory,
+            },
+            elements,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The regression gate.
+// ---------------------------------------------------------------------------
+
+/// Per-metric tolerances for [`compare`]. All gates are one-sided:
+/// improvements never fail.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// Relative throughput loss allowed (0.10 = current may be up to 10 %
+    /// below baseline).
+    pub throughput_rel: f64,
+    /// Relative latency growth allowed.
+    pub latency_rel: f64,
+    /// Absolute latency slack, nanoseconds — added on top of the relative
+    /// bound so tiny baselines don't gate on noise.
+    pub latency_abs_ns: u64,
+    /// Absolute drift allowed in the balancer's final `w` (two-sided: a
+    /// large move either way means the operating point changed).
+    pub w_abs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Tolerances {
+        Tolerances {
+            throughput_rel: 0.10,
+            latency_rel: 0.30,
+            latency_abs_ns: 2_000,
+            w_abs: 0.15,
+        }
+    }
+}
+
+/// Verdict of one compared metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or improved).
+    Ok,
+    /// Out of tolerance.
+    Regressed,
+    /// Reported for context, never gates.
+    Info,
+}
+
+impl Verdict {
+    fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Info => "info",
+        }
+    }
+}
+
+/// One row of the comparison verdict table.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value, rendered.
+    pub baseline: String,
+    /// Current value, rendered.
+    pub current: String,
+    /// Change, rendered (signed percent or absolute).
+    pub delta: String,
+    /// Allowed change, rendered.
+    pub allowed: String,
+    /// Outcome.
+    pub verdict: Verdict,
+}
+
+/// Result of diffing two reports.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Per-metric rows, gating metrics first.
+    pub rows: Vec<CompareRow>,
+    /// Non-gating observations (config digest drift, element set changes).
+    pub warnings: Vec<String>,
+}
+
+impl Comparison {
+    /// True when any gated metric regressed.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(|r| r.verdict == Verdict::Regressed)
+    }
+
+    /// Renders the verdict table plus warnings.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(vec![
+            "metric", "baseline", "current", "delta", "allowed", "verdict",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.metric.clone(),
+                r.baseline.clone(),
+                r.current.clone(),
+                r.delta.clone(),
+                r.allowed.clone(),
+                r.verdict.as_str().to_string(),
+            ]);
+        }
+        let mut out = t.render();
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        out.push_str(if self.regressed() {
+            "verdict: REGRESSED\n"
+        } else {
+            "verdict: ok\n"
+        });
+        out
+    }
+}
+
+fn rel_delta(base: f64, cur: f64) -> String {
+    if base == 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", (cur - base) / base * 100.0)
+}
+
+/// "Higher is better" gate (throughput).
+fn gate_floor(rows: &mut Vec<CompareRow>, metric: &str, base: f64, cur: f64, rel: f64) {
+    let floor = base * (1.0 - rel);
+    rows.push(CompareRow {
+        metric: metric.to_string(),
+        baseline: format!("{base:.3}"),
+        current: format!("{cur:.3}"),
+        delta: rel_delta(base, cur),
+        allowed: format!("≥ {floor:.3}"),
+        verdict: if cur >= floor {
+            Verdict::Ok
+        } else {
+            Verdict::Regressed
+        },
+    });
+}
+
+/// "Lower is better" gate (latency), with absolute slack.
+fn gate_ceiling_ns(rows: &mut Vec<CompareRow>, metric: &str, base: u64, cur: u64, t: &Tolerances) {
+    let ceil = (base as f64 * (1.0 + t.latency_rel)) + t.latency_abs_ns as f64;
+    rows.push(CompareRow {
+        metric: metric.to_string(),
+        baseline: format!("{base}ns"),
+        current: format!("{cur}ns"),
+        delta: rel_delta(base as f64, cur as f64),
+        allowed: format!("≤ {}ns", ceil as u64),
+        verdict: if (cur as f64) <= ceil {
+            Verdict::Ok
+        } else {
+            Verdict::Regressed
+        },
+    });
+}
+
+/// Diffs `cur` against `base` under `tol`, producing the verdict table.
+///
+/// Gated: `tx_gbps`, `tx_mpps` (floor), end-to-end `p50/p99/p999` latency
+/// (ceiling), and the balancer's `final_w` (absolute band). Context-only:
+/// RX drops, settle time, per-element counts. App mismatch is itself a
+/// regression — the diff would be meaningless.
+pub fn compare(base: &BenchReport, cur: &BenchReport, tol: &Tolerances) -> Comparison {
+    let mut c = Comparison::default();
+    if base.app != cur.app {
+        c.rows.push(CompareRow {
+            metric: "app".to_string(),
+            baseline: base.app.clone(),
+            current: cur.app.clone(),
+            delta: "-".to_string(),
+            allowed: "equal".to_string(),
+            verdict: Verdict::Regressed,
+        });
+        return c;
+    }
+    if base.config_digest != cur.config_digest {
+        c.warnings.push(format!(
+            "config digest changed ({} -> {}): reports describe different experiment setups",
+            base.config_digest, cur.config_digest
+        ));
+    }
+    if base.quick != cur.quick {
+        c.warnings.push(format!(
+            "quick-mode mismatch (baseline quick={}, current quick={})",
+            base.quick, cur.quick
+        ));
+    }
+
+    gate_floor(
+        &mut c.rows,
+        "tx_gbps",
+        base.tx_gbps,
+        cur.tx_gbps,
+        tol.throughput_rel,
+    );
+    gate_floor(
+        &mut c.rows,
+        "tx_mpps",
+        base.tx_mpps,
+        cur.tx_mpps,
+        tol.throughput_rel,
+    );
+    gate_ceiling_ns(
+        &mut c.rows,
+        "latency_p50",
+        base.latency.p50_ns,
+        cur.latency.p50_ns,
+        tol,
+    );
+    gate_ceiling_ns(
+        &mut c.rows,
+        "latency_p99",
+        base.latency.p99_ns,
+        cur.latency.p99_ns,
+        tol,
+    );
+    gate_ceiling_ns(
+        &mut c.rows,
+        "latency_p999",
+        base.latency.p999_ns,
+        cur.latency.p999_ns,
+        tol,
+    );
+    let dw = (cur.balancer.final_w - base.balancer.final_w).abs();
+    c.rows.push(CompareRow {
+        metric: "final_w".to_string(),
+        baseline: format!("{:.3}", base.balancer.final_w),
+        current: format!("{:.3}", cur.balancer.final_w),
+        delta: format!("{:+.3}", cur.balancer.final_w - base.balancer.final_w),
+        allowed: format!("±{:.3}", tol.w_abs),
+        verdict: if dw <= tol.w_abs {
+            Verdict::Ok
+        } else {
+            Verdict::Regressed
+        },
+    });
+
+    // Context rows: never gate.
+    c.rows.push(CompareRow {
+        metric: "rx_dropped".to_string(),
+        baseline: base.rx_dropped.to_string(),
+        current: cur.rx_dropped.to_string(),
+        delta: format!("{:+}", cur.rx_dropped as i128 - base.rx_dropped as i128),
+        allowed: "-".to_string(),
+        verdict: Verdict::Info,
+    });
+    let fmt_settle = |s: Option<u64>| match s {
+        Some(ns) => format!("{ns}ns"),
+        None => "never".to_string(),
+    };
+    c.rows.push(CompareRow {
+        metric: "settle".to_string(),
+        baseline: fmt_settle(base.balancer.settle_ns),
+        current: fmt_settle(cur.balancer.settle_ns),
+        delta: "-".to_string(),
+        allowed: "-".to_string(),
+        verdict: Verdict::Info,
+    });
+    if base.elements.len() != cur.elements.len() {
+        c.warnings.push(format!(
+            "element count changed ({} -> {})",
+            base.elements.len(),
+            cur.elements.len()
+        ));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            app: "ipv4".to_string(),
+            git_sha: "deadbeef".to_string(),
+            rustc: "rustc 1.0 \"quoted\"".to_string(),
+            config_digest: "00ff".to_string(),
+            quick: true,
+            duration_ns: 28_000_000,
+            offered_gbps: 80.0,
+            tx_gbps: 41.5,
+            tx_mpps: 61.75,
+            rx_dropped: 12,
+            latency: LatencySummary {
+                p50_ns: 40_000,
+                p90_ns: 55_000,
+                p99_ns: 70_000,
+                p999_ns: 90_000,
+                mean_ns: 42_000,
+                max_ns: 120_000,
+                count: 1_000_000,
+            },
+            balancer: BalancerReport {
+                final_w: 0.62,
+                settle_ns: Some(30_000_000),
+                trajectory: vec![
+                    WPoint {
+                        t_ns: 1_000,
+                        w: 0.5,
+                    },
+                    WPoint {
+                        t_ns: 2_000,
+                        w: 0.62,
+                    },
+                ],
+            },
+            elements: vec![ElementReport {
+                node: 0,
+                element: "IPLookup".to_string(),
+                batches: 10,
+                packets: 640,
+                drops: 0,
+                busy_ns: 5_000,
+                p50_ns: 480,
+                p99_ns: 900,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_version() {
+        let text = sample()
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        assert!(BenchReport::parse(&text)
+            .unwrap_err()
+            .contains("schema_version"));
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = sample();
+        let c = compare(&r, &r, &Tolerances::default());
+        assert!(!c.regressed(), "{}", c.render());
+    }
+
+    #[test]
+    fn throughput_cliff_fails() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.tx_gbps *= 0.5;
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(c.regressed());
+        assert!(c.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvement_never_fails() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.tx_gbps *= 2.0;
+        cur.latency.p50_ns /= 4;
+        cur.latency.p99_ns /= 4;
+        cur.latency.p999_ns /= 4;
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(!c.regressed(), "{}", c.render());
+    }
+
+    #[test]
+    fn latency_regression_fails_beyond_rel_plus_abs() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.latency.p99_ns = (base.latency.p99_ns as f64 * 1.6) as u64;
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(c.regressed());
+    }
+
+    #[test]
+    fn tiny_latency_noise_is_absorbed_by_abs_slack() {
+        let mut base = sample();
+        base.latency.p50_ns = 100;
+        base.latency.p99_ns = 200;
+        base.latency.p999_ns = 300;
+        let mut cur = base.clone();
+        cur.latency.p50_ns = 900; // 9x, but within the 2000 ns slack
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(!c.regressed(), "{}", c.render());
+    }
+
+    #[test]
+    fn app_mismatch_is_a_regression() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.app = "ids".to_string();
+        assert!(compare(&base, &cur, &Tolerances::default()).regressed());
+    }
+
+    #[test]
+    fn settle_time_requires_staying_in_band() {
+        use nba_sim::Time;
+        let mk = |t_ms: u64, w: f64| TimeSample {
+            t: Time::from_ms(t_ms),
+            tx_packets: 0,
+            tx_mpps: 0.0,
+            tx_gbps: 0.0,
+            dropped: 0,
+            rx_dropped: 0,
+            latency_ewma_ns: 0,
+            offloaded_batches: 0,
+            offload_fraction: w,
+            gpu_busy: Vec::new(),
+        };
+        // Enters the band at 2 ms, leaves, re-enters for good at 4 ms.
+        let samples = vec![mk(1, 0.2), mk(2, 0.61), mk(3, 0.4), mk(4, 0.6), mk(5, 0.62)];
+        assert_eq!(
+            settle_time_ns(&samples, 0.62),
+            Some(Time::from_ms(4).as_ns())
+        );
+        // Never settles.
+        assert_eq!(settle_time_ns(&[mk(1, 0.0)], 0.62), None);
+        assert_eq!(settle_time_ns(&[], 0.62), None);
+    }
+}

@@ -323,6 +323,7 @@ impl ElementGraph {
                 drops: a.drops,
                 cycles: a.cycles,
                 busy: Time::from_ns(a.busy_ns),
+                latency: a.service.clone(),
             })
             .collect()
     }
@@ -424,6 +425,7 @@ impl ElementGraph {
                         node: Some(nid.0 as u32),
                         kind: TraceEventKind::OffloadEnqueue,
                         packets: batch.len() as u32,
+                        dur: Time::ZERO,
                     });
                 }
                 outcome.offloads.push(OffloadRequest { node: nid, batch });
@@ -463,10 +465,12 @@ impl ElementGraph {
             acc.batches += 1;
             acc.packets += live;
             acc.cycles += charged;
-            acc.busy_ns += match wall_start {
+            let visit_ns = match wall_start {
                 Some(t0) => t0.elapsed().as_nanos() as u64,
                 None => cost.cycles(charged).as_ns(),
             };
+            acc.busy_ns += visit_ns;
+            acc.service.record_ns(visit_ns);
             if let Some(tr) = self.trace.as_deref_mut() {
                 tr.push(TraceEvent {
                     t: ctx.now,
@@ -475,6 +479,7 @@ impl ElementGraph {
                     node: Some(nid.0 as u32),
                     kind: TraceEventKind::Element,
                     packets: live as u32,
+                    dur: Time::from_ns(visit_ns),
                 });
             }
             self.route(ctx, cost, counters, nid, batch, &mut work, outcome);
@@ -531,6 +536,7 @@ impl ElementGraph {
                     node: Some(nid.0 as u32),
                     kind: TraceEventKind::Drop,
                     packets: node_drops as u32,
+                    dur: Time::ZERO,
                 });
             }
         }
@@ -559,6 +565,7 @@ impl ElementGraph {
                 node: Some(nid.0 as u32),
                 kind: TraceEventKind::Branch,
                 packets: batch.len() as u32,
+                dur: Time::ZERO,
             });
         }
         match self.policy {
@@ -610,6 +617,7 @@ impl ElementGraph {
                             node: Some(nid.0 as u32),
                             kind: TraceEventKind::BranchMiss,
                             packets: diverged as u32,
+                            dur: Time::ZERO,
                         });
                     }
                 }

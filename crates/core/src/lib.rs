@@ -19,6 +19,7 @@
 //! * [`lb`] — load balancers, including the paper's adaptive algorithm,
 //! * [`nls`] — node-local storage for shared read-mostly tables,
 //! * [`stats`] — counters, the system inspector, latency histograms,
+//! * [`json`] — a minimal JSON parser for reading bench artifacts back,
 //! * [`telemetry`] — per-element profiles, run time-series, batch-lifecycle
 //!   traces, and JSONL/Prometheus exporters,
 //! * [`runtime`] — the discrete-event runtime (all experiments) and a live
@@ -30,6 +31,7 @@ pub mod batch;
 pub mod config;
 pub mod element;
 pub mod graph;
+pub mod json;
 pub mod lb;
 pub mod lint;
 pub mod nls;

@@ -132,6 +132,7 @@ impl WorkerEntity {
                     node: None,
                     kind: TraceEventKind::Tx,
                     packets: outcome.tx.len() as u32,
+                    dur: Time::ZERO,
                 });
             }
         }
@@ -204,6 +205,7 @@ impl Entity for WorkerEntity {
                     node: Some(done.node.0 as u32),
                     kind: TraceEventKind::OffloadComplete,
                     packets: done.batch.len() as u32,
+                    dur: Time::ZERO,
                 });
             }
             let mut ectx = ElemCtx {
@@ -282,6 +284,7 @@ impl Entity for WorkerEntity {
                         node: None,
                         kind: TraceEventKind::Rx,
                         packets: batch.len() as u32,
+                        dur: Time::ZERO,
                     });
                 }
             }
@@ -359,6 +362,7 @@ impl DeviceEntity {
                     node: Some(node as u32),
                     kind: TraceEventKind::OffloadLaunch,
                     packets: t.batch.len() as u32,
+                    dur: Time::ZERO,
                 });
             }
         }

@@ -171,7 +171,7 @@ impl SystemInspector {
 
 /// A log-linear latency histogram (HdrHistogram-style: 4 sub-bucket bits,
 /// ~6 % relative resolution) over nanosecond values.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
     count: u64,
@@ -225,7 +225,13 @@ impl LatencyHistogram {
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: Time) {
-        let ns = latency.as_ns();
+        self.record_ns(latency.as_ns());
+    }
+
+    /// Records one latency sample given directly in nanoseconds (the
+    /// element-dispatch path accumulates raw `u64` nanoseconds; converting
+    /// through [`Time`] would overflow for values above `u64::MAX / 1000`).
+    pub fn record_ns(&mut self, ns: u64) {
         let idx = Self::index(ns).min(self.buckets.len() - 1);
         self.buckets[idx] += 1;
         self.count += 1;
@@ -239,27 +245,73 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Largest nanosecond count representable as a [`Time`] (picoseconds in
+    /// a `u64`); ns-valued accessors clamp here before converting.
+    const TIME_NS_MAX: u64 = u64::MAX / 1000;
+
+    /// Smallest recorded sample in nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded sample in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean of recorded samples in nanoseconds.
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum_ns / u128::from(self.count)) as u64
+        }
+    }
+
     /// Smallest recorded sample.
     pub fn min(&self) -> Time {
-        if self.count == 0 {
-            Time::ZERO
-        } else {
-            Time::from_ns(self.min_ns)
-        }
+        Time::from_ns(self.min_ns().min(Self::TIME_NS_MAX))
     }
 
     /// Largest recorded sample.
     pub fn max(&self) -> Time {
-        Time::from_ns(self.max_ns)
+        Time::from_ns(self.max_ns.min(Self::TIME_NS_MAX))
     }
 
     /// Mean of recorded samples.
     pub fn mean(&self) -> Time {
+        Time::from_ns(self.mean_ns().min(Self::TIME_NS_MAX))
+    }
+
+    /// Value at percentile `p` in nanoseconds, within bucket resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.count == 0 {
-            Time::ZERO
-        } else {
-            Time::from_ns((self.sum_ns / u128::from(self.count)) as u64)
+            return 0;
         }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        // The last sample is the recorded maximum itself — answer it
+        // exactly instead of its bucket's floor, so p100 == max() even
+        // though buckets are ~6 % wide.
+        if target >= self.count {
+            return self.max_ns;
+        }
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_floor(i).max(self.min_ns).min(self.max_ns);
+            }
+        }
+        self.max_ns
     }
 
     /// Value at percentile `p` (0.0..=100.0), within bucket resolution.
@@ -268,19 +320,18 @@ impl LatencyHistogram {
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&self, p: f64) -> Time {
-        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
-        if self.count == 0 {
-            return Time::ZERO;
-        }
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Time::from_ns(Self::bucket_floor(i).max(self.min_ns).min(self.max_ns));
-            }
-        }
-        self.max()
+        Time::from_ns(self.percentile_ns(p).min(Self::TIME_NS_MAX))
+    }
+
+    /// Nonzero buckets as `(bucket floor in ns, count)` pairs, coarsest
+    /// possible view of the raw distribution (exporters, merge audits).
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_floor(i), c))
+            .collect()
     }
 
     /// CDF points `(latency, cumulative fraction)` for plotting (Fig. 14).

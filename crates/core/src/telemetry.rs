@@ -25,6 +25,7 @@
 use nba_sim::Time;
 
 use crate::runtime::RunReport;
+use crate::stats::LatencyHistogram;
 
 /// Telemetry knobs of a run (part of [`crate::runtime::RuntimeConfig`]).
 #[derive(Debug, Clone)]
@@ -57,13 +58,15 @@ impl TelemetryConfig {
 
 /// Work accumulated by one element graph node (internal accumulator; the
 /// exported form is [`ElementProfile`]).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ProfileAcc {
     pub batches: u64,
     pub packets: u64,
     pub drops: u64,
     pub cycles: u64,
     pub busy_ns: u64,
+    /// Per-visit service-time distribution in nanoseconds.
+    pub service: LatencyHistogram,
 }
 
 /// Per-element work totals over a whole run (warmup included).
@@ -84,10 +87,15 @@ pub struct ElementProfile {
     /// Busy time: virtual (cycle-derived) in the DES runtime, wall-clock
     /// in the live runtime.
     pub busy: Time,
+    /// Per-visit service-time distribution in nanoseconds (one sample per
+    /// CPU-side batch visit; GPU-resumed visits are not sampled — their
+    /// share lives on the GPU timeline). Mergeable across workers.
+    pub latency: LatencyHistogram,
 }
 
 /// Merges per-worker profile lists into per-node totals (summed across
-/// replicas, ordered by node index).
+/// replicas, ordered by node index). Service-time histograms merge
+/// losslessly: bucket counts add.
 pub fn merge_profiles(
     per_worker: impl IntoIterator<Item = Vec<ElementProfile>>,
 ) -> Vec<ElementProfile> {
@@ -101,6 +109,7 @@ pub fn merge_profiles(
                     m.drops += p.drops;
                     m.cycles += p.cycles;
                     m.busy += p.busy;
+                    m.latency.merge(&p.latency);
                 }
                 None => merged.push(p),
             }
@@ -192,6 +201,9 @@ pub struct TraceEvent {
     pub kind: TraceEventKind,
     /// Packets involved.
     pub packets: u32,
+    /// How long the event's work took ([`TraceEventKind::Element`] visits:
+    /// cycle-derived in DES, wall clock in live; zero for point events).
+    pub dur: Time,
 }
 
 /// A bounded ring of [`TraceEvent`]s: pushes never allocate past capacity,
@@ -259,7 +271,8 @@ impl TraceBuffer {
 // Exporters: dependency-free JSONL and Prometheus text renderers.
 // ---------------------------------------------------------------------------
 
-pub(crate) fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -276,7 +289,7 @@ pub(crate) fn json_escape(s: &str) -> String {
 }
 
 /// Finite JSON number or `0` (JSON has no NaN/Infinity).
-fn json_f64(v: f64) -> String {
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -284,12 +297,13 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Renders per-element profiles as one JSON object per line.
+/// Renders per-element profiles as one JSON object per line. Latency
+/// fields are nanoseconds (the `_ns` suffix convention, see DESIGN.md).
 pub fn profiles_to_jsonl(profiles: &[ElementProfile]) -> String {
     let mut out = String::new();
     for p in profiles {
         out.push_str(&format!(
-            "{{\"node\":{},\"element\":\"{}\",\"batches\":{},\"packets\":{},\"drops\":{},\"cycles\":{},\"busy_ns\":{}}}\n",
+            "{{\"node\":{},\"element\":\"{}\",\"batches\":{},\"packets\":{},\"drops\":{},\"cycles\":{},\"busy_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}\n",
             p.node,
             json_escape(p.element),
             p.batches,
@@ -297,6 +311,8 @@ pub fn profiles_to_jsonl(profiles: &[ElementProfile]) -> String {
             p.drops,
             p.cycles,
             p.busy.as_ns(),
+            p.latency.percentile_ns(50.0),
+            p.latency.percentile_ns(99.0),
         ));
     }
     out
@@ -333,15 +349,202 @@ pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
             None => "null".to_string(),
         };
         out.push_str(&format!(
-            "{{\"t_ns\":{},\"worker\":{},\"batch\":{},\"node\":{},\"kind\":\"{}\",\"packets\":{}}}\n",
+            "{{\"t_ns\":{},\"worker\":{},\"batch\":{},\"node\":{},\"kind\":\"{}\",\"packets\":{},\"dur_ns\":{}}}\n",
             e.t.as_ns(),
             e.worker,
             e.batch,
             node,
             e.kind.as_str(),
             e.packets,
+            e.dur.as_ns(),
         ));
     }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chrome Trace Event Format (Perfetto) exporter.
+// ---------------------------------------------------------------------------
+
+/// Pseudo thread id for the device thread's events (`OffloadLaunch` runs on
+/// the device, not on the worker that shipped the batch).
+const CHROME_DEVICE_TID: u32 = 10_000;
+
+/// One emitted Chrome trace record under construction.
+struct ChromeEvent {
+    ph: char,
+    ts_ns: u64,
+    tid: u32,
+    name: String,
+    extra: String,
+}
+
+impl ChromeEvent {
+    fn render(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"ph\":\"{}\",\"ts\":{}.{:03},\"pid\":0,\"tid\":{},\"name\":\"{}\"{}}}",
+            self.ph,
+            self.ts_ns / 1000,
+            self.ts_ns % 1000,
+            self.tid,
+            json_escape(&self.name),
+            self.extra,
+        ));
+    }
+}
+
+/// Renders a batch-lifecycle trace in the Chrome Trace Event Format
+/// (loadable in Perfetto / `chrome://tracing`).
+///
+/// * [`TraceEventKind::Element`] visits become paired `B`/`E` duration
+///   slices named after the element class (`elements` maps node index to
+///   name; unknown nodes render as `node<N>`). Within one worker step the
+///   DES stamps every hop at the same virtual instant, so slices are laid
+///   out sequentially from a per-thread cursor — faithful to the
+///   run-to-completion model, where a core executes its hops serially.
+/// * RX/TX/branch/drop events become thread-scoped instants (`i`).
+/// * The offload handoff becomes a flow arrow: flow-start `s` at
+///   `OffloadEnqueue` on the worker thread, flow-step `t` at
+///   `OffloadLaunch` on the device pseudo-thread, flow-finish `f` at
+///   `OffloadComplete` back on the worker — all bound by the batch's trace
+///   id, each anchored in a zero-length `B`/`E` slice so Perfetto has a
+///   slice to attach the arrow to.
+/// * `M` metadata records name the process and every thread.
+///
+/// Timestamps are microseconds with nanosecond precision (the format's
+/// unit); all events share `pid` 0.
+pub fn trace_to_chrome(events: &[TraceEvent], elements: &[ElementProfile]) -> String {
+    let name_of = |node: u32| -> String {
+        elements
+            .iter()
+            .find(|p| p.node == node as usize)
+            .map(|p| p.element.to_string())
+            .unwrap_or_else(|| format!("node{node}"))
+    };
+    // Stable sort by time: per-tid cursors need non-decreasing input, and
+    // arrival order breaks ties the way the run actually interleaved.
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.t);
+
+    let mut out_events: Vec<ChromeEvent> = Vec::new();
+    // Per-tid layout cursor in nanoseconds (see the doc comment).
+    let mut cursor: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    let mut tids: Vec<u32> = Vec::new();
+    for e in &sorted {
+        let tid = if e.kind == TraceEventKind::OffloadLaunch {
+            CHROME_DEVICE_TID
+        } else {
+            e.worker
+        };
+        if !tids.contains(&tid) {
+            tids.push(tid);
+        }
+        let cur = cursor.entry(tid).or_insert(0);
+        let ts = (*cur).max(e.t.as_ns());
+        let args = format!(
+            ",\"args\":{{\"batch\":{},\"packets\":{},\"worker\":{}}}",
+            e.batch, e.packets, e.worker
+        );
+        match e.kind {
+            TraceEventKind::Element => {
+                let name = e.node.map(name_of).unwrap_or_else(|| "element".into());
+                let end = ts + e.dur.as_ns();
+                out_events.push(ChromeEvent {
+                    ph: 'B',
+                    ts_ns: ts,
+                    tid,
+                    name: name.clone(),
+                    extra: format!(",\"cat\":\"element\"{args}"),
+                });
+                out_events.push(ChromeEvent {
+                    ph: 'E',
+                    ts_ns: end,
+                    tid,
+                    name,
+                    extra: ",\"cat\":\"element\"".into(),
+                });
+                *cur = end;
+            }
+            TraceEventKind::OffloadEnqueue
+            | TraceEventKind::OffloadLaunch
+            | TraceEventKind::OffloadComplete => {
+                let (name, ph) = match e.kind {
+                    TraceEventKind::OffloadEnqueue => ("offload enqueue", 's'),
+                    TraceEventKind::OffloadLaunch => ("offload launch", 't'),
+                    _ => ("offload complete", 'f'),
+                };
+                let end = ts + e.dur.as_ns();
+                // Anchor slice for the flow arrow.
+                out_events.push(ChromeEvent {
+                    ph: 'B',
+                    ts_ns: ts,
+                    tid,
+                    name: name.into(),
+                    extra: format!(",\"cat\":\"offload\"{args}"),
+                });
+                // The flow event itself, bound by the batch trace id.
+                out_events.push(ChromeEvent {
+                    ph,
+                    ts_ns: ts,
+                    tid,
+                    name: "offload".into(),
+                    extra: format!(",\"cat\":\"offload\",\"id\":{},\"bp\":\"e\"", e.batch),
+                });
+                out_events.push(ChromeEvent {
+                    ph: 'E',
+                    ts_ns: end,
+                    tid,
+                    name: name.into(),
+                    extra: ",\"cat\":\"offload\"".into(),
+                });
+                *cur = end;
+            }
+            _ => {
+                out_events.push(ChromeEvent {
+                    ph: 'i',
+                    ts_ns: ts,
+                    tid,
+                    name: e.kind.as_str().into(),
+                    extra: format!(",\"cat\":\"batch\",\"s\":\"t\"{args}"),
+                });
+                *cur = ts;
+            }
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    // Metadata: process and thread names.
+    let mut meta = vec![
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"nba\"}}"
+            .to_string(),
+    ];
+    for tid in &tids {
+        let tname = if *tid == CHROME_DEVICE_TID {
+            "device".to_string()
+        } else {
+            format!("worker {tid}")
+        };
+        meta.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(&tname)
+        ));
+    }
+    for m in meta {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&m);
+    }
+    for e in &out_events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        e.render(&mut out);
+    }
+    out.push_str("]}");
     out
 }
 
@@ -349,12 +552,12 @@ pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
 pub fn profile_table(profiles: &[ElementProfile]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:>4}  {:<20} {:>12} {:>14} {:>10} {:>14} {:>12}\n",
-        "node", "element", "batches", "packets", "drops", "cycles", "busy"
+        "{:>4}  {:<20} {:>12} {:>14} {:>10} {:>14} {:>12} {:>10} {:>10}\n",
+        "node", "element", "batches", "packets", "drops", "cycles", "busy", "p50", "p99"
     ));
     for p in profiles {
         out.push_str(&format!(
-            "{:>4}  {:<20} {:>12} {:>14} {:>10} {:>14} {:>12}\n",
+            "{:>4}  {:<20} {:>12} {:>14} {:>10} {:>14} {:>12} {:>10} {:>10}\n",
             p.node,
             p.element,
             p.batches,
@@ -362,6 +565,8 @@ pub fn profile_table(profiles: &[ElementProfile]) -> String {
             p.drops,
             p.cycles,
             format!("{:.3}ms", p.busy.as_ns() as f64 / 1e6),
+            format!("{}ns", p.latency.percentile_ns(50.0)),
+            format!("{}ns", p.latency.percentile_ns(99.0)),
         ));
     }
     out
@@ -487,6 +692,20 @@ mod tests {
             node: None,
             kind: TraceEventKind::Rx,
             packets: 1,
+            dur: Time::ZERO,
+        }
+    }
+
+    fn profile(node: usize, element: &'static str) -> ElementProfile {
+        ElementProfile {
+            node,
+            element,
+            batches: 0,
+            packets: 0,
+            drops: 0,
+            cycles: 0,
+            busy: Time::ZERO,
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -516,32 +735,29 @@ mod tests {
     #[test]
     fn merge_sums_by_node() {
         let a = vec![ElementProfile {
-            node: 0,
-            element: "A",
             batches: 1,
             packets: 10,
             drops: 1,
             cycles: 100,
             busy: Time::from_us(1),
+            ..profile(0, "A")
         }];
         let b = vec![
             ElementProfile {
-                node: 1,
-                element: "B",
                 batches: 2,
                 packets: 20,
                 drops: 0,
                 cycles: 50,
                 busy: Time::from_us(2),
+                ..profile(1, "B")
             },
             ElementProfile {
-                node: 0,
-                element: "A",
                 batches: 3,
                 packets: 30,
                 drops: 2,
                 cycles: 300,
                 busy: Time::from_us(3),
+                ..profile(0, "A")
             },
         ];
         let m = merge_profiles([a, b]);
@@ -556,13 +772,12 @@ mod tests {
     #[test]
     fn jsonl_lines_parse_as_flat_objects() {
         let profiles = vec![ElementProfile {
-            node: 3,
-            element: "IPLookup\"quoted\"",
             batches: 7,
             packets: 448,
             drops: 0,
             cycles: 12345,
             busy: Time::from_us(9),
+            ..profile(3, "IPLookup\"quoted\"")
         }];
         let s = profiles_to_jsonl(&profiles);
         assert_eq!(s.lines().count(), 1);

@@ -6,6 +6,7 @@ use nba_core::batch::PacketBatch;
 use nba_core::config::{build_graph, ElementRegistry};
 use nba_core::element::KernelIo;
 use nba_core::graph::BranchPolicy;
+use nba_core::stats::LatencyHistogram;
 use nba_io::Packet;
 
 proptest! {
@@ -82,4 +83,93 @@ proptest! {
         let reg = ElementRegistry::new();
         let _ = build_graph(&src, &reg, BranchPolicy::Predict);
     }
+
+    /// Merging histograms is lossless with respect to counts: every
+    /// recorded sample survives, totals and extrema combine exactly, and
+    /// merge order doesn't matter.
+    #[test]
+    fn histogram_merge_lossless(
+        xs in proptest::collection::vec(any::<u64>(), 0..200),
+        ys in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &x in &xs { a.record_ns(x); }
+        for &y in &ys { b.record_ns(y); }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+        let bucket_total: u64 = ab.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucket_total, ab.count());
+
+        // One histogram fed everything matches the merge exactly.
+        let mut all = LatencyHistogram::new();
+        for &v in xs.iter().chain(&ys) { all.record_ns(v); }
+        prop_assert_eq!(&all, &ab);
+        if !xs.is_empty() || !ys.is_empty() {
+            let lo = xs.iter().chain(&ys).copied().min().unwrap();
+            let hi = xs.iter().chain(&ys).copied().max().unwrap();
+            prop_assert_eq!(ab.min_ns(), lo);
+            prop_assert_eq!(ab.max_ns(), hi);
+        }
+    }
+
+    /// `percentile_ns` is monotone in `p` and always lands inside the
+    /// observed [min, max] range, for any sample set including the
+    /// extremes 0 and `u64::MAX`.
+    #[test]
+    fn histogram_percentile_monotone_and_bounded(
+        mut samples in proptest::collection::vec(any::<u64>(), 1..200),
+        extremes in proptest::collection::vec(
+            proptest::sample::select(vec![0u64, 1, u64::MAX - 1, u64::MAX]), 0..4),
+    ) {
+        samples.extend(extremes);
+        let mut h = LatencyHistogram::new();
+        for &s in &samples { h.record_ns(s); }
+        let ps = [0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0];
+        let mut prev = 0u64;
+        for &p in &ps {
+            let v = h.percentile_ns(p);
+            prop_assert!(v >= prev, "percentile not monotone: p{}={} < {}", p, v, prev);
+            prop_assert!(v >= h.min_ns() && v <= h.max_ns(),
+                "p{} = {} outside [{}, {}]", p, v, h.min_ns(), h.max_ns());
+            prev = v;
+        }
+        // Single-sample histograms answer that sample exactly at every p.
+        let mut one = LatencyHistogram::new();
+        one.record_ns(samples[0]);
+        for &p in &ps {
+            prop_assert_eq!(one.percentile_ns(p), samples[0]);
+        }
+    }
+}
+
+/// Explicit edge cases around `bucket_floor` clamping: the smallest and
+/// largest representable samples must bucket without panicking and report
+/// themselves back exactly via min/max.
+#[test]
+fn histogram_extreme_samples_do_not_panic_or_misbucket() {
+    let mut h = LatencyHistogram::new();
+    h.record_ns(0);
+    h.record_ns(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.min_ns(), 0);
+    assert_eq!(h.max_ns(), u64::MAX);
+    // Percentiles stay within the observed range even though the top
+    // bucket's floor is far below u64::MAX.
+    assert_eq!(h.percentile_ns(0.0), 0);
+    assert_eq!(h.percentile_ns(100.0), u64::MAX);
+    // The Time-typed accessors saturate rather than overflow the
+    // picosecond representation.
+    let _ = h.max();
+    let _ = h.percentile(100.0);
+    // An empty histogram answers zeros, not panics.
+    let e = LatencyHistogram::new();
+    assert_eq!(e.count(), 0);
+    assert_eq!(e.min_ns(), 0);
+    assert_eq!(e.max_ns(), 0);
+    assert_eq!(e.percentile_ns(50.0), 0);
 }

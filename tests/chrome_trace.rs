@@ -1,0 +1,217 @@
+//! The Chrome Trace Event Format exporter: a DES run's batch-lifecycle
+//! trace must render to JSON that Perfetto can load — valid JSON, the
+//! required keys on every event, properly nested `B`/`E` pairs per thread,
+//! flow arrows across the offload handoff, and escaped element names.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use nba::core::json::{self, Value};
+use nba::core::runtime::{des, traffic_per_port, RuntimeConfig};
+use nba::core::telemetry::{trace_to_chrome, ElementProfile, TraceEvent, TraceEventKind};
+use nba::core::{lb, LatencyHistogram};
+use nba::io::{SizeDist, TrafficConfig};
+use nba::sim::Time;
+use nba_apps::{pipelines, AppConfig};
+
+/// Runs a short offloading DES workload with tracing on and exports the
+/// trace. The simulation runs once; every test shares the result.
+fn traced_run() -> &'static (String, Vec<TraceEvent>) {
+    static RUN: OnceLock<(String, Vec<TraceEvent>)> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let mut cfg = RuntimeConfig::test_default();
+        cfg.warmup = Time::from_ms(1);
+        cfg.measure = Time::from_ms(4);
+        cfg.telemetry.trace_capacity = 4096;
+        let app = AppConfig {
+            ports: cfg.topology.ports.len() as u16,
+            ..AppConfig::default()
+        };
+        let r = des::run(
+            &cfg,
+            &pipelines::ipv4_router(&app),
+            &lb::shared(Box::new(lb::FixedFraction::new(0.5))),
+            &traffic_per_port(
+                &cfg.topology,
+                &TrafficConfig {
+                    offered_gbps: 2.0,
+                    size: SizeDist::Fixed(128),
+                    ..TrafficConfig::default()
+                },
+            ),
+        );
+        assert!(!r.trace.is_empty(), "tracing produced no events");
+        (trace_to_chrome(&r.trace, &r.elements), r.trace)
+    })
+}
+
+fn events_of(doc: &Value) -> Vec<Value> {
+    doc.get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array")
+        .to_vec()
+}
+
+#[test]
+fn export_is_valid_json_with_required_keys() {
+    let (out, _) = traced_run().clone();
+    let doc = json::parse(&out).expect("exporter must emit valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ns")
+    );
+    let events = events_of(&doc);
+    assert!(events.len() > 10);
+    for e in &events {
+        for key in ["ph", "ts", "pid", "tid", "name"] {
+            // Metadata events carry no ts in some traces, but ours always
+            // stamp one; require the full key set uniformly.
+            if key == "ts" && e.get("ph").and_then(Value::as_str) == Some("M") {
+                continue;
+            }
+            assert!(e.get(key).is_some(), "event missing '{key}': {e:?}");
+        }
+        let ph = e.get("ph").and_then(Value::as_str).unwrap();
+        assert!(
+            ["B", "E", "i", "s", "t", "f", "M"].contains(&ph),
+            "unexpected phase {ph}"
+        );
+    }
+}
+
+#[test]
+fn covers_the_batch_lifecycle_with_flows() {
+    let (out, raw) = traced_run().clone();
+    // The raw trace itself must span ≥4 distinct lifecycle kinds.
+    let mut kinds: Vec<TraceEventKind> = raw.iter().map(|e| e.kind).collect();
+    kinds.sort_by_key(|k| k.as_str());
+    kinds.dedup();
+    assert!(kinds.len() >= 4, "only {kinds:?}");
+    assert!(kinds.contains(&TraceEventKind::OffloadEnqueue), "{kinds:?}");
+
+    let doc = json::parse(&out).unwrap();
+    let events = events_of(&doc);
+    let phase_count = |want: &str| {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some(want))
+            .count()
+    };
+    // Duration slices for element work, instants for RX/TX.
+    assert!(phase_count("B") > 0 && phase_count("i") > 0);
+    // The offload handoff renders as complete flow arrows: start on the
+    // worker, step on the device pseudo-thread, finish back on the worker,
+    // all sharing the batch's id.
+    let flow_ids = |ph: &str| -> Vec<u64> {
+        let mut ids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+            .map(|e| e.get("id").and_then(Value::as_u64).expect("flow id"))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    let starts = flow_ids("s");
+    let steps = flow_ids("t");
+    let finishes = flow_ids("f");
+    assert!(!starts.is_empty(), "no flow starts");
+    let complete = starts
+        .iter()
+        .filter(|id| steps.contains(id) && finishes.contains(id))
+        .count();
+    assert!(
+        complete > 0,
+        "no batch has a complete s→t→f flow ({} starts, {} steps, {} finishes)",
+        starts.len(),
+        steps.len(),
+        finishes.len()
+    );
+    // The device pseudo-thread hosts the launch steps and is named.
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(Value::as_str) == Some("M")
+            && e.get("name").and_then(Value::as_str) == Some("thread_name")
+            && e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                == Some("device")
+    }));
+}
+
+#[test]
+fn b_and_e_events_pair_up_per_thread() {
+    let (out, _) = traced_run().clone();
+    let doc = json::parse(&out).unwrap();
+    // Per tid: B/E must balance like brackets, with non-decreasing
+    // timestamps and matching names — exactly what Perfetto requires to
+    // build slices.
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    for e in events_of(&doc) {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap();
+        if ph == "M" {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Value::as_u64).unwrap();
+        let ts = e.get("ts").and_then(Value::as_f64).unwrap();
+        let prev = last_ts.entry(tid).or_insert(0.0);
+        assert!(
+            ts >= *prev,
+            "timestamps regress on tid {tid}: {ts} after {prev}"
+        );
+        *prev = ts;
+        let name = e.get("name").and_then(Value::as_str).unwrap().to_string();
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(name),
+            "E" => {
+                let open = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("E without B on tid {tid}"));
+                assert_eq!(open, name, "mismatched B/E pair on tid {tid}");
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(
+            stack.is_empty(),
+            "unclosed B events on tid {tid}: {stack:?}"
+        );
+    }
+}
+
+#[test]
+fn element_names_are_escaped() {
+    // Element class names can come from `.click` configs; quotes,
+    // backslashes, and control characters must not corrupt the JSON and
+    // must round-trip through a parse.
+    let name = "Weird\"Name\\With\tEscapes";
+    let profiles = vec![ElementProfile {
+        node: 7,
+        element: name,
+        batches: 1,
+        packets: 1,
+        drops: 0,
+        cycles: 10,
+        busy: Time::from_ns(500),
+        latency: LatencyHistogram::new(),
+    }];
+    let events = vec![TraceEvent {
+        t: Time::from_ns(1_000),
+        worker: 0,
+        batch: 42,
+        node: Some(7),
+        kind: TraceEventKind::Element,
+        packets: 1,
+        dur: Time::from_ns(500),
+    }];
+    let out = trace_to_chrome(&events, &profiles);
+    let doc = json::parse(&out).expect("escaped names must stay valid JSON");
+    let round_tripped = events_of(&doc).iter().any(|e| {
+        e.get("ph").and_then(Value::as_str) == Some("B")
+            && e.get("name").and_then(Value::as_str) == Some(name)
+    });
+    assert!(round_tripped, "element name did not round-trip: {out}");
+}

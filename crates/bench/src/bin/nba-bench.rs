@@ -3,12 +3,15 @@
 //!
 //! Usage:
 //!
-//! * `nba-bench run <app> [--out PATH] [--mode alb|cpu|gpu|<w>]`
+//! * `nba-bench run <app> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC]`
 //!   Runs one app (`ipv4` | `ipv6` | `ipsec` | `ids`) on the simulated
 //!   paper testbed and writes a versioned [`BenchReport`] to
 //!   `BENCH_<app>.json` (or `--out`). `NBA_QUICK=1` shortens the
 //!   measurement windows for CI smoke runs. The default `alb` mode runs
 //!   the adaptive balancer so the artifact captures convergence stats.
+//!   `--faults` takes a seeded fault plan (see `FaultPlan::parse`, e.g.
+//!   `seed=7,transient=0.2,die_at_ms=30,revive_at_ms=60`) for fault
+//!   drills; the artifact's `faults` section records what happened.
 //! * `nba-bench compare <baseline.json> <current.json>
 //!   [--tol-throughput R] [--tol-latency R] [--tol-w A]`
 //!   Diffs two reports under per-metric tolerances, prints the verdict
@@ -30,7 +33,7 @@ use nba_sim::Time;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]"
+        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]"
     );
     std::process::exit(2);
 }
@@ -115,7 +118,16 @@ fn cmd_run(args: &[String]) -> i32 {
     let out_path = opt("--out").unwrap_or_else(|| format!("BENCH_{app}.json"));
 
     let q = quick();
-    let cfg = bench_cfg(q);
+    let mut cfg = bench_cfg(q);
+    if let Some(spec) = opt("--faults") {
+        match nba_core::FaultPlan::parse(&spec) {
+            Ok(plan) => cfg.fault.plan = plan,
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                return 2;
+            }
+        }
+    }
     let appcfg = AppConfig {
         ports: cfg.topology.ports.len() as u16,
         ..AppConfig::default()
@@ -151,6 +163,17 @@ fn cmd_run(args: &[String]) -> i32 {
         report.latency.p99_ns,
         report.balancer.final_w,
     );
+    if cfg.fault.plan.is_active() {
+        let f = &report.faults;
+        println!(
+            "{app}: faults injected {} retried {} fell_back {} pkts dropped {} pkts, quarantines {}",
+            f.injected,
+            f.retried,
+            f.fell_back_packets,
+            f.dropped_packets,
+            f.quarantines.len(),
+        );
+    }
     0
 }
 

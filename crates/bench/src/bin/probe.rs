@@ -19,6 +19,9 @@
 //! * `--json`      — the run as a canonical `BenchReport` JSON document
 //!   (the same schema `nba-bench run` writes to `BENCH_*.json`)
 //! * `--no-telemetry` — disable the sampler (for determinism comparisons)
+//! * `--faults=SPEC` — run under a seeded fault plan (see
+//!   `FaultPlan::parse`, e.g. `seed=7,transient=0.2,die_at_ms=30`); the
+//!   summary gains a fault-accounting line
 //!
 //! Static analysis:
 //!
@@ -134,12 +137,21 @@ fn main() {
     } else {
         (Time::from_ms(14), Time::from_ms(28))
     };
-    let cfg = RuntimeConfig {
+    let mut cfg = RuntimeConfig {
         warmup,
         measure,
         telemetry,
         ..RuntimeConfig::default()
     };
+    if let Some(spec) = args.iter().find_map(|a| a.strip_prefix("--faults=")) {
+        match nba_core::FaultPlan::parse(spec) {
+            Ok(plan) => cfg.fault.plan = plan,
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let app = AppConfig {
         ports: 8,
         ..AppConfig::default()
@@ -220,6 +232,22 @@ fn main() {
         r.samples.len(),
         r.trace.len()
     );
+    if cfg.fault.plan.is_active() {
+        let f = &r.faults.snapshot;
+        println!(
+            "  faults injected {} (timeout {} transient {} corrupt {} dead {}) retried {}",
+            f.injected(),
+            f.injected_timeout,
+            f.injected_transient,
+            f.injected_corrupt,
+            f.injected_dead,
+            f.retried,
+        );
+        println!(
+            "  fell_back {} pkts dropped {} pkts quarantines {} (re-admitted {})",
+            f.fell_back_packets, f.dropped_packets, f.quarantine_entered, f.quarantine_exited,
+        );
+    }
 
     if show_elements {
         println!("\n== per-element profiles (whole run) ==");

@@ -24,8 +24,13 @@ use nba_core::telemetry::{json_escape, json_f64, TimeSample};
 
 use crate::table::Table;
 
-/// Version of the `BENCH_*.json` schema this code writes and reads.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version of the `BENCH_*.json` schema this code writes. Version 2 added
+/// the `faults` section; version-1 artifacts still parse (with zero-fault
+/// defaults) so existing baselines stay valid.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`BenchReport::parse`] accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// End-to-end latency percentile summary, nanoseconds.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -107,6 +112,35 @@ pub struct BalancerReport {
     pub trajectory: Vec<WPoint>,
 }
 
+/// One device-quarantine interval, run time in nanoseconds. `end_ns` is
+/// `None` when the device was still quarantined at the end of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantineSpan {
+    /// When the circuit breaker tripped.
+    pub start_ns: u64,
+    /// When the device was re-admitted, if it was.
+    pub end_ns: Option<u64>,
+}
+
+/// Fault-injection and recovery accounting (schema v2). All counts are
+/// zero and `quarantines` empty on a clean run, which is what the
+/// regression gate asserts when comparing against a clean baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultsSection {
+    /// Total faults injected (all kinds).
+    pub injected: u64,
+    /// Device-side retries before giving up on a task.
+    pub retried: u64,
+    /// Packets re-executed on the CPU path after a device failure.
+    pub fell_back_packets: u64,
+    /// Packets dropped because a poisoned batch was discarded.
+    pub dropped_packets: u64,
+    /// Worker/device panics contained by the runtime.
+    pub panics_contained: u64,
+    /// Device quarantine intervals, in run order.
+    pub quarantines: Vec<QuarantineSpan>,
+}
+
 /// Band half-width around `final_w` used for settle-time detection.
 const SETTLE_BAND: f64 = 0.05;
 
@@ -159,6 +193,9 @@ pub struct BenchReport {
     pub latency: LatencySummary,
     /// Balancer convergence.
     pub balancer: BalancerReport,
+    /// Fault-injection and recovery accounting (all-zero on clean runs;
+    /// defaults to zero when parsing version-1 artifacts).
+    pub faults: FaultsSection,
     /// Per-element attribution, sorted by node.
     pub elements: Vec<ElementReport>,
 }
@@ -183,6 +220,14 @@ pub fn config_digest(cfg: &RuntimeConfig) -> String {
         cfg.warmup.as_ns(),
         cfg.measure.as_ns(),
     );
+    // Only an *active* fault plan changes the experiment; keeping the canon
+    // string unchanged otherwise means clean digests still match artifacts
+    // written before faults existed.
+    let canon = if cfg.fault.plan.is_active() {
+        format!("{canon} faults={}", cfg.fault.plan.render())
+    } else {
+        canon
+    };
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in canon.bytes() {
         h ^= u64::from(b);
@@ -243,6 +288,22 @@ impl BenchReport {
                     .map(|s| WPoint {
                         t_ns: s.t.as_ns(),
                         w: s.offload_fraction,
+                    })
+                    .collect(),
+            },
+            faults: FaultsSection {
+                injected: run.faults.snapshot.injected(),
+                retried: run.faults.snapshot.retried,
+                fell_back_packets: run.faults.snapshot.fell_back_packets,
+                dropped_packets: run.faults.snapshot.dropped_packets,
+                panics_contained: run.faults.snapshot.panics_contained,
+                quarantines: run
+                    .faults
+                    .quarantines
+                    .iter()
+                    .map(|(start, end)| QuarantineSpan {
+                        start_ns: start.as_ns(),
+                        end_ns: end.map(|t| t.as_ns()),
                     })
                     .collect(),
             },
@@ -309,6 +370,35 @@ impl BenchReport {
             .collect();
         s.push_str(&format!("    \"trajectory\": [{}]\n", traj.join(", ")));
         s.push_str("  },\n");
+        let f = &self.faults;
+        s.push_str("  \"faults\": {\n");
+        s.push_str(&format!("    \"injected\": {},\n", f.injected));
+        s.push_str(&format!("    \"retried\": {},\n", f.retried));
+        s.push_str(&format!(
+            "    \"fell_back_packets\": {},\n",
+            f.fell_back_packets
+        ));
+        s.push_str(&format!(
+            "    \"dropped_packets\": {},\n",
+            f.dropped_packets
+        ));
+        s.push_str(&format!(
+            "    \"panics_contained\": {},\n",
+            f.panics_contained
+        ));
+        let spans: Vec<String> = f
+            .quarantines
+            .iter()
+            .map(|q| {
+                let end = match q.end_ns {
+                    Some(ns) => ns.to_string(),
+                    None => "null".to_string(),
+                };
+                format!("{{\"start_ns\": {}, \"end_ns\": {end}}}", q.start_ns)
+            })
+            .collect();
+        s.push_str(&format!("    \"quarantines\": [{}]\n", spans.join(", ")));
+        s.push_str("  },\n");
         s.push_str("  \"elements\": [\n");
         for (i, e) in self.elements.iter().enumerate() {
             s.push_str(&format!(
@@ -353,9 +443,10 @@ impl BenchReport {
                 .to_string())
         };
         let schema_version = u64_of("schema_version")?;
-        if schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema_version) {
             return Err(format!(
-                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION})"
+                "unsupported schema_version {schema_version} \
+                 (this build reads {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let lat = need("latency")?;
@@ -386,6 +477,39 @@ impl BenchReport {
                         .ok_or("trajectory point missing w")?,
                 });
             }
+        }
+        // Version-1 artifacts predate fault accounting; they were by
+        // definition clean runs, so zero defaults are exact, not a guess.
+        let mut faults = FaultsSection::default();
+        if let Some(f) = obj.get("faults") {
+            let fu = |k: &str| -> Result<u64, String> {
+                f.get(k)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("faults.{k} missing or not an integer"))
+            };
+            faults.injected = fu("injected")?;
+            faults.retried = fu("retried")?;
+            faults.fell_back_packets = fu("fell_back_packets")?;
+            faults.dropped_packets = fu("dropped_packets")?;
+            faults.panics_contained = fu("panics_contained")?;
+            if let Some(spans) = f.get("quarantines").and_then(Value::as_arr) {
+                for q in spans {
+                    faults.quarantines.push(QuarantineSpan {
+                        start_ns: q
+                            .get("start_ns")
+                            .and_then(Value::as_u64)
+                            .ok_or("quarantine span missing start_ns")?,
+                        end_ns: match q.get("end_ns") {
+                            Some(Value::Null) | None => None,
+                            Some(v) => {
+                                Some(v.as_u64().ok_or("quarantine end_ns is not an integer")?)
+                            }
+                        },
+                    });
+                }
+            }
+        } else if schema_version >= 2 {
+            return Err("missing field 'faults' (required from schema_version 2)".to_string());
         }
         let mut elements = Vec::new();
         for e in need("elements")?
@@ -438,6 +562,7 @@ impl BenchReport {
                 settle_ns,
                 trajectory,
             },
+            faults,
             elements,
         })
     }
@@ -678,6 +803,50 @@ pub fn compare(base: &BenchReport, cur: &BenchReport, tol: &Tolerances) -> Compa
         },
     });
 
+    // Fault hygiene: against a clean baseline (the normal CI case) any
+    // injected fault, contained panic, or fault-dropped packet is a
+    // regression. When the baseline itself ran a fault drill the counts
+    // are experiment parameters, so they only inform.
+    let fault_gate = |rows: &mut Vec<CompareRow>, metric: &str, base_v: u64, cur_v: u64| {
+        let gates = base_v == 0;
+        rows.push(CompareRow {
+            metric: metric.to_string(),
+            baseline: base_v.to_string(),
+            current: cur_v.to_string(),
+            delta: format!("{:+}", cur_v as i128 - base_v as i128),
+            allowed: if gates {
+                "0".to_string()
+            } else {
+                "-".to_string()
+            },
+            verdict: if !gates {
+                Verdict::Info
+            } else if cur_v == 0 {
+                Verdict::Ok
+            } else {
+                Verdict::Regressed
+            },
+        });
+    };
+    fault_gate(
+        &mut c.rows,
+        "faults_injected",
+        base.faults.injected,
+        cur.faults.injected,
+    );
+    fault_gate(
+        &mut c.rows,
+        "fault_dropped_pkts",
+        base.faults.dropped_packets,
+        cur.faults.dropped_packets,
+    );
+    fault_gate(
+        &mut c.rows,
+        "panics_contained",
+        base.faults.panics_contained,
+        cur.faults.panics_contained,
+    );
+
     // Context rows: never gate.
     c.rows.push(CompareRow {
         metric: "rx_dropped".to_string(),
@@ -749,6 +918,7 @@ mod tests {
                     },
                 ],
             },
+            faults: FaultsSection::default(),
             elements: vec![ElementReport {
                 node: 0,
                 element: "IPLookup".to_string(),
@@ -764,7 +934,24 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let r = sample();
+        let mut r = sample();
+        r.faults = FaultsSection {
+            injected: 9,
+            retried: 4,
+            fell_back_packets: 512,
+            dropped_packets: 64,
+            panics_contained: 1,
+            quarantines: vec![
+                QuarantineSpan {
+                    start_ns: 10_000_000,
+                    end_ns: Some(14_000_000),
+                },
+                QuarantineSpan {
+                    start_ns: 20_000_000,
+                    end_ns: None,
+                },
+            ],
+        };
         let parsed = BenchReport::parse(&r.to_json()).unwrap();
         assert_eq!(parsed, r);
     }
@@ -773,10 +960,46 @@ mod tests {
     fn parse_rejects_wrong_schema_version() {
         let text = sample()
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         assert!(BenchReport::parse(&text)
             .unwrap_err()
             .contains("schema_version"));
+    }
+
+    #[test]
+    fn parse_accepts_v1_artifacts_with_zero_fault_defaults() {
+        // A version-1 artifact: no `faults` section at all.
+        let mut text = sample()
+            .to_json()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1");
+        let start = text.find("  \"faults\": {").unwrap();
+        let end = text[start..].find("},\n").unwrap() + start + 3;
+        text.replace_range(start..end, "");
+        let parsed = BenchReport::parse(&text).unwrap();
+        assert_eq!(parsed.schema_version, 1);
+        assert_eq!(parsed.faults, FaultsSection::default());
+    }
+
+    #[test]
+    fn faults_against_clean_baseline_regress() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.faults.injected = 3;
+        cur.faults.dropped_packets = 128;
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(c.regressed(), "{}", c.render());
+    }
+
+    #[test]
+    fn faulty_baseline_makes_fault_counts_informational() {
+        let mut base = sample();
+        base.faults.injected = 100;
+        base.faults.dropped_packets = 5;
+        let mut cur = base.clone();
+        cur.faults.injected = 250;
+        cur.faults.dropped_packets = 12;
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(!c.regressed(), "{}", c.render());
     }
 
     #[test]

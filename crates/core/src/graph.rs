@@ -400,6 +400,27 @@ impl ElementGraph {
         outcome
     }
 
+    /// Runs a batch through the graph *starting at* `node` — the
+    /// fault-recovery entry: a batch whose device task failed re-enters at
+    /// the same offloadable element so its CPU implementation (functionally
+    /// identical to the kernel) processes the packets and the batch
+    /// continues downstream as if the device had never been asked.
+    ///
+    /// The caller must clear [`anno::LB_DEVICE`] on the batch first, or it
+    /// would suspend at `node` again and ping-pong against a broken device.
+    pub fn run_from(
+        &mut self,
+        ctx: &mut ElemCtx<'_>,
+        cost: &CostModel,
+        counters: &Counters,
+        node: NodeId,
+        batch: PacketBatch,
+    ) -> RunOutcome {
+        let mut outcome = RunOutcome::default();
+        self.traverse(ctx, cost, counters, vec![(node, batch)], &mut outcome);
+        outcome
+    }
+
     fn traverse(
         &mut self,
         ctx: &mut ElemCtx<'_>,

@@ -32,6 +32,13 @@ pub trait LoadBalancer: Send {
     /// Most balancers ignore it; [`LatencyBounded`] acts on it.
     fn observe_latency(&mut self, _ewma_ns: u64) {}
 
+    /// Tells the balancer the device's circuit breaker tripped (`false`)
+    /// or re-admitted the device (`true`). Adaptive balancers drive `w`
+    /// toward 0 while the device is quarantined instead of hill-climbing
+    /// against a processor that cannot do work; fixed policies ignore it
+    /// (the device thread falls their batches back regardless).
+    fn observe_device_health(&mut self, _healthy: bool) {}
+
     /// Current offloading fraction in `[0, 1]` (for reporting).
     fn offload_fraction(&self) -> f64;
 
@@ -173,9 +180,21 @@ pub struct Adaptive {
     window: Vec<f64>,
     last_avg: Option<f64>,
     wait_remaining: u32,
+    /// Breaker-fed device health; while `false` the balancer walks `w`
+    /// toward 0 and sends only sparse probe batches device-ward.
+    device_healthy: bool,
+    /// Decisions since the last quarantine probe.
+    probe_tick: u32,
     /// Trace of (time, w) after each move, for the convergence plots.
     pub trace: Vec<(Time, f64)>,
 }
+
+/// While quarantined, one decision in this many still picks the device —
+/// the traffic that lets the breaker's half-open probe actually run (with
+/// `w` at 0 no batch would ever reach the device and a revived device
+/// could never be re-admitted). The breaker blocks these until the
+/// quarantine interval elapses, so they cost one cheap CPU fallback each.
+const QUARANTINE_PROBE_EVERY: u32 = 64;
 
 impl Adaptive {
     /// Creates an adaptive balancer.
@@ -191,6 +210,8 @@ impl Adaptive {
             window: Vec::new(),
             last_avg: None,
             wait_remaining: 0,
+            device_healthy: true,
+            probe_tick: 0,
             trace: Vec::new(),
         }
     }
@@ -205,6 +226,16 @@ impl Adaptive {
 
 impl LoadBalancer for Adaptive {
     fn decide(&mut self) -> u64 {
+        if !self.device_healthy {
+            // Quarantine: keep the device path nearly dry, but emit a
+            // sparse probe so the breaker's half-open check sees traffic.
+            self.probe_tick += 1;
+            if self.probe_tick >= QUARANTINE_PROBE_EVERY {
+                self.probe_tick = 0;
+                return 1;
+            }
+            return 0;
+        }
         self.acc += self.w;
         if self.acc >= 1.0 {
             self.acc -= 1.0;
@@ -215,6 +246,19 @@ impl LoadBalancer for Adaptive {
     }
 
     fn tick(&mut self, now: Time, total_tx_packets: u64) {
+        if !self.device_healthy {
+            // No hill-climbing against a dead device: walk `w` down one
+            // δ per update interval so the trace records the fail-over.
+            if now.saturating_sub(self.last_obs_time) >= self.cfg.update_interval {
+                self.last_obs_time = now;
+                self.last_tx = total_tx_packets;
+                if self.w > 0.0 {
+                    self.w = (self.w - self.cfg.delta).max(0.0);
+                    self.trace.push((now, self.w));
+                }
+            }
+            return;
+        }
         if self.last_obs_time == Time::ZERO {
             self.last_obs_time = now;
             self.last_tx = total_tx_packets;
@@ -257,6 +301,23 @@ impl LoadBalancer for Adaptive {
         }
         self.wait_remaining = self.wait_for(self.w);
         self.trace.push((now, self.w));
+    }
+
+    fn observe_device_health(&mut self, healthy: bool) {
+        if self.device_healthy == healthy {
+            return;
+        }
+        self.device_healthy = healthy;
+        self.probe_tick = 0;
+        if healthy {
+            // Re-admitted: restart the hill-climb upward from wherever the
+            // quarantine walk left `w`, with a clean observation window —
+            // the throughput seen while degraded would poison the average.
+            self.window.clear();
+            self.last_avg = None;
+            self.wait_remaining = 0;
+            self.dir = 1.0;
+        }
     }
 
     fn offload_fraction(&self) -> f64 {
@@ -322,6 +383,10 @@ impl LoadBalancer for LatencyBounded {
 
     fn observe_latency(&mut self, ewma_ns: u64) {
         self.latest_ns = ewma_ns;
+    }
+
+    fn observe_device_health(&mut self, healthy: bool) {
+        self.inner.observe_device_health(healthy);
     }
 
     fn offload_fraction(&self) -> f64 {
@@ -554,6 +619,47 @@ mod tests {
         let w = lb.offload_fraction();
         assert!((w - 0.7).abs() <= 0.12, "converged to {w}");
         assert_eq!(lb.violations, 0);
+    }
+
+    #[test]
+    fn quarantine_walks_w_to_zero_then_reconverges() {
+        let cfg = AlbConfig {
+            update_interval: Time::from_ms(10),
+            avg_window: 2,
+            min_wait: 0,
+            max_wait: 2,
+            initial_w: 0.7,
+            ..AlbConfig::default()
+        };
+        let mut alb = Adaptive::new(cfg);
+        let mut now = Time::ZERO;
+        let mut tx = 0u64;
+        // Breaker trips: w must walk to zero, with only sparse probes.
+        alb.observe_device_health(false);
+        let mut probes = 0u64;
+        for _ in 0..400 {
+            now += Time::from_ms(10);
+            tx += 10_000;
+            alb.tick(now, tx);
+            probes += alb.decide();
+        }
+        assert_eq!(alb.offload_fraction(), 0.0);
+        assert!(probes > 0, "quarantine starves the half-open probe");
+        assert!(
+            probes <= 400 / u64::from(QUARANTINE_PROBE_EVERY) + 1,
+            "quarantine leaks batches to the device: {probes}"
+        );
+        // Device recovers: the hill-climb resumes and re-converges.
+        alb.observe_device_health(true);
+        for _ in 0..3000 {
+            now += Time::from_ms(10);
+            let w = alb.offload_fraction();
+            let thr = 10e6 * (1.0 - (w - 0.8) * (w - 0.8));
+            tx += (thr * 0.010) as u64;
+            alb.tick(now, tx);
+        }
+        let w = alb.offload_fraction();
+        assert!((w - 0.8).abs() <= 0.12, "re-converged to {w}");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   annotation-slot, datablock, and branch-shape checks with stable
 //!   `NBA0xx` diagnostic codes,
 //! * [`offload`] — datablock gather/scatter between batches and devices,
+//! * [`fault`] — the offload degradation ladder: deterministic fault
+//!   injection plans, CPU fallback accounting, and the device circuit
+//!   breaker feeding the load balancer,
 //! * [`lb`] — load balancers, including the paper's adaptive algorithm,
 //! * [`nls`] — node-local storage for shared read-mostly tables,
 //! * [`stats`] — counters, the system inspector, latency histograms,
@@ -30,6 +33,7 @@
 pub mod batch;
 pub mod config;
 pub mod element;
+pub mod fault;
 pub mod graph;
 pub mod json;
 pub mod lb;
@@ -46,6 +50,7 @@ pub use element::{
     ComputeMode, DbInput, DbOutput, ElemCtx, Element, ElementKind, Kernel, KernelIo, OffloadSpec,
     Postprocess, SlotAccess, SlotClaim, SlotScope,
 };
+pub use fault::{CircuitBreaker, FaultConfig, FaultPlan, FaultReport, FaultSnapshot, FaultStats};
 pub use graph::{BranchPolicy, ElementGraph, GraphBuilder, NodeId, OutEdge, RunOutcome};
 pub use lb::{
     Adaptive, AlbConfig, CpuOnly, FixedFraction, GpuOnly, LatencyBounded, LoadBalancer,

@@ -36,6 +36,10 @@ pub struct CompletedTask {
     pub batch: PacketBatch,
     /// Device-side completion time (D2H copy landed).
     pub done_at: Time,
+    /// The device failed this task: the batch comes back *unprocessed*
+    /// (kernel output discarded or never produced) and the worker must
+    /// re-execute the element's CPU path instead of resuming past it.
+    pub fallback: bool,
 }
 
 /// A gathered input block ready for the GPU shim.
@@ -98,13 +102,84 @@ pub fn stage(spec: &OffloadSpec, batches: &[&PacketBatch]) -> StagedTask {
     }
 }
 
+/// Why a kernel output block could not be applied back onto the packets:
+/// its length disagrees with the staged layout (a corrupted D2H copy, or a
+/// framework bug pairing the wrong output with a task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScatterError {
+    /// The output block is shorter than the staged layout requires.
+    ShortOutput {
+        /// Bytes the layout requires.
+        needed: usize,
+        /// Bytes the block actually holds.
+        got: usize,
+    },
+    /// The output block is longer than the staged layout consumes.
+    TrailingBytes {
+        /// Bytes the layout consumes.
+        needed: usize,
+        /// Bytes the block actually holds.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ScatterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScatterError::ShortOutput { needed, got } => {
+                write!(f, "output block too short: need {needed} bytes, got {got}")
+            }
+            ScatterError::TrailingBytes { needed, got } => {
+                write!(f, "output block too long: need {needed} bytes, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScatterError {}
+
 /// Applies kernel output back onto the packets, per the spec's postprocess
 /// mode. `output` must come from running the kernel over [`stage`]'s block.
 ///
-/// # Panics
-///
-/// Panics if the output layout does not match the batches (framework bug).
-pub fn scatter(spec: &OffloadSpec, batches: &mut [PacketBatch], output: &[u8]) {
+/// The write-back is *atomic*: the whole layout is validated against the
+/// output length first, so on `Err` no packet or annotation has been
+/// touched and the batches can safely re-execute on the CPU path. Callers
+/// on the device path treat `Err` as a task failure (count + fall back);
+/// an error *without* injected corruption is a framework bug and should
+/// hard-fail in tests.
+pub fn scatter(
+    spec: &OffloadSpec,
+    batches: &mut [PacketBatch],
+    output: &[u8],
+) -> Result<(), ScatterError> {
+    // Pass 1: the exact length this layout consumes. Nothing is written
+    // until the block is known to match, so a corrupted copy cannot leave
+    // a batch half-scattered.
+    let mut needed = 0usize;
+    for b in batches.iter() {
+        for i in b.live_indices() {
+            let pkt_len = b.packet(i).expect("live index").len();
+            let r = input_range(spec, pkt_len);
+            needed += match spec.output {
+                DbOutput::InPlace { extra } => r.len() + extra,
+                DbOutput::PerItem { len } => len,
+            };
+        }
+    }
+    if needed > output.len() {
+        return Err(ScatterError::ShortOutput {
+            needed,
+            got: output.len(),
+        });
+    }
+    if needed < output.len() {
+        return Err(ScatterError::TrailingBytes {
+            needed,
+            got: output.len(),
+        });
+    }
+    // Pass 2: apply. The slices below cannot fail — pass 1 proved the
+    // cursor walk lands exactly on `output.len()`.
     let mut cursor = 0usize;
     for b in batches.iter_mut() {
         let indices: Vec<usize> = b.live_indices().collect();
@@ -133,7 +208,7 @@ pub fn scatter(spec: &OffloadSpec, batches: &mut [PacketBatch], output: &[u8]) {
             }
         }
     }
-    debug_assert_eq!(cursor, output.len(), "scatter misaligned with staging");
+    Ok(())
 }
 
 /// Device-to-host bytes the task will copy back (sizing the D2H transfer).
@@ -206,7 +281,7 @@ mod tests {
 
         let mut out = vec![0u8; staged.out_len];
         (spec.kernel)(KernelIo::parse(&staged.input, &mut out));
-        scatter(&spec, &mut batches, &out);
+        scatter(&spec, &mut batches, &out).unwrap();
         assert_eq!(batches[0].packet(0).unwrap().data(), b"xxHELLO");
         assert_eq!(batches[0].packet(1).unwrap().data(), b"xxWORLD");
         assert_eq!(batches[1].packet(0).unwrap().data(), b"xxFOO");
@@ -227,7 +302,7 @@ mod tests {
         let staged = stage(&spec, &refs);
         let mut out = vec![0u8; staged.out_len];
         (spec.kernel)(KernelIo::parse(&staged.input, &mut out));
-        scatter(&spec, &mut batches, &out);
+        scatter(&spec, &mut batches, &out).unwrap();
         assert_eq!(batches[0].anno(0).get(anno::IFACE_OUT), 2 + 3);
         assert_eq!(batches[0].anno(1).get(anno::IFACE_OUT), 6);
     }
@@ -250,7 +325,7 @@ mod tests {
         assert_eq!(staged.items, 2);
         let mut out = vec![0u8; staged.out_len];
         (spec.kernel)(KernelIo::parse(&staged.input, &mut out));
-        scatter(&spec, &mut batches, &out);
+        scatter(&spec, &mut batches, &out).unwrap();
         assert_eq!(batches[0].packet(0).unwrap().data(), b"AA");
         assert_eq!(batches[0].packet(2).unwrap().data(), b"CC");
     }
@@ -275,5 +350,46 @@ mod tests {
         // Item 0 sums nothing, item 1 sums the two 7s.
         assert_eq!(&out[0..8], &0u64.to_le_bytes());
         assert_eq!(&out[8..16], &14u64.to_le_bytes());
+    }
+
+    #[test]
+    fn scatter_rejects_mismatched_output_without_touching_packets() {
+        let spec = OffloadSpec {
+            input: DbInput::WholePacket { offset: 0 },
+            output: DbOutput::InPlace { extra: 0 },
+            gpu: GpuProfile::default(),
+            kernel: upper_kernel(),
+            heavy: false,
+            postprocess: Postprocess::WriteBack,
+        };
+        let mut batches = vec![batch_with(&[b"hello", b"world"])];
+        let refs: Vec<&PacketBatch> = batches.iter().collect();
+        let staged = stage(&spec, &refs);
+        let mut out = vec![0u8; staged.out_len];
+        (spec.kernel)(KernelIo::parse(&staged.input, &mut out));
+
+        // A truncated block (the corrupted-D2H fault) is rejected…
+        let err = scatter(&spec, &mut batches, &out[..out.len() - 1]).unwrap_err();
+        assert_eq!(err, ScatterError::ShortOutput { needed: 10, got: 9 });
+        // …atomically: no packet was half-written.
+        assert_eq!(batches[0].packet(0).unwrap().data(), b"hello");
+        assert_eq!(batches[0].packet(1).unwrap().data(), b"world");
+
+        // An oversized block is equally rejected.
+        let mut long = out.clone();
+        long.push(0);
+        let err = scatter(&spec, &mut batches, &long).unwrap_err();
+        assert_eq!(
+            err,
+            ScatterError::TrailingBytes {
+                needed: 10,
+                got: 11
+            }
+        );
+        assert_eq!(batches[0].packet(0).unwrap().data(), b"hello");
+
+        // The well-formed block still applies.
+        scatter(&spec, &mut batches, &out).unwrap();
+        assert_eq!(batches[0].packet(0).unwrap().data(), b"HELLO");
     }
 }

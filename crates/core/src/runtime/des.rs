@@ -17,6 +17,9 @@ use nba_sim::{Ctx, Engine, Entity, EntityId, SimQueue, Time, Wake};
 use crate::batch::{anno, PacketBatch};
 use crate::element::{ComputeMode, ElemCtx, KernelIo, OffloadSpec};
 use crate::element::{DbInput, DbOutput, Postprocess};
+use crate::fault::{
+    Admission, CircuitBreaker, FaultConfig, FaultInjector, FaultKind, FaultPlan, FaultStats,
+};
 use crate::graph::{ElementGraph, NodeId, OutEdge, RunOutcome};
 use crate::lb::SharedBalancer;
 use crate::nls::NodeLocalStorage;
@@ -215,13 +218,18 @@ impl Entity for WorkerEntity {
                 worker: self.id,
                 inspector: &self.inspector,
             };
-            let outcome = self.graph.resume_offloaded(
-                &mut ectx,
-                &cost,
-                &self.counters,
-                done.node,
-                done.batch,
-            );
+            let outcome = if done.fallback {
+                // The device handed the batch back unprocessed: clear the
+                // stale device decision and re-run the offloadable's CPU
+                // path from the start of the (possibly fused) chain.
+                let mut batch = done.batch;
+                batch.banno_mut().set(anno::LB_DEVICE, 0);
+                self.graph
+                    .run_from(&mut ectx, &cost, &self.counters, done.node, batch)
+            } else {
+                self.graph
+                    .resume_offloaded(&mut ectx, &cost, &self.counters, done.node, done.batch)
+            };
             cycles += self.handle_outcome(now, cycles, outcome, trace_batch, ctx);
         }
 
@@ -312,12 +320,23 @@ impl Entity for WorkerEntity {
 /// A task staged through the GPU whose postprocessing is pending.
 struct InFlight {
     node: NodeId,
+    /// First node of the (possibly fused) chain — where a CPU fallback
+    /// re-enters the pipeline.
+    entry: NodeId,
     batches: Vec<(usize, PacketBatch)>,
     output: Vec<u8>,
     items: usize,
     out_bytes: usize,
+    /// When the result (or, for a failed task, the watchdog verdict)
+    /// becomes visible to the device thread.
     d2h_done: Time,
     skipped_kernel: bool,
+    /// The attempt failed on the device (timeout, death, or exhausted
+    /// retries); the batches come back unprocessed.
+    failed: bool,
+    /// The kernel ran but its output block was injected as corrupt; the
+    /// scatter-time length check is expected to reject it.
+    corrupted: bool,
 }
 
 /// The device thread of one NUMA node (§3.2: one per node per device).
@@ -341,6 +360,31 @@ struct DeviceEntity {
     /// Batch-lifecycle trace ring shared with the run assembly (`None`
     /// unless tracing is enabled).
     trace: Option<Rc<RefCell<TraceBuffer>>>,
+    /// Degradation-ladder knobs (watchdog, retries, breaker).
+    fault: FaultConfig,
+    /// Seeded fault source; `None` when the plan is inactive, so the clean
+    /// path makes no draws and stays bit-identical to a faultless build.
+    injector: Option<FaultInjector>,
+    /// This device's circuit breaker.
+    breaker: CircuitBreaker,
+    /// Shared fault accounting.
+    fstats: Arc<FaultStats>,
+    /// The run's balancer — told when the breaker trips or re-admits.
+    balancer: SharedBalancer,
+    /// Where the breaker's quarantine intervals go at engine teardown.
+    quarantine_sink: QuarantineSink,
+}
+
+/// Shared collection point for the per-device quarantine intervals,
+/// flushed by each [`DeviceEntity`]'s `Drop` at engine teardown.
+type QuarantineSink = Rc<RefCell<Vec<(Time, Option<Time>)>>>;
+
+impl Drop for DeviceEntity {
+    fn drop(&mut self) {
+        self.quarantine_sink
+            .borrow_mut()
+            .extend_from_slice(self.breaker.intervals());
+    }
 }
 
 impl DeviceEntity {
@@ -351,7 +395,42 @@ impl DeviceEntity {
 }
 
 impl DeviceEntity {
-    fn flush(&mut self, now: Time, cycles: &mut u64, node: usize, tasks: Vec<OffloadTask>) {
+    fn flush(
+        &mut self,
+        now: Time,
+        cycles: &mut u64,
+        node: usize,
+        tasks: Vec<OffloadTask>,
+        ctx: &mut Ctx,
+    ) {
+        // Circuit breaker first: a quarantined device gets no traffic at
+        // all — the batches fall straight back to their workers' CPU paths
+        // (breaker state only moves on real attempt outcomes, recorded at
+        // postprocess time).
+        let admission = if self.injector.is_some() {
+            self.breaker.admit(now)
+        } else {
+            Admission::Normal
+        };
+        if admission == Admission::Blocked {
+            let done_at = now + self.cfg.cost.cycles(*cycles);
+            for t in tasks {
+                FaultStats::add(&self.fstats.fell_back_batches, 1);
+                FaultStats::add(&self.fstats.fell_back_packets, t.batch.len() as u64);
+                let (q, eid) = &self.completions[t.worker];
+                if let Err(lost) = q.push(CompletedTask {
+                    node: NodeId(node),
+                    worker: t.worker,
+                    batch: t.batch,
+                    done_at,
+                    fallback: true,
+                }) {
+                    Counters::add(&self.counters.dropped, lost.batch.len() as u64);
+                }
+                ctx.wake(*eid, done_at);
+            }
+            return;
+        }
         if let Some(tr) = &self.trace {
             let mut tr = tr.borrow_mut();
             for t in &tasks {
@@ -388,10 +467,6 @@ impl DeviceEntity {
             + cost.preproc_per_packet * staged.items as u64
             + (cost.preproc_per_byte * staged.in_bytes as f64) as u64;
         let element_passes = 1 + u64::from(fused.is_some());
-        Counters::add(
-            &self.counters.gpu_processed,
-            staged.items as u64 * element_passes,
-        );
 
         let submit_at = now + cost.cycles(*cycles);
         let mut output = vec![0u8; staged.out_len];
@@ -402,42 +477,117 @@ impl DeviceEntity {
             + fused
                 .as_ref()
                 .map_or(0.0, |(_, s)| chained_lane_ns(s, &refs));
+        // The batch resumes after the LAST element of a fused chain — and
+        // falls back from the FIRST, so the CPU re-runs the whole chain.
+        let resume_node = fused.as_ref().map_or(node, |(m, _)| *m);
         // Offsets header length: everything before the item bytes.
         let hdr_len = staged.input.len() - staged.in_bytes;
-        let timing = {
-            let mut gpu = self.gpu.borrow_mut();
-            gpu.run_task(
-                submit_at,
-                &staged.input,
-                staged.items,
-                lane_ns,
-                &mut output,
-                &move |i: &[u8], o: &mut [u8], _n: usize| {
-                    if skip {
-                        return;
-                    }
-                    kernel(KernelIo::parse(i, o));
-                    if let Some(k2) = &fused_kernel {
-                        // Re-stage in place: same offsets, stage-1 output
-                        // as the next kernel's resident input.
-                        let mut chained = Vec::with_capacity(i.len());
-                        chained.extend_from_slice(&i[..hdr_len]);
-                        chained.extend_from_slice(o);
-                        k2(KernelIo::parse(&chained, o));
-                    }
-                },
-            )
-            .expect("device memory exhausted")
+        let run_kernel = move |i: &[u8], o: &mut [u8], _n: usize| {
+            if skip {
+                return;
+            }
+            kernel(KernelIo::parse(i, o));
+            if let Some(k2) = &fused_kernel {
+                // Re-stage in place: same offsets, stage-1 output
+                // as the next kernel's resident input.
+                let mut chained = Vec::with_capacity(i.len());
+                chained.extend_from_slice(&i[..hdr_len]);
+                chained.extend_from_slice(o);
+                k2(KernelIo::parse(&chained, o));
+            }
         };
+
+        // Attempt loop: each kernel attempt consumes one fault draw.
+        // Transient errors (and allocation failures) retry with backoff up
+        // to the configured bound; timeouts and device death abort the
+        // task, charge only the wasted H2D copy, and surface at the
+        // watchdog deadline; corrupt output completes normally and is
+        // caught by the scatter-time length check.
+        let mut failed = false;
+        let mut corrupted = false;
+        let mut attempt_at = submit_at;
+        let mut retries_left = self.fault.max_retries;
+        let mut detect_at = attempt_at;
+        let timing = loop {
+            let draw = self.injector.as_mut().and_then(|inj| inj.draw(attempt_at));
+            match draw {
+                Some(k @ (FaultKind::Timeout | FaultKind::DeviceDeath)) => {
+                    let counter = if k == FaultKind::Timeout {
+                        &self.fstats.injected_timeout
+                    } else {
+                        &self.fstats.injected_dead
+                    };
+                    FaultStats::add(counter, 1);
+                    // The H2D copy went out before anything could fail.
+                    let _ = self
+                        .gpu
+                        .borrow_mut()
+                        .abort_task(attempt_at, staged.input.len());
+                    failed = true;
+                    detect_at = attempt_at + self.fault.watchdog;
+                    break None;
+                }
+                Some(FaultKind::Transient) => {
+                    FaultStats::add(&self.fstats.injected_transient, 1);
+                }
+                other => {
+                    let res = self.gpu.borrow_mut().run_task(
+                        attempt_at,
+                        &staged.input,
+                        staged.items,
+                        lane_ns,
+                        &mut output,
+                        &run_kernel,
+                    );
+                    match res {
+                        Ok(t) => {
+                            if other == Some(FaultKind::CorruptOutput) {
+                                FaultStats::add(&self.fstats.injected_corrupt, 1);
+                                corrupted = true;
+                                // Wrong-length output block: one byte short.
+                                output.pop();
+                            }
+                            break Some(t);
+                        }
+                        // Device memory exhaustion is a real transient:
+                        // same retry-then-fallback ladder, instead of the
+                        // old panic.
+                        Err(_oom) => {}
+                    }
+                }
+            }
+            // Falling out of the match means the attempt was retryable
+            // (transient error or allocation failure): back off and redraw,
+            // or — once the retry budget is spent — fail the task.
+            if retries_left == 0 {
+                failed = true;
+                detect_at = attempt_at;
+                break None;
+            }
+            retries_left -= 1;
+            FaultStats::add(&self.fstats.retried, 1);
+            attempt_at += self.fault.retry_backoff;
+        };
+        // Only attempts whose kernel results are actually used count as
+        // GPU-processed; fallbacks are counted as CPU work in traversal.
+        if timing.is_some() && (skip || !corrupted) {
+            Counters::add(
+                &self.counters.gpu_processed,
+                staged.items as u64 * element_passes,
+            );
+        }
+        let d2h_done = timing.map_or(detect_at, |t| t.d2h_done);
         self.inflight.push(InFlight {
-            // The batch resumes after the LAST element of a fused chain.
-            node: NodeId(fused.map_or(node, |(m, _)| m)),
+            node: NodeId(resume_node),
+            entry: NodeId(node),
             batches,
             output,
             items: staged.items,
             out_bytes: staged.out_len,
-            d2h_done: timing.d2h_done,
+            d2h_done,
             skipped_kernel: skip,
+            failed,
+            corrupted,
         });
     }
 }
@@ -468,28 +618,55 @@ impl Entity for DeviceEntity {
         while i < self.inflight.len() {
             if self.inflight[i].d2h_done <= now {
                 let mut t = self.inflight.swap_remove(i);
-                cycles += cost.postproc_per_packet * t.items as u64
-                    + (cost.postproc_per_byte * t.out_bytes as f64) as u64;
-                let spec = self.specs.get(&t.node.0).expect("spec").clone();
-                if !t.skipped_kernel {
-                    let mut only: Vec<PacketBatch> = t
-                        .batches
-                        .iter_mut()
-                        .map(|(_, b)| std::mem::take(b))
-                        .collect();
-                    offload::scatter(&spec, &mut only, &t.output);
-                    for ((_, slot), b) in t.batches.iter_mut().zip(only) {
-                        *slot = b;
+                let mut fallback = t.failed;
+                if !t.failed {
+                    cycles += cost.postproc_per_packet * t.items as u64
+                        + (cost.postproc_per_byte * t.out_bytes as f64) as u64;
+                    if !t.skipped_kernel {
+                        let spec = self.specs.get(&t.node.0).expect("spec").clone();
+                        let mut only: Vec<PacketBatch> = t
+                            .batches
+                            .iter_mut()
+                            .map(|(_, b)| std::mem::take(b))
+                            .collect();
+                        // The scatter length check is the corruption
+                        // detector: a bad output block leaves every packet
+                        // untouched and sends the task down the CPU path.
+                        if let Err(e) = offload::scatter(&spec, &mut only, &t.output) {
+                            debug_assert!(t.corrupted, "scatter misaligned with staging: {e}");
+                            fallback = true;
+                        }
+                        for ((_, slot), b) in t.batches.iter_mut().zip(only) {
+                            *slot = b;
+                        }
+                    }
+                }
+                // One breaker verdict per task, on the device clock.
+                if self.injector.is_some() {
+                    if fallback {
+                        if self.breaker.record_failure(now) {
+                            FaultStats::add(&self.fstats.quarantine_entered, 1);
+                            self.balancer.lock().observe_device_health(false);
+                        }
+                    } else if self.breaker.record_success(now) {
+                        FaultStats::add(&self.fstats.quarantine_exited, 1);
+                        self.balancer.lock().observe_device_health(true);
                     }
                 }
                 let done_at = now + cost.cycles(cycles);
+                let resume = if fallback { t.entry } else { t.node };
                 for (worker, batch) in t.batches {
+                    if fallback {
+                        FaultStats::add(&self.fstats.fell_back_batches, 1);
+                        FaultStats::add(&self.fstats.fell_back_packets, batch.len() as u64);
+                    }
                     let (q, eid) = &self.completions[worker];
                     if let Err(lost) = q.push(CompletedTask {
-                        node: t.node,
+                        node: resume,
                         worker,
                         batch,
                         done_at,
+                        fallback,
                     }) {
                         Counters::add(&self.counters.dropped, lost.batch.len() as u64);
                     }
@@ -546,7 +723,7 @@ impl Entity for DeviceEntity {
                 let rest = buf.split_off(take);
                 let chunk = std::mem::replace(buf, rest);
                 *oldest = now;
-                self.flush(now, &mut cycles, node, chunk);
+                self.flush(now, &mut cycles, node, chunk, ctx);
             }
         }
 
@@ -795,6 +972,11 @@ pub fn run_with_sources(
         .then(|| Rc::new(RefCell::new(TraceBuffer::new(cfg.telemetry.trace_capacity))));
     let samples: Rc<RefCell<Vec<TimeSample>>> = Rc::new(RefCell::new(Vec::new()));
 
+    // Fault machinery: shared accounting plus the sink device entities
+    // flush their quarantine intervals into at teardown.
+    let fstats: Arc<FaultStats> = Arc::new(FaultStats::default());
+    let quarantine_sink: QuarantineSink = Rc::new(RefCell::new(Vec::new()));
+
     // Workers.
     for w in 0..total_workers {
         let socket = w / wps;
@@ -833,6 +1015,19 @@ pub fn run_with_sources(
         let completions: Vec<(SimQueue<CompletedTask>, EntityId)> = (0..total_workers)
             .map(|w| (completion_qs[w].clone(), EntityId(w)))
             .collect();
+        // Each device draws from its own deterministic stream, derived
+        // from the one user-facing seed.
+        let injector = cfg.fault.plan.is_active().then(|| {
+            let seed = cfg
+                .fault
+                .plan
+                .seed
+                .wrapping_add((s as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            FaultInjector::new(FaultPlan {
+                seed,
+                ..cfg.fault.plan.clone()
+            })
+        });
         let entity = DeviceEntity {
             cfg: cfg.clone(),
             tasks: offload_qs[s].clone(),
@@ -845,6 +1040,12 @@ pub fn run_with_sources(
             counters: counters[s * wps].clone(),
             busy_until: Time::ZERO,
             trace: device_trace.clone(),
+            fault: cfg.fault.clone(),
+            injector,
+            breaker: CircuitBreaker::new(cfg.fault.breaker_threshold, cfg.fault.quarantine),
+            fstats: fstats.clone(),
+            balancer: balancer.clone(),
+            quarantine_sink: quarantine_sink.clone(),
         };
         let id = engine.add_idle(Box::new(entity));
         debug_assert_eq!(id, device_ids[s]);
@@ -932,6 +1133,10 @@ pub fn run_with_sources(
     let samples = Rc::try_unwrap(samples)
         .expect("sample vector uniquely owned after engine teardown")
         .into_inner();
+    let mut quarantines = Rc::try_unwrap(quarantine_sink)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|_| panic!("quarantine sink uniquely owned after engine teardown"));
+    quarantines.sort_by_key(|(start, _)| *start);
 
     RunReport {
         duration: dur,
@@ -948,5 +1153,9 @@ pub fn run_with_sources(
         samples,
         trace,
         totals: end,
+        faults: crate::fault::FaultReport {
+            snapshot: fstats.snapshot(),
+            quarantines,
+        },
     }
 }

@@ -93,6 +93,10 @@ pub struct RuntimeConfig {
     /// Telemetry never perturbs the simulation — a run produces identical
     /// throughput with it on or off.
     pub telemetry: TelemetryConfig,
+    /// Fault injection plan and recovery knobs (watchdog, retries, circuit
+    /// breaker). The default plan is inactive: no draws are made and the
+    /// run is bit-identical to a build without the fault machinery.
+    pub fault: crate::fault::FaultConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -118,6 +122,7 @@ impl Default for RuntimeConfig {
             warmup: Time::from_ms(20),
             measure: Time::from_ms(50),
             telemetry: TelemetryConfig::default(),
+            fault: crate::fault::FaultConfig::default(),
         }
     }
 }
@@ -177,6 +182,9 @@ pub struct RunReport {
     /// Whole-run counter totals (for reconciling element profiles against
     /// aggregate counters).
     pub totals: Snapshot,
+    /// Fault-injection and recovery accounting: counter snapshot plus the
+    /// device quarantine intervals (all-zero/empty on a clean run).
+    pub faults: crate::fault::FaultReport,
 }
 
 impl RunReport {

@@ -677,6 +677,63 @@ pub fn report_to_prometheus(r: &RunReport) -> String {
             json_f64(p.busy.as_secs_f64())
         ));
     }
+
+    // Fault-tolerance accounting (all zero on a clean run).
+    let f = &r.faults.snapshot;
+    out.push_str("# HELP nba_fault_injected_total Device faults injected, by kind\n");
+    out.push_str("# TYPE nba_fault_injected_total counter\n");
+    for (kind, n) in [
+        ("timeout", f.injected_timeout),
+        ("transient", f.injected_transient),
+        ("corrupt", f.injected_corrupt),
+        ("device_death", f.injected_dead),
+    ] {
+        out.push_str(&format!(
+            "nba_fault_injected_total{{kind=\"{kind}\"}} {n}\n"
+        ));
+    }
+    prom_metric(
+        &mut out,
+        "nba_fault_retried_total",
+        "Device task attempts retried after a transient error",
+        "counter",
+        f.retried.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_fault_fell_back_packets_total",
+        "Packets re-executed on the CPU path after a device failure",
+        "counter",
+        f.fell_back_packets.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_fault_dropped_packets_total",
+        "Packets lost with poison batches dropped by panic containment",
+        "counter",
+        f.dropped_packets.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_fault_panics_contained_total",
+        "Panics caught by worker/device panic containment",
+        "counter",
+        f.panics_contained.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_fault_quarantines_total",
+        "Times a device circuit breaker tripped into quarantine",
+        "counter",
+        f.quarantine_entered.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_fault_readmissions_total",
+        "Times a half-open probe re-admitted a quarantined device",
+        "counter",
+        f.quarantine_exited.to_string(),
+    );
     out
 }
 

@@ -1,0 +1,289 @@
+//! Deterministic fault injection for the device shim.
+//!
+//! A [`FaultPlan`] makes the simulated accelerator fail in *typed*,
+//! *reproducible* ways: per-attempt probabilities for timeouts, transient
+//! errors, and corrupted output blocks, plus an optional whole-device death
+//! window. The [`FaultInjector`] draws from a seeded splitmix64 stream — a
+//! pure function of (seed, draw index) with no wall-clock input — so a DES
+//! run under a fixed plan is bit-reproducible: same seed, same faults, same
+//! recovery, same packet counts.
+
+use nba_sim::Time;
+
+/// The typed ways a device task attempt can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The task never completes; only a watchdog deadline detects it.
+    Timeout,
+    /// A retryable submission error (the ECC-hiccup / queue-glitch class).
+    Transient,
+    /// The task completes but its output block has the wrong length.
+    CorruptOutput,
+    /// The whole device is dead (inside the plan's death window).
+    DeviceDeath,
+}
+
+/// A seeded, declarative fault schedule for one device.
+///
+/// Probabilities apply independently to every kernel *attempt* (retries
+/// draw again). The default plan is inactive: no faults, identical behavior
+/// to a build without the fault layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-attempt fault draws.
+    pub seed: u64,
+    /// Probability an attempt times out (no completion), in `[0, 1]`.
+    pub timeout: f64,
+    /// Probability of a retryable transient error, in `[0, 1]`.
+    pub transient: f64,
+    /// Probability the output block comes back truncated, in `[0, 1]`.
+    pub corrupt: f64,
+    /// The device dies at this time…
+    pub die_at: Option<Time>,
+    /// …and revives at this time (`None` = stays dead).
+    pub revive_at: Option<Time>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 42,
+            timeout: 0.0,
+            transient: 0.0,
+            corrupt: 0.0,
+            die_at: None,
+            revive_at: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// `true` if the plan can ever inject anything.
+    pub fn is_active(&self) -> bool {
+        self.timeout > 0.0 || self.transient > 0.0 || self.corrupt > 0.0 || self.die_at.is_some()
+    }
+
+    /// `true` while the device is inside the death window at `now`.
+    pub fn device_dead(&self, now: Time) -> bool {
+        match self.die_at {
+            Some(t) if now >= t => self.revive_at.is_none_or(|r| now < r),
+            _ => false,
+        }
+    }
+
+    /// Parses the flag/config syntax:
+    /// `seed=7,transient=0.2,timeout=0.1,corrupt=0.05,die_at_ms=25,revive_at_ms=40`.
+    /// Keys may appear in any order; unknown keys are errors so typos in a
+    /// chaos-CI matrix fail loudly instead of silently running clean.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan: expected key=value, got `{part}`"))?;
+            let fval = || -> Result<f64, String> {
+                val.parse::<f64>()
+                    .map_err(|e| format!("fault plan: bad value for `{key}`: {e}"))
+            };
+            let prob = || -> Result<f64, String> {
+                let v = fval()?;
+                if (0.0..=1.0).contains(&v) {
+                    Ok(v)
+                } else {
+                    Err(format!("fault plan: `{key}` must be in [0, 1], got {v}"))
+                }
+            };
+            let ms = || -> Result<Time, String> { Ok(Time::from_secs_f64(fval()? / 1e3)) };
+            match key.trim() {
+                "seed" => {
+                    plan.seed = val
+                        .parse()
+                        .map_err(|e| format!("fault plan: bad seed: {e}"))?;
+                }
+                "timeout" => plan.timeout = prob()?,
+                "transient" => plan.transient = prob()?,
+                "corrupt" => plan.corrupt = prob()?,
+                "die_at_ms" => plan.die_at = Some(ms()?),
+                "revive_at_ms" => plan.revive_at = Some(ms()?),
+                other => return Err(format!("fault plan: unknown key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Canonical one-line rendering (config digests, report metadata).
+    /// Inverse of [`FaultPlan::parse`] up to float formatting.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "seed={},timeout={},transient={},corrupt={}",
+            self.seed, self.timeout, self.transient, self.corrupt
+        );
+        if let Some(t) = self.die_at {
+            s.push_str(&format!(",die_at_ms={}", t.as_secs_f64() * 1e3));
+        }
+        if let Some(t) = self.revive_at {
+            s.push_str(&format!(",revive_at_ms={}", t.as_secs_f64() * 1e3));
+        }
+        s
+    }
+}
+
+/// Draws typed faults for one device from a seeded deterministic stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector over `plan` (the seed fully determines draws).
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        let state = plan.seed;
+        FaultInjector { plan, state }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// splitmix64: the standard 64-bit mixer — tiny, seedable, and good
+    /// enough to decorrelate per-attempt draws.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, 1)` (53 mantissa bits).
+    fn next_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Decides the fate of one kernel attempt submitted at `now`.
+    /// `None` = the attempt succeeds. Device death preempts the
+    /// probabilistic faults (a dead device fails every attempt the same
+    /// way); the probability draw is consumed regardless so the stream
+    /// stays aligned across plans that differ only in the death window.
+    pub fn draw(&mut self, now: Time) -> Option<FaultKind> {
+        let u = self.next_unit();
+        if self.plan.device_dead(now) {
+            return Some(FaultKind::DeviceDeath);
+        }
+        let mut edge = self.plan.timeout;
+        if u < edge {
+            return Some(FaultKind::Timeout);
+        }
+        edge += self.plan.transient;
+        if u < edge {
+            return Some(FaultKind::Transient);
+        }
+        edge += self.plan.corrupt;
+        if u < edge {
+            return Some(FaultKind::CorruptOutput);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inactive_and_never_injects() {
+        let plan = FaultPlan::default();
+        assert!(!plan.is_active());
+        let mut inj = FaultInjector::new(plan);
+        for i in 0..1000 {
+            assert_eq!(inj.draw(Time::from_us(i)), None);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_through_render() {
+        let plan = FaultPlan::parse(
+            "seed=7,transient=0.25,timeout=0.1,corrupt=0.05,die_at_ms=25,revive_at_ms=40",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.transient, 0.25);
+        assert_eq!(plan.die_at, Some(Time::from_us(25_000)));
+        assert_eq!(plan.revive_at, Some(Time::from_us(40_000)));
+        assert!(plan.is_active());
+        assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_bad_probabilities() {
+        assert!(FaultPlan::parse("transiant=0.5").is_err());
+        assert!(FaultPlan::parse("transient=1.5").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+        // The empty plan parses to the inactive default.
+        assert!(!FaultPlan::parse("").unwrap().is_active());
+    }
+
+    #[test]
+    fn death_window_bounds_device_death() {
+        let plan = FaultPlan {
+            die_at: Some(Time::from_ms(10)),
+            revive_at: Some(Time::from_ms(20)),
+            ..FaultPlan::default()
+        };
+        assert!(!plan.device_dead(Time::from_ms(9)));
+        assert!(plan.device_dead(Time::from_ms(10)));
+        assert!(plan.device_dead(Time::from_ms(19)));
+        assert!(!plan.device_dead(Time::from_ms(20)));
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.draw(Time::from_ms(15)), Some(FaultKind::DeviceDeath));
+        assert_eq!(inj.draw(Time::from_ms(25)), None);
+    }
+
+    #[test]
+    fn same_seed_draws_identical_fault_streams() {
+        let plan = FaultPlan {
+            timeout: 0.1,
+            transient: 0.2,
+            corrupt: 0.1,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan.clone());
+        let draws_a: Vec<_> = (0..500).map(|i| a.draw(Time::from_us(i))).collect();
+        let draws_b: Vec<_> = (0..500).map(|i| b.draw(Time::from_us(i))).collect();
+        assert_eq!(draws_a, draws_b);
+        // A different seed diverges (overwhelmingly likely over 500 draws).
+        let mut c = FaultInjector::new(FaultPlan { seed: 43, ..plan });
+        let draws_c: Vec<_> = (0..500).map(|i| c.draw(Time::from_us(i))).collect();
+        assert_ne!(draws_a, draws_c);
+    }
+
+    #[test]
+    fn probabilities_hit_their_rates_roughly() {
+        let plan = FaultPlan {
+            timeout: 0.1,
+            transient: 0.3,
+            corrupt: 0.05,
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(plan);
+        let mut counts = [0usize; 4];
+        let n = 20_000;
+        for i in 0..n {
+            match inj.draw(Time::from_us(i as u64)) {
+                Some(FaultKind::Timeout) => counts[0] += 1,
+                Some(FaultKind::Transient) => counts[1] += 1,
+                Some(FaultKind::CorruptOutput) => counts[2] += 1,
+                Some(FaultKind::DeviceDeath) => counts[3] += 1,
+                None => {}
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        assert!((frac(counts[0]) - 0.1).abs() < 0.02, "{counts:?}");
+        assert!((frac(counts[1]) - 0.3).abs() < 0.02, "{counts:?}");
+        assert!((frac(counts[2]) - 0.05).abs() < 0.02, "{counts:?}");
+        assert_eq!(counts[3], 0);
+    }
+}

@@ -11,14 +11,19 @@
 //! * [`shim::Gpu`] — the OpenCL-like shim the framework talks to: offload
 //!   tasks execute *functionally* on the host (kernels are Rust closures, so
 //!   GPU-path output is bit-identical to the CPU path) while completion
-//!   times come from the timeline model.
+//!   times come from the timeline model,
+//! * [`fault::FaultInjector`] — seeded, typed fault injection (timeouts,
+//!   transient errors, corrupted output, device death) so the framework's
+//!   degradation ladder is testable and bit-reproducible.
 
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod mem;
 pub mod shim;
 pub mod timeline;
 
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use mem::{DeviceBuffer, DeviceMemory, MemError};
 pub use shim::{Gpu, KernelFn};
 pub use timeline::{StreamId, TaskTiming, Timeline, TimelineStats};

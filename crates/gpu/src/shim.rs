@@ -104,6 +104,14 @@ impl Gpu {
         self.timeline.submit(now, stream, 0, lane_ns, d2h_bytes)
     }
 
+    /// Charges an attempt that never completed (injected timeout or a dead
+    /// device): the input copy of `h2d_bytes` still burned the H2D engine,
+    /// but nothing came back. Returns when the doomed copy landed.
+    pub fn abort_task(&mut self, now: Time, h2d_bytes: usize) -> Time {
+        let stream = self.timeline.best_stream();
+        self.timeline.submit_aborted(now, stream, h2d_bytes)
+    }
+
     /// Device utilization counters.
     pub fn stats(&self) -> TimelineStats {
         self.timeline.stats()

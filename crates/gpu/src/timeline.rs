@@ -35,6 +35,9 @@ pub struct TaskTiming {
 pub struct TimelineStats {
     /// Tasks completed.
     pub tasks: u64,
+    /// Task attempts that never completed (timed out or hit a dead
+    /// device); their H2D copy still occupied the copy engine.
+    pub failed_tasks: u64,
     /// Bytes copied host-to-device.
     pub h2d_bytes: u64,
     /// Bytes copied device-to-host.
@@ -51,6 +54,7 @@ impl TimelineStats {
     pub fn delta(&self, earlier: &TimelineStats) -> TimelineStats {
         TimelineStats {
             tasks: self.tasks.saturating_sub(earlier.tasks),
+            failed_tasks: self.failed_tasks.saturating_sub(earlier.failed_tasks),
             h2d_bytes: self.h2d_bytes.saturating_sub(earlier.h2d_bytes),
             d2h_bytes: self.d2h_bytes.saturating_sub(earlier.d2h_bytes),
             copy_busy: self.copy_busy.saturating_sub(earlier.copy_busy),
@@ -164,6 +168,24 @@ impl Timeline {
             kernel_done,
             d2h_done,
         }
+    }
+
+    /// Charges an *aborted* task attempt submitted at `now` on `stream`:
+    /// the input copy occupied the H2D engine (and the stream), but no
+    /// kernel completion or D2H copy ever happened — the fault model of a
+    /// timed-out or dead-device submission. Returns when the copy landed.
+    pub fn submit_aborted(&mut self, now: Time, stream: StreamId, h2d_bytes: usize) -> Time {
+        let s = &mut self.stream_free_at[stream.0 as usize];
+        let start = now.max(*s);
+        let h2d_dur = self.model.h2d_time(h2d_bytes);
+        let h2d_start = start.max(self.h2d_free_at);
+        let h2d_done = h2d_start + h2d_dur;
+        self.h2d_free_at = h2d_done;
+        *s = h2d_done;
+        self.stats.failed_tasks += 1;
+        self.stats.h2d_bytes += h2d_bytes as u64;
+        self.stats.copy_busy += h2d_dur;
+        h2d_done
     }
 
     /// A copy of the utilization counters.
@@ -285,6 +307,23 @@ mod tests {
             TimelineStats::default().kernel_busy_fraction(Time::ZERO),
             0.0
         );
+    }
+
+    #[test]
+    fn aborted_task_charges_only_the_h2d_engine() {
+        let mut tl = Timeline::new(model(), 2);
+        let done = tl.submit_aborted(Time::ZERO, StreamId(0), 1000);
+        // 1000 bytes @ 1 GB/s = 1 us + 5 us latency.
+        assert_eq!(done, Time::from_ns(6_000));
+        let s = tl.stats();
+        assert_eq!(s.failed_tasks, 1);
+        assert_eq!(s.tasks, 0);
+        assert_eq!(s.h2d_bytes, 1000);
+        assert_eq!(s.d2h_bytes, 0);
+        assert_eq!(s.kernel_busy, Time::ZERO);
+        // The aborted copy still delays the next task's H2D stage.
+        let t = tl.submit(Time::ZERO, StreamId(1), 1000, 1000.0, 1000);
+        assert_eq!(t.h2d_done, Time::from_ns(12_000));
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Fault-tolerant offload: the degradation ladder end to end.
+//!
+//! These tests drive the seeded fault injector through the DES runtime and
+//! assert the ladder's invariants: CPU fallback preserves every in-flight
+//! packet bit-identically, fault runs are deterministic under a fixed seed,
+//! device death at the midpoint of a run degrades throughput but never
+//! correctness, and clean runs report zero fault activity. Live-mode panic
+//! containment is covered in `live_runtime.rs`.
+
+use nba::apps::{pipelines, AppConfig};
+use nba::core::fault::{FaultConfig, FaultPlan};
+use nba::core::lb;
+use nba::core::runtime::{des, traffic_per_port, RunReport, RuntimeConfig};
+use nba::io::{IpVersion, PayloadFill, SizeDist, TrafficConfig};
+use nba::sim::Time;
+
+fn app_for(cfg: &RuntimeConfig) -> AppConfig {
+    AppConfig {
+        ports: cfg.topology.ports.len() as u16,
+        v4_routes: 4096,
+        v6_routes: 1024,
+        ids_literals: 64,
+        ids_regexes: 8,
+        ..AppConfig::default()
+    }
+}
+
+fn light_traffic(cfg: &RuntimeConfig, gbps: f64, v6: bool) -> Vec<TrafficConfig> {
+    traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: gbps,
+            size: SizeDist::Fixed(128),
+            ip_version: if v6 { IpVersion::V6 } else { IpVersion::V4 },
+            ..TrafficConfig::default()
+        },
+    )
+}
+
+/// Every offload attempt fails with a retryable transient error: retries
+/// exhaust, every task falls back to the CPU path.
+fn always_transient() -> FaultConfig {
+    FaultConfig {
+        plan: FaultPlan {
+            seed: 7,
+            transient: 1.0,
+            ..FaultPlan::default()
+        },
+        ..FaultConfig::default()
+    }
+}
+
+/// The four apps as (name, builder, uses-v6-traffic, light-load-Gbps)
+/// rows. The per-app rates keep full computation comfortably below CPU
+/// saturation on the small test topology, so fallback runs (which burn
+/// extra cycles on retries) stay in the no-drop regime.
+fn all_apps(app: &AppConfig) -> Vec<(&'static str, nba::core::PipelineBuilder, bool, f64)> {
+    vec![
+        ("ipv4", pipelines::ipv4_router(app), false, 1.0),
+        ("ipv6", pipelines::ipv6_router(app), true, 1.0),
+        ("ipsec", pipelines::ipsec_gateway(app), false, 0.5),
+        ("ids", pipelines::ids(app).0, false, 0.25),
+    ]
+}
+
+fn assert_parity(name: &str, clean: &RunReport, faulted: &RunReport) {
+    // The fallback path re-runs the offloadable element's CPU closure on
+    // the same packets, so the routed/encrypted/matched packet counts must
+    // agree with a clean CPU-only run up to window-edge timing effects.
+    let diff = clean.window.tx_packets.abs_diff(faulted.window.tx_packets);
+    assert!(
+        diff * 10 <= clean.window.tx_packets,
+        "{name}: cpu {} vs fallback {}",
+        clean.window.tx_packets,
+        faulted.window.tx_packets
+    );
+    let mean_clean = clean.window.tx_frame_bits / clean.window.tx_packets.max(1);
+    let mean_faulted = faulted.window.tx_frame_bits / faulted.window.tx_packets.max(1);
+    assert_eq!(
+        mean_clean, mean_faulted,
+        "{name}: per-packet output bits differ — fallback is not bit-identical"
+    );
+}
+
+#[test]
+fn cpu_fallback_matches_cpu_only_for_all_apps() {
+    let clean_cfg = RuntimeConfig::test_default();
+    let fault_cfg = RuntimeConfig {
+        fault: always_transient(),
+        ..RuntimeConfig::test_default()
+    };
+    let app = app_for(&clean_cfg);
+    for (name, pipeline, v6, gbps) in all_apps(&app) {
+        let clean = des::run(
+            &clean_cfg,
+            &pipeline,
+            &lb::shared(Box::new(lb::CpuOnly)),
+            &light_traffic(&clean_cfg, gbps, v6),
+        );
+        let faulted = des::run(
+            &fault_cfg,
+            &pipeline,
+            &lb::shared(Box::new(lb::GpuOnly)),
+            &light_traffic(&fault_cfg, gbps, v6),
+        );
+        assert!(faulted.tx_packets > 100, "{name}: too little traffic");
+        // Nothing ever completed on the device…
+        assert_eq!(
+            faulted.window.gpu_processed, 0,
+            "{name}: a task slipped past the injector"
+        );
+        // …yet no packet was lost: everything fell back to the CPU path.
+        let f = &faulted.faults.snapshot;
+        assert!(f.injected_transient > 0, "{name}: nothing injected");
+        assert!(f.retried > 0, "{name}: no retries before fallback");
+        assert!(f.fell_back_packets > 0, "{name}: no fallback recorded");
+        assert_eq!(f.dropped_packets, 0, "{name}: fallback lost packets");
+        assert_parity(name, &clean, &faulted);
+    }
+}
+
+#[test]
+fn ids_fallback_detects_identically() {
+    let cfg = RuntimeConfig::test_default();
+    let fault_cfg = RuntimeConfig {
+        fault: always_transient(),
+        ..RuntimeConfig::test_default()
+    };
+    let app = app_for(&cfg);
+    let traffic = traffic_per_port(
+        &cfg.topology,
+        &TrafficConfig {
+            offered_gbps: 0.5,
+            size: SizeDist::Fixed(256),
+            payload: PayloadFill::Plant {
+                needle: b"EVILPATTERN".to_vec(),
+                every: 5,
+            },
+            ..TrafficConfig::default()
+        },
+    );
+    let (p_cpu, a_cpu) = pipelines::ids(&app);
+    let (p_fb, a_fb) = pipelines::ids(&app);
+    des::run(&cfg, &p_cpu, &lb::shared(Box::new(lb::CpuOnly)), &traffic);
+    let faulted = des::run(
+        &fault_cfg,
+        &p_fb,
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &traffic,
+    );
+    assert!(faulted.faults.snapshot.fell_back_packets > 0);
+    let lit_cpu = a_cpu
+        .literal_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let lit_fb = a_fb.literal_hits.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        lit_cpu > 0 && lit_fb > 0,
+        "cpu {lit_cpu} vs fallback {lit_fb}"
+    );
+    let diff = lit_cpu.abs_diff(lit_fb);
+    assert!(diff * 10 <= lit_cpu, "cpu {lit_cpu} vs fallback {lit_fb}");
+}
+
+#[test]
+fn fault_runs_are_deterministic_under_a_fixed_seed() {
+    let cfg = RuntimeConfig {
+        fault: FaultConfig {
+            plan: FaultPlan {
+                seed: 7,
+                timeout: 0.1,
+                transient: 0.3,
+                corrupt: 0.05,
+                ..FaultPlan::default()
+            },
+            ..FaultConfig::default()
+        },
+        ..RuntimeConfig::test_default()
+    };
+    let app = app_for(&cfg);
+    let run = || {
+        des::run(
+            &cfg,
+            &pipelines::ipv4_router(&app),
+            &lb::shared(Box::new(lb::GpuOnly)),
+            &light_traffic(&cfg, 2.0, false),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert!(a.faults.snapshot.injected() > 0, "plan injected nothing");
+    assert_eq!(a.tx_packets, b.tx_packets);
+    assert_eq!(a.window.tx_frame_bits, b.window.tx_frame_bits);
+    assert_eq!(a.faults.snapshot, b.faults.snapshot);
+    assert_eq!(a.faults.quarantines, b.faults.quarantines);
+    assert_eq!(a.final_w, b.final_w);
+    assert_eq!(a.latency.count(), b.latency.count());
+    // A different seed draws a different fault stream.
+    let cfg2 = RuntimeConfig {
+        fault: FaultConfig {
+            plan: FaultPlan {
+                seed: 8,
+                ..cfg.fault.plan.clone()
+            },
+            ..cfg.fault.clone()
+        },
+        ..cfg.clone()
+    };
+    let c = des::run(
+        &cfg2,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &light_traffic(&cfg2, 2.0, false),
+    );
+    assert_ne!(a.faults.snapshot, c.faults.snapshot);
+}
+
+#[test]
+fn device_death_at_midpoint_loses_no_packets_in_any_app() {
+    // The device dies mid-run and revives near the end; every app must
+    // complete, with every in-flight packet recovered on the CPU path.
+    let cfg = RuntimeConfig {
+        measure: Time::from_ms(18),
+        fault: FaultConfig {
+            plan: FaultPlan {
+                seed: 11,
+                die_at: Some(Time::from_ms(8)),
+                revive_at: Some(Time::from_ms(14)),
+                ..FaultPlan::default()
+            },
+            quarantine: Time::from_ms(2),
+            ..FaultConfig::default()
+        },
+        ..RuntimeConfig::test_default()
+    };
+    let app = app_for(&cfg);
+    for (name, pipeline, v6, gbps) in all_apps(&app) {
+        let r = des::run(
+            &cfg,
+            &pipeline,
+            &lb::shared(Box::new(lb::GpuOnly)),
+            &light_traffic(&cfg, gbps, v6),
+        );
+        let f = &r.faults.snapshot;
+        assert!(r.tx_packets > 100, "{name}: did not complete under death");
+        assert!(f.injected_dead > 0, "{name}: the device never died");
+        assert!(f.fell_back_packets > 0, "{name}: no CPU recovery");
+        assert_eq!(f.dropped_packets, 0, "{name}: mid-pipeline packet loss");
+        assert!(
+            f.quarantine_entered >= 1,
+            "{name}: breaker never tripped: {f:?}"
+        );
+        assert!(
+            f.quarantine_exited >= 1,
+            "{name}: revived device never re-admitted: {f:?}"
+        );
+        assert!(!r.faults.quarantines.is_empty(), "{name}: no intervals");
+    }
+}
+
+#[test]
+fn adaptive_balancer_fails_over_and_reconverges_on_death() {
+    // Same death drill under the adaptive balancer: the breaker's health
+    // signal must drive `w` toward zero during the outage and let the
+    // hill-climb resume after re-admission (the w-trajectory story the
+    // bench artifacts tell).
+    let cfg = RuntimeConfig {
+        measure: Time::from_ms(30),
+        fault: FaultConfig {
+            plan: FaultPlan {
+                seed: 11,
+                die_at: Some(Time::from_ms(10)),
+                revive_at: Some(Time::from_ms(18)),
+                ..FaultPlan::default()
+            },
+            quarantine: Time::from_ms(2),
+            ..FaultConfig::default()
+        },
+        ..RuntimeConfig::test_default()
+    };
+    let app = app_for(&cfg);
+    let balancer = lb::shared(Box::new(lb::Adaptive::new(lb::AlbConfig {
+        update_interval: Time::from_ms(1),
+        avg_window: 2,
+        min_wait: 0,
+        max_wait: 2,
+        initial_w: 0.5,
+        ..lb::AlbConfig::default()
+    })));
+    let r = des::run(
+        &cfg,
+        &pipelines::ipv4_router(&app),
+        &balancer,
+        &light_traffic(&cfg, 2.0, false),
+    );
+    let f = &r.faults.snapshot;
+    assert!(f.quarantine_entered >= 1, "breaker never tripped: {f:?}");
+    assert!(f.quarantine_exited >= 1, "device never re-admitted: {f:?}");
+    assert_eq!(f.dropped_packets, 0);
+    // The w-trajectory tells the fail-over story: it dips markedly below
+    // the pre-death operating point while the device is out, then climbs
+    // back once the breaker re-admits it.
+    let (death, revive) = (Time::from_ms(10), Time::from_ms(18));
+    let w_of = |lo: Time, hi: Time, init: f64, pick: fn(f64, f64) -> f64| {
+        r.samples
+            .iter()
+            .filter(|s| s.t > lo && s.t <= hi)
+            .map(|s| s.offload_fraction)
+            .fold(init, pick)
+    };
+    let horizon = Time::from_ms(60);
+    let pre_peak = w_of(Time::ZERO, death, 0.0, f64::max);
+    let dip = w_of(death, revive + Time::from_ms(4), 1.0, f64::min);
+    let after_peak = w_of(revive, horizon, 0.0, f64::max);
+    assert!(
+        dip <= pre_peak - 0.15,
+        "w never fell during the outage: pre {pre_peak} dip {dip}"
+    );
+    assert!(
+        after_peak >= dip + 0.08,
+        "w never re-climbed after re-admission: dip {dip} after {after_peak}"
+    );
+}
+
+#[test]
+fn clean_runs_report_zero_fault_activity() {
+    let cfg = RuntimeConfig::test_default();
+    let app = app_for(&cfg);
+    let r = des::run(
+        &cfg,
+        &pipelines::ipv4_router(&app),
+        &lb::shared(Box::new(lb::GpuOnly)),
+        &light_traffic(&cfg, 2.0, false),
+    );
+    assert!(r.faults.snapshot.is_clean(), "{:?}", r.faults.snapshot);
+    assert!(r.faults.quarantines.is_empty());
+    assert!(r.window.gpu_processed > 0, "offloading should be clean");
+}

@@ -1,13 +1,17 @@
 //! The live runtime: real threads, real packets, real crypto, real
 //! detections — proving the framework is a working concurrent system.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use nba::apps::{pipelines, AppConfig};
-use nba::core::element::ComputeMode;
+use nba::core::batch::{Anno, PacketResult};
+use nba::core::element::{ComputeMode, ElemCtx, Element};
+use nba::core::graph::GraphBuilder;
 use nba::core::lb;
 use nba::core::runtime::live::{self, LiveConfig};
-use nba::io::{PayloadFill, SizeDist, TrafficConfig};
+use nba::core::runtime::{BuildCtx, PipelineBuilder};
+use nba::io::{Packet, PayloadFill, SizeDist, TrafficConfig};
 
 fn live_cfg() -> LiveConfig {
     LiveConfig {
@@ -80,4 +84,53 @@ fn live_ids_detects_with_real_threads() {
         .literal_hits
         .load(std::sync::atomic::Ordering::Relaxed);
     assert!(hits > 0, "no detections in {report:?}");
+}
+
+/// A poison element: panics once every `every` packets it sees.
+struct PanicEvery {
+    every: u64,
+    seen: u64,
+}
+
+impl Element for PanicEvery {
+    fn class_name(&self) -> &'static str {
+        "PanicEvery"
+    }
+
+    fn process(
+        &mut self,
+        _ctx: &mut ElemCtx<'_>,
+        _pkt: &mut Packet,
+        _anno: &mut Anno,
+    ) -> PacketResult {
+        self.seen += 1;
+        if self.seen.is_multiple_of(self.every) {
+            panic!("injected element panic (expected in this test)");
+        }
+        PacketResult::Out(0)
+    }
+}
+
+#[test]
+fn live_worker_panics_are_contained() {
+    let pipeline: PipelineBuilder = Arc::new(|_ctx: &BuildCtx| {
+        let mut gb = GraphBuilder::new();
+        let p = gb.add(Box::new(PanicEvery {
+            every: 20_000,
+            seen: 0,
+        }));
+        gb.connect_exit(p, 0);
+        gb.entry(p);
+        gb.build().expect("panic pipeline")
+    });
+    let report = live::run(&live_cfg(), &pipeline, &lb::shared(Box::new(lb::CpuOnly)));
+    let f = &report.faults.snapshot;
+    // The poison batches were dropped and counted — and the run survived
+    // them: workers kept forwarding traffic afterwards.
+    assert!(f.panics_contained >= 1, "no panic was contained: {f:?}");
+    assert!(f.dropped_packets > 0, "poison batch not counted: {f:?}");
+    assert!(
+        report.totals.tx_packets > 1000,
+        "the run died with the panic: {report:?}"
+    );
 }

@@ -25,15 +25,17 @@
 //! are machine-independent.
 
 use nba_apps::{pipelines, AppConfig};
-use nba_bench::report::{compare, BenchReport, Tolerances};
-use nba_core::lb::{self, AlbConfig, SharedBalancer};
+use nba_bench::report::{compare, BenchReport, ScalePoint, Tolerances};
+use nba_core::lb::{self, AlbConfig, BalancerFactory, LoadBalancer, SharedBalancer};
+use nba_core::runtime::live::{self, LiveConfig};
 use nba_core::runtime::{des, traffic_per_port, PipelineBuilder, RuntimeConfig};
 use nba_io::{IpVersion, SizeDist, TrafficConfig};
-use nba_sim::Time;
+use nba_sim::topology::{GpuSpec, PortSpec, SocketSpec};
+use nba_sim::{Time, Topology};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]"
+        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]"
     );
     std::process::exit(2);
 }
@@ -87,6 +89,150 @@ fn balancer_for(mode: &str) -> Option<SharedBalancer> {
         "gpu" => lb::shared(Box::new(lb::GpuOnly)),
         w => lb::shared(Box::new(lb::FixedFraction::new(w.parse().ok()?))),
     })
+}
+
+/// One fresh balancer instance per call — the per-worker form of
+/// [`balancer_for`], used by the sharded live runtime (`w` per worker).
+fn balancer_factory_for(mode: &str) -> Option<BalancerFactory> {
+    let make: Box<dyn Fn() -> Box<dyn LoadBalancer> + Send + Sync> = match mode {
+        "alb" => Box::new(|| {
+            Box::new(lb::Adaptive::new(AlbConfig {
+                delta: 0.08,
+                update_interval: Time::from_ms(4),
+                avg_window: 2,
+                min_wait: 0,
+                max_wait: 2,
+                initial_w: 0.5,
+            }))
+        }),
+        "cpu" => Box::new(|| Box::new(lb::CpuOnly)),
+        "gpu" => Box::new(|| Box::new(lb::GpuOnly)),
+        w => {
+            let w: f64 = w.parse().ok()?;
+            if !(0.0..=1.0).contains(&w) {
+                return None;
+            }
+            Box::new(move || Box::new(lb::FixedFraction::new(w)))
+        }
+    };
+    Some(lb::replicated(move || make()))
+}
+
+/// The DES sweep machine: one socket with exactly `workers` worker cores
+/// (+1 for the device thread), one GPU, four 10 GbE ports — ports fixed
+/// across counts so the offered load stays constant and only the worker
+/// count varies (the paper's Figure 8 axis).
+fn sweep_topology(workers: usize) -> Topology {
+    Topology {
+        sockets: vec![SocketSpec {
+            cores: workers as u32 + 1,
+        }],
+        gpus: vec![GpuSpec {
+            name: "GTX 680".to_owned(),
+            socket: 0,
+        }],
+        ports: (0..4)
+            .map(|_| PortSpec {
+                speed_gbps: 10.0,
+                socket: 0,
+            })
+            .collect(),
+    }
+}
+
+/// Runs the throughput-vs-workers sweep on the deterministic simulator.
+fn des_sweep(
+    counts: &[usize],
+    cfg: &RuntimeConfig,
+    pipeline: &PipelineBuilder,
+    mode: &str,
+    traffic: &TrafficConfig,
+) -> Vec<ScalePoint> {
+    counts
+        .iter()
+        .map(|&n| {
+            let cfg = RuntimeConfig {
+                topology: sweep_topology(n),
+                workers_per_socket: n as u32,
+                ..cfg.clone()
+            };
+            let balancer = balancer_for(mode).expect("mode validated earlier");
+            let traffic = traffic_per_port(&cfg.topology, traffic);
+            let r = des::run(&cfg, pipeline, &balancer, &traffic);
+            println!(
+                "  des workers={n}: {:.2} Gbps ({:.2} Mpps)",
+                r.tx_gbps,
+                r.tx_mpps()
+            );
+            ScalePoint {
+                workers: n as u64,
+                tx_mpps: r.tx_mpps(),
+                tx_gbps: r.tx_gbps,
+            }
+        })
+        .collect()
+}
+
+/// Runs the sweep on the live runtime: real threads, one RSS-sharded
+/// worker (with its own balancer) per count.
+fn live_sweep(
+    counts: &[usize],
+    q: bool,
+    pipeline: &PipelineBuilder,
+    mode: &str,
+    traffic: &TrafficConfig,
+) -> Option<Vec<ScalePoint>> {
+    let duration = std::time::Duration::from_millis(if q { 200 } else { 1000 });
+    counts
+        .iter()
+        .map(|&n| {
+            let cfg = LiveConfig {
+                workers: n,
+                duration,
+                traffic: traffic.clone(),
+                ..LiveConfig::default()
+            };
+            let factory = balancer_factory_for(mode)?;
+            let r = live::run_sharded(&cfg, pipeline, &factory);
+            println!(
+                "  live workers={n}: {:.2} Gbps ({:.2} Mpps)",
+                r.gbps, r.mpps
+            );
+            Some(ScalePoint {
+                workers: n as u64,
+                tx_mpps: r.mpps,
+                tx_gbps: r.gbps,
+            })
+        })
+        .collect::<Option<Vec<_>>>()
+}
+
+/// The live-runtime scaling acceptance check: with enough host cores,
+/// four workers must at least double one worker's throughput. Returns
+/// `false` on failure; skipped (with a note) on small hosts, where the
+/// OS would serialize the threads anyway.
+fn check_live_speedup(series: &[ScalePoint]) -> bool {
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let (Some(one), Some(four)) = (
+        series.iter().find(|p| p.workers == 1),
+        series.iter().find(|p| p.workers == 4),
+    ) else {
+        return true;
+    };
+    if cpus < 4 {
+        println!("scaling check skipped: host has {cpus} CPUs (need >= 4 for the live(4) >= 2x live(1) gate)");
+        return true;
+    }
+    let ratio = four.tx_mpps / one.tx_mpps.max(f64::MIN_POSITIVE);
+    println!("live(4)/live(1) speedup: {ratio:.2}x (gate: >= 2.0)");
+    if ratio < 2.0 {
+        eprintln!(
+            "scaling regression: live(4) = {:.2} Mpps < 2x live(1) = {:.2} Mpps",
+            four.tx_mpps, one.tx_mpps
+        );
+        return false;
+    }
+    true
 }
 
 fn cmd_run(args: &[String]) -> i32 {
@@ -150,7 +296,55 @@ fn cmd_run(args: &[String]) -> i32 {
         },
     );
     let r = des::run(&cfg, &pipeline, &balancer, &traffic);
-    let report = BenchReport::from_run(app, &cfg, &r, q);
+    let mut report = BenchReport::from_run(app, &cfg, &r, q);
+
+    // Optional throughput-vs-workers sweep (the paper's per-core scaling
+    // axis), appended to the artifact as the schema-v3 `scaling` section.
+    if let Some(list) = opt("--workers") {
+        let counts: Vec<usize> = match list
+            .split(',')
+            .map(|s| s.trim().parse::<usize>())
+            .collect::<Result<Vec<_>, _>>()
+        {
+            Ok(c) if !c.is_empty() && c.iter().all(|&n| (1..=64).contains(&n)) => c,
+            _ => {
+                eprintln!(
+                    "--workers: expected a comma-separated list of counts in 1..=64, got '{list}'"
+                );
+                return 2;
+            }
+        };
+        let runtime = opt("--runtime").unwrap_or_else(|| "des".to_string());
+        let per_port = TrafficConfig {
+            offered_gbps: 10.0,
+            size: SizeDist::Fixed(64),
+            ip_version: if v6 { IpVersion::V6 } else { IpVersion::V4 },
+            ..TrafficConfig::default()
+        };
+        println!("{app}: scaling sweep ({runtime}), workers {counts:?}");
+        let series = match runtime.as_str() {
+            "des" => des_sweep(&counts, &cfg, &pipeline, &mode, &per_port),
+            "live" => match live_sweep(&counts, q, &pipeline, &mode, &per_port) {
+                Some(s) => s,
+                None => {
+                    eprintln!("unknown mode '{mode}' (expected alb|cpu|gpu|<fraction>)");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown runtime '{other}' (expected des|live)");
+                return 2;
+            }
+        };
+        let live_ok = runtime != "live" || check_live_speedup(&series);
+        report = report.with_scaling(&runtime, series);
+        if !live_ok {
+            // Still write the artifact so the failure is inspectable.
+            let _ = std::fs::write(&out_path, report.to_json());
+            return 1;
+        }
+    }
+
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
         eprintln!("cannot write {out_path}: {e}");
         return 2;

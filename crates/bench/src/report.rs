@@ -25,9 +25,10 @@ use nba_core::telemetry::{json_escape, json_f64, TimeSample};
 use crate::table::Table;
 
 /// Version of the `BENCH_*.json` schema this code writes. Version 2 added
-/// the `faults` section; version-1 artifacts still parse (with zero-fault
-/// defaults) so existing baselines stay valid.
-pub const SCHEMA_VERSION: u64 = 2;
+/// the `faults` section; version 3 added the optional `scaling` section
+/// (throughput-vs-workers series). Version-1/2 artifacts still parse (with
+/// zero-fault / no-scaling defaults) so existing baselines stay valid.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`BenchReport::parse`] accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -141,6 +142,29 @@ pub struct FaultsSection {
     pub quarantines: Vec<QuarantineSpan>,
 }
 
+/// One point of a throughput-vs-workers scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Worker (RX queue) count of this run.
+    pub workers: u64,
+    /// Transmitted throughput at that count, Mpps.
+    pub tx_mpps: f64,
+    /// Transmitted throughput at that count, Gbps.
+    pub tx_gbps: f64,
+}
+
+/// A per-core scaling sweep (the paper's Figure 8 axis), schema v3. Each
+/// point is one full run of the same app and traffic at a different worker
+/// count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingSection {
+    /// Which runtime ran the sweep: `"des"` (simulated workers, the
+    /// deterministic CI artifact) or `"live"` (real threads).
+    pub runtime: String,
+    /// Points in ascending worker order.
+    pub series: Vec<ScalePoint>,
+}
+
 /// Band half-width around `final_w` used for settle-time detection.
 const SETTLE_BAND: f64 = 0.05;
 
@@ -198,6 +222,9 @@ pub struct BenchReport {
     pub faults: FaultsSection,
     /// Per-element attribution, sorted by node.
     pub elements: Vec<ElementReport>,
+    /// Throughput-vs-workers sweep, when the run was a scaling sweep
+    /// (`None` for single-configuration runs and pre-v3 artifacts).
+    pub scaling: Option<ScalingSection>,
 }
 
 /// FNV-1a over the configuration knobs that define the experiment. Not a
@@ -321,7 +348,19 @@ impl BenchReport {
                     p99_ns: p.latency.percentile_ns(99.0),
                 })
                 .collect(),
+            scaling: None,
         }
+    }
+
+    /// Attaches a scaling sweep to the report (points are sorted by
+    /// worker count).
+    pub fn with_scaling(mut self, runtime: &str, mut series: Vec<ScalePoint>) -> BenchReport {
+        series.sort_by_key(|p| p.workers);
+        self.scaling = Some(ScalingSection {
+            runtime: runtime.to_string(),
+            series,
+        });
+        self
     }
 
     /// Serializes to pretty-printed JSON (the `BENCH_*.json` artifact).
@@ -399,6 +438,27 @@ impl BenchReport {
             .collect();
         s.push_str(&format!("    \"quarantines\": [{}]\n", spans.join(", ")));
         s.push_str("  },\n");
+        if let Some(sc) = &self.scaling {
+            s.push_str("  \"scaling\": {\n");
+            s.push_str(&format!(
+                "    \"runtime\": \"{}\",\n",
+                json_escape(&sc.runtime)
+            ));
+            let pts: Vec<String> = sc
+                .series
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"workers\": {}, \"tx_mpps\": {}, \"tx_gbps\": {}}}",
+                        p.workers,
+                        json_f64(p.tx_mpps),
+                        json_f64(p.tx_gbps)
+                    )
+                })
+                .collect();
+            s.push_str(&format!("    \"series\": [{}]\n", pts.join(", ")));
+            s.push_str("  },\n");
+        }
         s.push_str("  \"elements\": [\n");
         for (i, e) in self.elements.iter().enumerate() {
             s.push_str(&format!(
@@ -511,6 +571,38 @@ impl BenchReport {
         } else if schema_version >= 2 {
             return Err("missing field 'faults' (required from schema_version 2)".to_string());
         }
+        // Scaling is optional at every version: sweeps write it, single
+        // runs don't, and pre-v3 artifacts never have it.
+        let mut scaling = None;
+        if let Some(sc) = obj.get("scaling") {
+            let runtime = sc
+                .get("runtime")
+                .and_then(Value::as_str)
+                .ok_or("scaling.runtime missing or not a string")?
+                .to_string();
+            let mut series = Vec::new();
+            for p in sc
+                .get("series")
+                .and_then(Value::as_arr)
+                .ok_or("scaling.series missing or not an array")?
+            {
+                series.push(ScalePoint {
+                    workers: p
+                        .get("workers")
+                        .and_then(Value::as_u64)
+                        .ok_or("scaling point missing workers")?,
+                    tx_mpps: p
+                        .get("tx_mpps")
+                        .and_then(Value::as_f64)
+                        .ok_or("scaling point missing tx_mpps")?,
+                    tx_gbps: p
+                        .get("tx_gbps")
+                        .and_then(Value::as_f64)
+                        .ok_or("scaling point missing tx_gbps")?,
+                });
+            }
+            scaling = Some(ScalingSection { runtime, series });
+        }
         let mut elements = Vec::new();
         for e in need("elements")?
             .as_arr()
@@ -564,6 +656,7 @@ impl BenchReport {
             },
             faults,
             elements,
+            scaling,
         })
     }
 }
@@ -847,6 +940,51 @@ pub fn compare(base: &BenchReport, cur: &BenchReport, tol: &Tolerances) -> Compa
         cur.faults.panics_contained,
     );
 
+    // Scaling sweep: gate each worker count's throughput against the
+    // same worker count in the baseline (floor, like the headline
+    // metrics). Points only one side has are reported as warnings — the
+    // sweeps describe different experiments.
+    match (&base.scaling, &cur.scaling) {
+        (Some(b), Some(cu)) => {
+            if b.runtime != cu.runtime {
+                c.warnings.push(format!(
+                    "scaling runtime changed ({} -> {})",
+                    b.runtime, cu.runtime
+                ));
+            }
+            for bp in &b.series {
+                match cu.series.iter().find(|p| p.workers == bp.workers) {
+                    Some(cp) => gate_floor(
+                        &mut c.rows,
+                        &format!("scale_w{}_mpps", bp.workers),
+                        bp.tx_mpps,
+                        cp.tx_mpps,
+                        tol.throughput_rel,
+                    ),
+                    None => c.warnings.push(format!(
+                        "scaling point workers={} missing from current report",
+                        bp.workers
+                    )),
+                }
+            }
+            for cp in &cu.series {
+                if !b.series.iter().any(|p| p.workers == cp.workers) {
+                    c.warnings.push(format!(
+                        "scaling point workers={} has no baseline",
+                        cp.workers
+                    ));
+                }
+            }
+        }
+        (Some(_), None) => c
+            .warnings
+            .push("baseline has a scaling sweep but current report does not".to_string()),
+        (None, Some(_)) => c
+            .warnings
+            .push("current report has a scaling sweep but baseline does not".to_string()),
+        (None, None) => {}
+    }
+
     // Context rows: never gate.
     c.rows.push(CompareRow {
         metric: "rx_dropped".to_string(),
@@ -929,6 +1067,7 @@ mod tests {
                 p50_ns: 480,
                 p99_ns: 900,
             }],
+            scaling: None,
         }
     }
 
@@ -957,10 +1096,72 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip_with_scaling() {
+        let r = sample().with_scaling(
+            "des",
+            vec![
+                ScalePoint {
+                    workers: 4,
+                    tx_mpps: 30.0,
+                    tx_gbps: 15.4,
+                },
+                ScalePoint {
+                    workers: 1,
+                    tx_mpps: 8.0,
+                    tx_gbps: 4.1,
+                },
+            ],
+        );
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // with_scaling sorts by worker count.
+        let series = &parsed.scaling.as_ref().unwrap().series;
+        assert_eq!(series[0].workers, 1);
+        assert_eq!(series[1].workers, 4);
+    }
+
+    #[test]
+    fn scaling_point_cliff_fails() {
+        let pts = |m1: f64, m4: f64| {
+            vec![
+                ScalePoint {
+                    workers: 1,
+                    tx_mpps: m1,
+                    tx_gbps: m1 / 2.0,
+                },
+                ScalePoint {
+                    workers: 4,
+                    tx_mpps: m4,
+                    tx_gbps: m4 / 2.0,
+                },
+            ]
+        };
+        let base = sample().with_scaling("des", pts(8.0, 30.0));
+        // One worker count regressing is enough to gate.
+        let cur = sample().with_scaling("des", pts(8.0, 20.0));
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(c.regressed(), "{}", c.render());
+        // Within tolerance passes; missing points only warn.
+        let ok = sample().with_scaling("des", pts(7.8, 29.0));
+        assert!(!compare(&base, &ok, &Tolerances::default()).regressed());
+        let fewer = sample().with_scaling(
+            "des",
+            vec![ScalePoint {
+                workers: 1,
+                tx_mpps: 8.0,
+                tx_gbps: 4.0,
+            }],
+        );
+        let c = compare(&base, &fewer, &Tolerances::default());
+        assert!(!c.regressed());
+        assert!(!c.warnings.is_empty());
+    }
+
+    #[test]
     fn parse_rejects_wrong_schema_version() {
         let text = sample()
             .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+            .replace("\"schema_version\": 3", "\"schema_version\": 999");
         assert!(BenchReport::parse(&text)
             .unwrap_err()
             .contains("schema_version"));
@@ -971,7 +1172,7 @@ mod tests {
         // A version-1 artifact: no `faults` section at all.
         let mut text = sample()
             .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 1");
+            .replace("\"schema_version\": 3", "\"schema_version\": 1");
         let start = text.find("  \"faults\": {").unwrap();
         let end = text[start..].find("},\n").unwrap() + start + 3;
         text.replace_range(start..end, "");

@@ -1,0 +1,92 @@
+//! TX-side conformance capture: the per-packet record both runtimes emit so
+//! a differential suite can prove they compute the same thing.
+//!
+//! A [`TxRecord`] is taken at the pipeline's emission point — after every
+//! element ran, before the frame reaches a port's TX machinery — and holds
+//! exactly the observable verdict of processing one packet: which flow it
+//! belonged to, where the pipeline routed it, what the detection elements
+//! concluded, and the final frame bytes. Two runs are semantically identical
+//! iff their record multisets are equal (records are compared sorted, since
+//! sharded runtimes interleave flows in nondeterministic order while keeping
+//! per-flow order intact).
+
+use crate::batch::{anno, Anno};
+use nba_io::Packet;
+
+/// The observable outcome of processing one packet.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TxRecord {
+    /// RSS hash of the packet's flow (the `FLOW_ID` annotation).
+    pub flow: u64,
+    /// The raw `IFACE_OUT` annotation — the pipeline's routing verdict,
+    /// before any port-count wrapping.
+    pub iface_out: u64,
+    /// Aho–Corasick match annotation (`AC_MATCH`), zero when unset.
+    pub ac_match: u64,
+    /// Regex confirmation annotation (`RE_MATCH`), zero when unset.
+    pub re_match: u64,
+    /// The final frame bytes as emitted.
+    pub frame: Vec<u8>,
+}
+
+impl TxRecord {
+    /// Captures the record for `pkt` with its annotation set, as the packet
+    /// leaves the pipeline.
+    pub fn capture(pkt: &Packet, anno_set: &Anno) -> TxRecord {
+        TxRecord {
+            flow: anno_set.get(anno::FLOW_ID),
+            iface_out: anno_set.get(anno::IFACE_OUT),
+            ac_match: anno_set.get(anno::AC_MATCH),
+            re_match: anno_set.get(anno::RE_MATCH),
+            frame: pkt.data().to_vec(),
+        }
+    }
+
+    /// FNV-1a digest of the frame bytes — a compact stand-in for the frame
+    /// in sorted comparisons and failure messages.
+    pub fn frame_digest(&self) -> u64 {
+        fnv1a(&self.frame)
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference values for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn records_order_by_flow_first() {
+        let a = TxRecord {
+            flow: 1,
+            iface_out: 9,
+            ac_match: 0,
+            re_match: 0,
+            frame: vec![0xff],
+        };
+        let b = TxRecord {
+            flow: 2,
+            iface_out: 0,
+            ac_match: 0,
+            re_match: 0,
+            frame: vec![],
+        };
+        assert!(a < b);
+    }
+}

@@ -418,6 +418,23 @@ pub fn shared(lb: Box<dyn LoadBalancer>) -> SharedBalancer {
     std::sync::Arc::new(parking_lot::Mutex::new(lb))
 }
 
+/// Builds one balancer per worker, for runtimes that keep `w` per worker
+/// instead of globally.
+///
+/// The sharded live runtime gives every RSS worker its own balancer
+/// instance (its own `w`, its own observation window), matching NBA's
+/// per-worker-thread ALB state; the factory receives the worker index so a
+/// policy may differentiate if it wants to.
+pub type BalancerFactory = std::sync::Arc<dyn Fn(usize) -> Box<dyn LoadBalancer> + Send + Sync>;
+
+/// A factory cloning the same policy for every worker.
+pub fn replicated<F>(make: F) -> BalancerFactory
+where
+    F: Fn() -> Box<dyn LoadBalancer> + Send + Sync + 'static,
+{
+    std::sync::Arc::new(move |_worker| make())
+}
+
 /// The per-batch element that stamps the load-balancing decision.
 pub struct LoadBalanceElement {
     lb: SharedBalancer,

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod capture;
 pub mod config;
 pub mod element;
 pub mod fault;
@@ -45,6 +46,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use batch::{anno, Anno, PacketBatch, PacketResult};
+pub use capture::TxRecord;
 pub use config::{build_graph, build_graph_checked, CheckedGraph, ConfigError, ElementRegistry};
 pub use element::{
     ComputeMode, DbInput, DbOutput, ElemCtx, Element, ElementKind, Kernel, KernelIo, OffloadSpec,
@@ -53,8 +55,8 @@ pub use element::{
 pub use fault::{CircuitBreaker, FaultConfig, FaultPlan, FaultReport, FaultSnapshot, FaultStats};
 pub use graph::{BranchPolicy, ElementGraph, GraphBuilder, NodeId, OutEdge, RunOutcome};
 pub use lb::{
-    Adaptive, AlbConfig, CpuOnly, FixedFraction, GpuOnly, LatencyBounded, LoadBalancer,
-    SharedBalancer,
+    Adaptive, AlbConfig, BalancerFactory, CpuOnly, FixedFraction, GpuOnly, LatencyBounded,
+    LoadBalancer, SharedBalancer,
 };
 pub use lint::{Code, Diagnostic, LintReport, Severity, SourceMap};
 pub use nls::NodeLocalStorage;

@@ -15,6 +15,7 @@ use nba_io::{Mempool, Packet, PacketSource, Port, PortHandle, TrafficConfig, Tra
 use nba_sim::{Ctx, Engine, Entity, EntityId, SimQueue, Time, Wake};
 
 use crate::batch::{anno, PacketBatch};
+use crate::capture::TxRecord;
 use crate::element::{ComputeMode, ElemCtx, KernelIo, OffloadSpec};
 use crate::element::{DbInput, DbOutput, Postprocess};
 use crate::fault::{
@@ -98,6 +99,9 @@ struct WorkerEntity {
     sink: Rc<RefCell<TelemetrySink>>,
     /// Next batch trace id (only advances while tracing is enabled).
     trace_seq: u64,
+    /// Conformance capture: every transmitted packet's record goes here
+    /// (None unless [`RuntimeConfig::capture`]).
+    capture: Option<Rc<RefCell<Vec<TxRecord>>>>,
 }
 
 impl Drop for WorkerEntity {
@@ -142,6 +146,11 @@ impl WorkerEntity {
         // Transmit packets that reached the pipeline exit.
         let mut burst_ports = 0u64;
         for (pkt, anno_set) in outcome.tx {
+            if let Some(cap) = &self.capture {
+                // Record the verdict before any port-count wrapping or TX
+                // queueing: semantics, not wire behavior.
+                cap.borrow_mut().push(TxRecord::capture(&pkt, &anno_set));
+            }
             let out_port = anno_set.get(anno::IFACE_OUT) as usize % self.ports.len();
             burst_ports |= 1 << (out_port % 64);
             cycles += cost.tx_per_packet;
@@ -977,6 +986,10 @@ pub fn run_with_sources(
     let fstats: Arc<FaultStats> = Arc::new(FaultStats::default());
     let quarantine_sink: QuarantineSink = Rc::new(RefCell::new(Vec::new()));
 
+    // TX conformance capture (differential suite only).
+    let capture_sink: Option<Rc<RefCell<Vec<TxRecord>>>> =
+        cfg.capture.then(|| Rc::new(RefCell::new(Vec::new())));
+
     // Workers.
     for w in 0..total_workers {
         let socket = w / wps;
@@ -1005,6 +1018,7 @@ pub fn run_with_sources(
             busy_until: Time::ZERO,
             sink: sink.clone(),
             trace_seq: 0,
+            capture: capture_sink.clone(),
         };
         let id = engine.add(Box::new(entity), Time::ZERO);
         debug_assert_eq!(id.0, w);
@@ -1137,6 +1151,13 @@ pub fn run_with_sources(
         .map(RefCell::into_inner)
         .unwrap_or_else(|_| panic!("quarantine sink uniquely owned after engine teardown"));
     quarantines.sort_by_key(|(start, _)| *start);
+    let tx_capture = capture_sink
+        .map(|c| {
+            Rc::try_unwrap(c)
+                .map(RefCell::into_inner)
+                .unwrap_or_else(|_| panic!("capture sink uniquely owned after engine teardown"))
+        })
+        .unwrap_or_default();
 
     RunReport {
         duration: dur,
@@ -1157,5 +1178,6 @@ pub fn run_with_sources(
             snapshot: fstats.snapshot(),
             quarantines,
         },
+        tx_capture,
     }
 }

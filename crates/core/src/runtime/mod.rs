@@ -97,6 +97,10 @@ pub struct RuntimeConfig {
     /// breaker). The default plan is inactive: no draws are made and the
     /// run is bit-identical to a build without the fault machinery.
     pub fault: crate::fault::FaultConfig,
+    /// Capture a [`crate::capture::TxRecord`] for every transmitted packet
+    /// into [`RunReport::tx_capture`] (conformance testing only; off by
+    /// default because it clones every frame).
+    pub capture: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -123,6 +127,7 @@ impl Default for RuntimeConfig {
             measure: Time::from_ms(50),
             telemetry: TelemetryConfig::default(),
             fault: crate::fault::FaultConfig::default(),
+            capture: false,
         }
     }
 }
@@ -185,6 +190,9 @@ pub struct RunReport {
     /// Fault-injection and recovery accounting: counter snapshot plus the
     /// device quarantine intervals (all-zero/empty on a clean run).
     pub faults: crate::fault::FaultReport,
+    /// Per-packet TX conformance records of the whole run (empty unless
+    /// [`RuntimeConfig::capture`] was set).
+    pub tx_capture: Vec<crate::capture::TxRecord>,
 }
 
 impl RunReport {

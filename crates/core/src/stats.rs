@@ -59,6 +59,23 @@ impl Counters {
     pub fn get(field: &AtomicU64) -> u64 {
         field.load(Ordering::Relaxed)
     }
+
+    /// A point-in-time copy of this one counter block — the per-worker
+    /// shard of the system totals (sharded runtimes report these alongside
+    /// the [`SystemInspector`]'s merged view).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            rx_packets: Counters::get(&self.rx_packets),
+            tx_packets: Counters::get(&self.tx_packets),
+            tx_frame_bits: Counters::get(&self.tx_frame_bits),
+            dropped: Counters::get(&self.dropped),
+            batches: Counters::get(&self.batches),
+            split_allocs: Counters::get(&self.split_allocs),
+            offloaded_batches: Counters::get(&self.offloaded_batches),
+            cpu_processed: Counters::get(&self.cpu_processed),
+            gpu_processed: Counters::get(&self.gpu_processed),
+        }
+    }
 }
 
 /// A point-in-time copy of aggregated counters.
@@ -105,6 +122,25 @@ impl std::ops::Sub for Snapshot {
     }
 }
 
+impl std::ops::Add for Snapshot {
+    type Output = Snapshot;
+
+    /// Field-wise sum (shard merge).
+    fn add(self, rhs: Snapshot) -> Snapshot {
+        Snapshot {
+            rx_packets: self.rx_packets + rhs.rx_packets,
+            tx_packets: self.tx_packets + rhs.tx_packets,
+            tx_frame_bits: self.tx_frame_bits + rhs.tx_frame_bits,
+            dropped: self.dropped + rhs.dropped,
+            batches: self.batches + rhs.batches,
+            split_allocs: self.split_allocs + rhs.split_allocs,
+            offloaded_batches: self.offloaded_batches + rhs.offloaded_batches,
+            cpu_processed: self.cpu_processed + rhs.cpu_processed,
+            gpu_processed: self.gpu_processed + rhs.gpu_processed,
+        }
+    }
+}
+
 /// The system inspector exposed to load-balancer elements: aggregated
 /// statistics "such as the number of packets/batches processed after
 /// startup" (§3.4).
@@ -137,15 +173,7 @@ impl SystemInspector {
     pub fn snapshot(&self) -> Snapshot {
         let mut s = Snapshot::default();
         for w in &self.workers {
-            s.rx_packets += Counters::get(&w.rx_packets);
-            s.tx_packets += Counters::get(&w.tx_packets);
-            s.tx_frame_bits += Counters::get(&w.tx_frame_bits);
-            s.dropped += Counters::get(&w.dropped);
-            s.batches += Counters::get(&w.batches);
-            s.split_allocs += Counters::get(&w.split_allocs);
-            s.offloaded_batches += Counters::get(&w.offloaded_batches);
-            s.cpu_processed += Counters::get(&w.cpu_processed);
-            s.gpu_processed += Counters::get(&w.gpu_processed);
+            s = s + w.snapshot();
         }
         s
     }

@@ -119,6 +119,17 @@ pub fn merge_profiles(
     merged
 }
 
+/// Merges per-worker latency-histogram shards into one distribution.
+/// Lossless: bucket counts add, min/max/sum fold, so report-time merging of
+/// shared-nothing shards loses nothing over a single global histogram.
+pub fn merge_histograms(shards: impl IntoIterator<Item = LatencyHistogram>) -> LatencyHistogram {
+    let mut merged = LatencyHistogram::new();
+    for shard in shards {
+        merged.merge(&shard);
+    }
+    merged
+}
+
 /// One point of the run time-series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimeSample {

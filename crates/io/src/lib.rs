@@ -16,7 +16,11 @@
 //!   wire, bounded rings with drop accounting),
 //! * [`gen`] — deterministic offered-load traffic generators (fixed-size,
 //!   IMIX, CAIDA-like mixes over Zipf flow populations),
-//! * [`pcap`] — classic pcap capture and rate-controlled trace replay.
+//! * [`pcap`] — classic pcap capture and rate-controlled trace replay,
+//! * [`spsc`] — bounded single-producer/single-consumer rings (the
+//!   `rte_ring` stand-in connecting RX queues to worker threads),
+//! * [`rss`] — the live runtime's receive-side-scaling fanout steering
+//!   packets into per-worker rings.
 
 #![forbid(unsafe_code)]
 
@@ -27,11 +31,14 @@ pub mod packet;
 pub mod pcap;
 pub mod port;
 pub mod proto;
+pub mod rss;
+pub mod spsc;
 pub mod toeplitz;
 
 pub use buf::{Mempool, PacketBuf};
 pub use gen::{IpVersion, PayloadFill, SizeDist, TrafficConfig, TrafficGen};
 pub use packet::Packet;
-pub use pcap::{PacketSource, PcapWriter, Replay, TraceRecord};
+pub use pcap::{Limited, PacketSource, PcapWriter, Replay, TraceRecord};
 pub use port::{Port, PortHandle, TxOutcome};
+pub use rss::RssFanout;
 pub use toeplitz::Toeplitz;

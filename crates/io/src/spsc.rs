@@ -1,0 +1,214 @@
+//! Bounded single-producer/single-consumer rings — the DPDK `rte_ring`
+//! stand-in that connects each RX queue to exactly one worker thread.
+//!
+//! NBA's data plane never shares a queue between threads: the NIC steers a
+//! packet to one RX queue (RSS) and exactly one worker drains that queue, so
+//! every ring has one producer and one consumer by construction. That
+//! protocol is encoded in the types here: [`channel`] hands back a
+//! [`Producer`]/[`Consumer`] pair and neither half is `Clone`, so the
+//! single-producer/single-consumer discipline is enforced at compile time.
+//!
+//! The implementation keeps the classic lock-free shape — two monotonically
+//! increasing cursors (`head` for the consumer, `tail` for the producer),
+//! each written by exactly one side and read by the other with
+//! acquire/release ordering — plus per-slot `Mutex<Option<T>>` cells for the
+//! payload hand-off. The workspace forbids `unsafe`, so the slot cells use a
+//! mutex instead of `UnsafeCell`; under the SPSC protocol each slot lock is
+//! provably uncontended (the producer only touches a slot the cursors show
+//! as empty, the consumer only one they show as full), so `lock()` never
+//! blocks and the cursors remain the only cross-thread synchronization that
+//! matters.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Inner<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+    /// Consumer cursor: next slot index to pop. Monotonic, wraps via `% cap`.
+    head: AtomicUsize,
+    /// Producer cursor: next slot index to push. Monotonic, wraps via `% cap`.
+    tail: AtomicUsize,
+    /// Set when the producer is dropped; the consumer drains then reports
+    /// disconnection.
+    closed: AtomicBool,
+}
+
+/// The sending half of a bounded SPSC ring. Not `Clone`; dropping it closes
+/// the ring.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a bounded SPSC ring. Not `Clone`.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a bounded SPSC ring holding at most `capacity` items.
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "spsc ring capacity must be non-zero");
+    let slots = (0..capacity).map(|_| Mutex::new(None)).collect();
+    let inner = Arc::new(Inner {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+        },
+        Consumer { inner },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Enqueues `v`, or returns it back when the ring is full.
+    pub fn push(&self, v: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let tail = inner.tail.load(Ordering::Relaxed);
+        let head = inner.head.load(Ordering::Acquire);
+        if tail - head == inner.slots.len() {
+            return Err(v);
+        }
+        // Uncontended by protocol: the consumer will not touch this slot
+        // until it observes the tail advance below.
+        *inner.slots[tail % inner.slots.len()]
+            .lock()
+            .expect("spsc slot poisoned") = Some(v);
+        inner.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        tail - head
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the oldest item, or `None` when the ring is currently empty.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &self.inner;
+        let head = inner.head.load(Ordering::Relaxed);
+        let tail = inner.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let v = inner.slots[head % inner.slots.len()]
+            .lock()
+            .expect("spsc slot poisoned")
+            .take();
+        inner.head.store(head + 1, Ordering::Release);
+        v
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        tail - head
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the producer is gone AND the ring is drained — the
+    /// consumer's termination condition.
+    pub fn is_disconnected(&self) -> bool {
+        // Order matters: check closed before emptiness so a push racing the
+        // producer's drop is never missed (close happens-after the last
+        // push's release store).
+        self.inner.closed.load(Ordering::Acquire) && self.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity_bound() {
+        let (tx, rx) = channel(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99), "5th push must report full");
+        assert_eq!(tx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (tx, rx) = channel(3);
+        for i in 0..1000u32 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (tx, rx) = channel::<u32>(8);
+        tx.push(1).unwrap();
+        drop(tx);
+        assert!(!rx.is_disconnected(), "still holds an item");
+        assert_eq!(rx.pop(), Some(1));
+        assert!(rx.is_disconnected());
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn cross_thread_stress_preserves_sequence() {
+        let (tx, rx) = channel::<u64>(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < N {
+                match tx.push(next) {
+                    Ok(()) => next += 1,
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            match rx.pop() {
+                Some(v) => {
+                    assert_eq!(v, expect, "ring reordered or duplicated");
+                    expect += 1;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.is_disconnected());
+    }
+}

@@ -11,6 +11,22 @@ pub const DEFAULT_RSS_KEY: [u8; 40] = [
     0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
+/// A symmetric RSS key (Woo &amp; Park, "Scalable TCP session monitoring with
+/// Symmetric Receive-Side Scaling"): the 16-bit pattern `0x6d5a` repeated
+/// across all 40 bytes. Because every hashed field (v4/v6 addresses, L4
+/// ports) is 16-bit aligned in the input, a key with 16-bit period makes the
+/// hash invariant under swapping source and destination — both directions of
+/// a connection land on the same RX queue.
+pub const SYMMETRIC_RSS_KEY: [u8; 40] = {
+    let mut key = [0u8; 40];
+    let mut i = 0;
+    while i < 40 {
+        key[i] = if i % 2 == 0 { 0x6d } else { 0x5a };
+        i += 1;
+    }
+    key
+};
+
 /// A Toeplitz hasher with a fixed key.
 #[derive(Debug, Clone)]
 pub struct Toeplitz {

@@ -1,0 +1,148 @@
+//! Fuzz-style robustness of the configuration front end: no input —
+//! arbitrary bytes or mutations of valid pipelines — may panic
+//! [`build_graph_checked`]. Everything must come back as a built graph
+//! (possibly with diagnostics) or a [`ConfigError`], and every reported
+//! line must point inside the source that was given.
+
+use proptest::prelude::*;
+
+use nba::apps::{pipelines, AppConfig};
+use nba::core::config::{build_graph_checked, ElementRegistry};
+use nba::core::lb;
+use nba::core::nls::NodeLocalStorage;
+use nba::core::runtime::BuildCtx;
+
+fn registry() -> ElementRegistry {
+    let bctx = BuildCtx {
+        worker: 0,
+        socket: 0,
+        nls: NodeLocalStorage::new(),
+        balancer: lb::shared(Box::new(lb::CpuOnly)),
+        policy: Default::default(),
+    };
+    pipelines::registry(&bctx, &AppConfig::default())
+}
+
+/// Checks the only two acceptable outcomes; panics (proptest failures)
+/// for anything else. Returns for reuse across strategies.
+fn check_never_panics(src: &str) -> Result<(), String> {
+    let lines = src.lines().count().max(1);
+    match build_graph_checked(src, &registry(), Default::default()) {
+        Ok(checked) => {
+            for d in &checked.report.diagnostics {
+                if let Some(line) = d.line {
+                    if line == 0 || line > lines {
+                        return Err(format!(
+                            "diagnostic {} points outside the source ({line} of {lines} lines)",
+                            d.code
+                        ));
+                    }
+                }
+                if let Some(node) = d.node {
+                    if node >= checked.graph.len() {
+                        return Err(format!(
+                            "diagnostic {} names node {node} of {}",
+                            d.code,
+                            checked.graph.len()
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+        Err(e) => {
+            if e.line == 0 || e.line > lines {
+                return Err(format!(
+                    "error '{}' points outside the source (line {} of {lines})",
+                    e.msg, e.line
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Deterministically mutates a valid config: byte flips, deletions,
+/// duplications, and line drops, all driven by the fuzz input.
+fn mutate(base: &str, ops: &[(u8, u16)]) -> String {
+    let mut bytes: Vec<u8> = base.as_bytes().to_vec();
+    for &(kind, at) in ops {
+        if bytes.is_empty() {
+            break;
+        }
+        let i = usize::from(at) % bytes.len();
+        match kind % 5 {
+            0 => bytes[i] = bytes[i].wrapping_add(1 + kind / 5),
+            1 => {
+                bytes.remove(i);
+            }
+            2 => bytes.insert(i, b"();->:,\"= xQ9"[usize::from(kind / 5) % 13]),
+            3 => {
+                // Duplicate a chunk (can duplicate declarations/arrows).
+                let end = (i + 1 + usize::from(kind / 5) * 7).min(bytes.len());
+                let chunk: Vec<u8> = bytes[i..end].to_vec();
+                bytes.splice(i..i, chunk);
+            }
+            _ => {
+                // Drop the rest of the line at `i`.
+                let end = bytes[i..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map_or(bytes.len(), |p| i + p);
+                bytes.drain(i..end);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary printable-ish soup never panics the parser/assembler.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // Mostly-printable input reaches deeper than pure binary, which
+        // the tokenizer rejects immediately; map into that range but keep
+        // newlines, quotes, and the config punctuation.
+        let src: String = raw
+            .iter()
+            .map(|&b| match b {
+                b'\n' | b'\t' | b' '..=b'~' => b as char,
+                _ => char::from(b' ' + (b % 0x5f)),
+            })
+            .collect();
+        prop_assert!(check_never_panics(&src).is_ok(), "{:?}", check_never_panics(&src));
+    }
+
+    /// Mutations of the shipped IPv4 pipeline config never panic, and all
+    /// spans stay valid.
+    #[test]
+    fn mutated_ipv4_config_never_panics(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..24),
+    ) {
+        let src = mutate(pipelines::IPV4_CONFIG, &ops);
+        prop_assert!(check_never_panics(&src).is_ok(), "{:?}", check_never_panics(&src));
+    }
+
+    /// Same for the IPsec pipeline config (more element classes, more
+    /// arguments to corrupt).
+    #[test]
+    fn mutated_ipsec_config_never_panics(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..24),
+    ) {
+        let src = mutate(pipelines::IPSEC_CONFIG, &ops);
+        prop_assert!(check_never_panics(&src).is_ok(), "{:?}", check_never_panics(&src));
+    }
+}
+
+/// The unmutated shipped configs still build without Error-severity
+/// findings — guards the fuzz baseline itself.
+#[test]
+fn shipped_configs_are_clean() {
+    for src in [pipelines::IPV4_CONFIG, pipelines::IPSEC_CONFIG] {
+        let checked =
+            build_graph_checked(src, &registry(), Default::default()).expect("shipped config");
+        assert!(checked.report.first_error().is_none());
+    }
+}

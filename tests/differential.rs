@@ -1,0 +1,348 @@
+//! DES ↔ live differential conformance: the same seeded workload pushed
+//! through the deterministic simulator, the live runtime with one worker,
+//! and the live runtime with four RSS-sharded workers must produce the
+//! same per-packet verdicts and output frames — clean and under a seeded
+//! fault plan.
+//!
+//! Per-packet verdicts are [`TxRecord`]s captured at the pipeline's TX
+//! point on every runtime, canonicalized per app:
+//!
+//! * Routers (IPv4/IPv6) emit frames verbatim — compare everything.
+//! * The IPsec gateway holds per-replica ESP sequence counters, so the
+//!   ciphertext depends on which replica a flow landed on; conformance is
+//!   judged on what a receiver can verify — the decrypted, authenticated
+//!   plaintext via [`open_esp`].
+//! * IDS assigns `IFACE_OUT` round-robin per replica (a load-spreading
+//!   decision, not a per-packet verdict) — it is masked; the match
+//!   annotations and frames must agree exactly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nba::apps::ipsec::open_esp;
+use nba::apps::{pipelines, AppConfig};
+use nba::core::capture::{fnv1a, TxRecord};
+use nba::core::element::ComputeMode;
+use nba::core::lb;
+use nba::core::runtime::live::{self, LiveConfig};
+use nba::core::runtime::{des, PipelineBuilder, RuntimeConfig};
+use nba::core::{FaultConfig, FaultPlan};
+use nba::io::{IpVersion, Limited, PacketSource, PayloadFill, SizeDist, TrafficConfig, TrafficGen};
+use nba::sim::topology::{GpuSpec, PortSpec, SocketSpec};
+use nba::sim::{Time, Topology};
+
+/// Total packets per run: small enough to drain in milliseconds, large
+/// enough to cover many flows, batches, and offload aggregates.
+const BUDGET: u64 = 1200;
+
+/// One NIC port, one socket, one GPU — the live runtime's implicit shape
+/// (its IO thread models a single ingress port).
+fn one_port_topology() -> Topology {
+    Topology {
+        sockets: vec![SocketSpec { cores: 4 }],
+        gpus: vec![GpuSpec {
+            name: "GTX 680".to_owned(),
+            socket: 0,
+        }],
+        ports: vec![PortSpec {
+            speed_gbps: 10.0,
+            socket: 0,
+        }],
+    }
+}
+
+fn traffic(ip: IpVersion, payload: PayloadFill) -> TrafficConfig {
+    TrafficConfig {
+        offered_gbps: 10.0,
+        size: SizeDist::Fixed(256),
+        ip_version: ip,
+        flows: 64,
+        zipf_alpha: 0.0,
+        payload,
+        seed: 7,
+    }
+}
+
+fn des_cfg(fault: FaultConfig) -> RuntimeConfig {
+    RuntimeConfig {
+        topology: one_port_topology(),
+        workers_per_socket: 3,
+        compute: ComputeMode::Full,
+        warmup: Time::from_ms(2),
+        measure: Time::from_ms(30),
+        pool_size: 1 << 15,
+        rxq_depth: 4096,
+        capture: true,
+        fault,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn live_cfg(workers: usize, traffic: &TrafficConfig, fault: FaultConfig) -> LiveConfig {
+    LiveConfig {
+        workers,
+        duration: Duration::from_secs(20), // deadline only; drains in ms
+        traffic: traffic.clone(),
+        compute: ComputeMode::Full,
+        fault,
+        io_threads: 1,
+        max_packets: Some(BUDGET),
+        drain: true,
+        capture: true,
+        ..LiveConfig::default()
+    }
+}
+
+fn des_capture(
+    build: &PipelineBuilder,
+    traffic: &TrafficConfig,
+    fault: FaultConfig,
+) -> Vec<TxRecord> {
+    let cfg = des_cfg(fault);
+    let source = Limited::new(TrafficGen::new(traffic.clone()), BUDGET);
+    let report = des::run_with_sources(
+        &cfg,
+        build,
+        &lb::shared(Box::new(lb::FixedFraction::new(0.5))),
+        vec![Box::new(source) as Box<dyn PacketSource>],
+        traffic.offered_gbps,
+    );
+    assert_eq!(report.rx_dropped, 0, "DES run must be lossless");
+    assert_eq!(
+        report.faults.snapshot.dropped_packets, 0,
+        "fault plan must be output-preserving"
+    );
+    report.tx_capture
+}
+
+fn live_capture(
+    build: &PipelineBuilder,
+    traffic: &TrafficConfig,
+    fault: FaultConfig,
+    workers: usize,
+) -> Vec<TxRecord> {
+    let cfg = live_cfg(workers, traffic, fault);
+    let report = live::run_sharded(
+        &cfg,
+        build,
+        &lb::replicated(|| Box::new(lb::FixedFraction::new(0.5))),
+    );
+    assert_eq!(report.rx_dropped, 0, "draining live run must be lossless");
+    assert_eq!(
+        report.faults.snapshot.dropped_packets, 0,
+        "fault plan must be output-preserving"
+    );
+    assert_eq!(report.shards.len(), workers);
+    report.tx_capture
+}
+
+/// A canonical, runtime-independent digest of one transmitted packet.
+type Verdict = (u64, u64, u64, u64, u64);
+
+/// Routers: everything observable must agree, frame bytes included.
+fn canon_exact(records: &[TxRecord]) -> Vec<Verdict> {
+    let mut v: Vec<Verdict> = records
+        .iter()
+        .map(|r| {
+            (
+                r.flow,
+                r.iface_out,
+                r.ac_match,
+                r.re_match,
+                r.frame_digest(),
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// IDS: mask the per-replica round-robin egress port.
+fn canon_ids(records: &[TxRecord]) -> Vec<Verdict> {
+    let mut v: Vec<Verdict> = records
+        .iter()
+        .map(|r| (r.flow, 0, r.ac_match, r.re_match, r.frame_digest()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// IPsec: verdict is the routing decision plus the decrypted,
+/// authenticated inner payload — what the far gateway would recover.
+fn canon_ipsec(records: &[TxRecord], app: &AppConfig) -> Vec<Verdict> {
+    let sa = pipelines::sa_table(app.seed);
+    let mut v: Vec<Verdict> = records
+        .iter()
+        .map(|r| {
+            let (proto, plaintext) =
+                open_esp(&r.frame, &sa).expect("every TX frame must verify and decrypt");
+            (r.flow, r.iface_out, u64::from(proto), fnv1a(&plaintext), 0)
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Runs one app through all three runtimes and compares canonical verdicts.
+fn assert_conformance(
+    build: &PipelineBuilder,
+    traffic: &TrafficConfig,
+    fault: &FaultConfig,
+    canon: impl Fn(&[TxRecord]) -> Vec<Verdict>,
+) {
+    let des = canon(&des_capture(build, traffic, fault.clone()));
+    assert!(
+        des.len() as u64 >= BUDGET / 2,
+        "suspiciously few DES verdicts: {}",
+        des.len()
+    );
+    let live1 = canon(&live_capture(build, traffic, fault.clone(), 1));
+    assert_eq!(des, live1, "DES and live(1) verdicts diverge");
+    let live4 = canon(&live_capture(build, traffic, fault.clone(), 4));
+    assert_eq!(des, live4, "DES and live(4) verdicts diverge");
+}
+
+fn clean() -> FaultConfig {
+    FaultConfig::default()
+}
+
+/// An output-preserving storm: transient errors, corrupt output blocks,
+/// timeouts, and a death/revival window. Every one of these degrades to
+/// retries or the bit-identical CPU fallback — never to a changed packet.
+fn faulted() -> FaultConfig {
+    FaultConfig {
+        plan: FaultPlan {
+            seed: 99,
+            timeout: 0.05,
+            transient: 0.10,
+            corrupt: 0.05,
+            die_at: Some(Time::from_ms(1)),
+            revive_at: Some(Time::from_ms(3)),
+        },
+        ..FaultConfig::default()
+    }
+}
+
+#[test]
+fn ipv4_router_conforms() {
+    let app = AppConfig {
+        ports: 4,
+        v4_routes: 2048,
+        ..AppConfig::default()
+    };
+    let t = traffic(IpVersion::V4, PayloadFill::Zeros);
+    assert_conformance(&pipelines::ipv4_router(&app), &t, &clean(), canon_exact);
+}
+
+#[test]
+fn ipv6_router_conforms() {
+    let app = AppConfig {
+        ports: 4,
+        v6_routes: 2048,
+        ..AppConfig::default()
+    };
+    let t = traffic(IpVersion::V6, PayloadFill::Zeros);
+    assert_conformance(&pipelines::ipv6_router(&app), &t, &clean(), canon_exact);
+}
+
+#[test]
+fn ipsec_gateway_conforms() {
+    let app = AppConfig {
+        ports: 4,
+        v4_routes: 1024,
+        ..AppConfig::default()
+    };
+    let t = traffic(IpVersion::V4, PayloadFill::Ascii);
+    let build = pipelines::ipsec_gateway(&app);
+    assert_conformance(&build, &t, &clean(), |r| canon_ipsec(r, &app));
+}
+
+#[test]
+fn ids_conforms() {
+    let app = AppConfig {
+        ports: 4,
+        ids_literals: 32,
+        ids_regexes: 4,
+        ..AppConfig::default()
+    };
+    let t = traffic(
+        IpVersion::V4,
+        PayloadFill::Plant {
+            needle: b"EVILPATTERN".to_vec(),
+            every: 7,
+        },
+    );
+    let (build, _alerts) = pipelines::ids(&app);
+    assert_conformance(&build, &t, &clean(), canon_ids);
+}
+
+#[test]
+fn ipv4_router_conforms_under_faults() {
+    let app = AppConfig {
+        ports: 4,
+        v4_routes: 2048,
+        ..AppConfig::default()
+    };
+    let t = traffic(IpVersion::V4, PayloadFill::Zeros);
+    assert_conformance(&pipelines::ipv4_router(&app), &t, &faulted(), canon_exact);
+}
+
+#[test]
+fn ipsec_gateway_conforms_under_faults() {
+    let app = AppConfig {
+        ports: 4,
+        v4_routes: 1024,
+        ..AppConfig::default()
+    };
+    let t = traffic(IpVersion::V4, PayloadFill::Ascii);
+    let build = pipelines::ipsec_gateway(&app);
+    assert_conformance(&build, &t, &faulted(), |r| canon_ipsec(r, &app));
+}
+
+/// The IDS alert totals (not just per-packet annotations) must agree
+/// between DES and the sharded live runtime.
+#[test]
+fn ids_alert_totals_conform() {
+    let app = AppConfig {
+        ports: 4,
+        ids_literals: 32,
+        ids_regexes: 4,
+        ..AppConfig::default()
+    };
+    let t = traffic(
+        IpVersion::V4,
+        PayloadFill::Plant {
+            needle: b"EVILPATTERN".to_vec(),
+            every: 7,
+        },
+    );
+    let (build_des, alerts_des) = pipelines::ids(&app);
+    let _ = des_capture(&build_des, &t, clean());
+    let des_hits = alerts_des
+        .literal_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(des_hits > 0, "needle never detected in DES");
+
+    let (build_live, alerts_live) = pipelines::ids(&app);
+    let _ = live_capture(&build_live, &t, clean(), 4);
+    let live_hits = alerts_live
+        .literal_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(des_hits, live_hits, "alert totals diverge");
+}
+
+/// `Arc` plumbing: the suite's canonical builders must be shareable
+/// across the runs above without rebuilding tables.
+#[test]
+fn repeated_runs_are_reproducible() {
+    let app = AppConfig {
+        ports: 4,
+        v4_routes: 512,
+        ..AppConfig::default()
+    };
+    let t = traffic(IpVersion::V4, PayloadFill::Zeros);
+    let build: PipelineBuilder = Arc::clone(&pipelines::ipv4_router(&app));
+    let a = canon_exact(&live_capture(&build, &t, clean(), 4));
+    let b = canon_exact(&live_capture(&build, &t, clean(), 4));
+    assert_eq!(a, b, "same seed, same config, different verdicts");
+}

@@ -116,14 +116,23 @@ fn live_worker_panics_are_contained() {
     let pipeline: PipelineBuilder = Arc::new(|_ctx: &BuildCtx| {
         let mut gb = GraphBuilder::new();
         let p = gb.add(Box::new(PanicEvery {
-            every: 20_000,
+            every: 1_000,
             seen: 0,
         }));
         gb.connect_exit(p, 0);
         gb.entry(p);
         gb.build().expect("panic pipeline")
     });
-    let report = live::run(&live_cfg(), &pipeline, &lb::shared(Box::new(lb::CpuOnly)));
+    // A bounded, fully drained workload: each of the two RSS shards sees
+    // ~4k packets regardless of host speed, so the poison element fires
+    // deterministically instead of depending on wall-clock throughput.
+    let cfg = LiveConfig {
+        duration: Duration::from_secs(20), // deadline only; drains in ms
+        max_packets: Some(8_000),
+        drain: true,
+        ..live_cfg()
+    };
+    let report = live::run(&cfg, &pipeline, &lb::shared(Box::new(lb::CpuOnly)));
     let f = &report.faults.snapshot;
     // The poison batches were dropped and counted — and the run survived
     // them: workers kept forwarding traffic afterwards.

@@ -17,6 +17,16 @@
 //!   Diffs two reports under per-metric tolerances, prints the verdict
 //!   table, and exits 1 on regression. Gates are one-sided — improvements
 //!   never fail.
+//! * `nba-bench top <addr> [--interval-ms MS] [--count N]`
+//!   Polls a running instance's stats endpoint (`--stats-addr` on `run`)
+//!   and prints a per-shard terminal snapshot: ring occupancy, high
+//!   water, `w`, drops, latency percentiles.
+//!
+//! Observability flags on `run`: `--trace N` sizes the batch-lifecycle
+//! trace rings (0 = off, the default — tracing-off runs are bit-identical
+//! to a build without telemetry), `--stats-addr HOST:PORT` serves the
+//! live stats endpoint during live runs, `--flight-dir DIR` writes
+//! flight-recorder post-mortem dumps there.
 //!
 //! Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 //!
@@ -35,9 +45,27 @@ use nba_sim::{Time, Topology};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]"
+        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live] [--trace N] [--stats-addr HOST:PORT] [--flight-dir DIR]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]\n  nba-bench top <addr> [--interval-ms MS] [--count N]"
     );
     std::process::exit(2);
+}
+
+/// Positional arguments: everything that is neither a `--flag` nor the
+/// value of the space-separated `--flag value` form (every flag here
+/// takes a value, so the token after a `--flag` belongs to it).
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+        } else if let Some(flag) = a.strip_prefix("--") {
+            skip = !flag.contains('=');
+        } else {
+            out.push(a.as_str());
+        }
+    }
+    out
 }
 
 /// True when `NBA_QUICK` asks for shortened smoke windows.
@@ -173,6 +201,17 @@ fn des_sweep(
         .collect()
 }
 
+/// Observability knobs forwarded from the CLI into the runtimes.
+#[derive(Default)]
+struct ObsOpts {
+    /// Trace ring capacity per worker (0 = tracing off).
+    trace: usize,
+    /// Serve the in-flight stats endpoint here during live runs.
+    stats_addr: Option<String>,
+    /// Write flight-recorder post-mortem dumps into this directory.
+    flight_dir: Option<std::path::PathBuf>,
+}
+
 /// Runs the sweep on the live runtime: real threads, one RSS-sharded
 /// worker (with its own balancer) per count.
 fn live_sweep(
@@ -181,6 +220,8 @@ fn live_sweep(
     pipeline: &PipelineBuilder,
     mode: &str,
     traffic: &TrafficConfig,
+    fault: &nba_core::FaultConfig,
+    obs: &ObsOpts,
 ) -> Option<Vec<ScalePoint>> {
     let duration = std::time::Duration::from_millis(if q { 200 } else { 1000 });
     counts
@@ -190,6 +231,16 @@ fn live_sweep(
                 workers: n,
                 duration,
                 traffic: traffic.clone(),
+                fault: fault.clone(),
+                telemetry: nba_core::TelemetryConfig {
+                    trace_capacity: obs.trace,
+                    ..nba_core::TelemetryConfig::default()
+                },
+                flight: nba_core::FlightConfig {
+                    dir: obs.flight_dir.clone(),
+                    ..nba_core::FlightConfig::default()
+                },
+                stats_addr: obs.stats_addr.clone(),
                 ..LiveConfig::default()
             };
             let factory = balancer_factory_for(mode)?;
@@ -236,12 +287,7 @@ fn check_live_speedup(series: &[ScalePoint]) -> bool {
 }
 
 fn cmd_run(args: &[String]) -> i32 {
-    let positional: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
-    let Some(&app) = positional.first() else {
+    let Some(&app) = positionals(args).first() else {
         usage();
     };
     let opt = |name: &str| -> Option<String> {
@@ -265,6 +311,23 @@ fn cmd_run(args: &[String]) -> i32 {
 
     let q = quick();
     let mut cfg = bench_cfg(q);
+    let mut obs = ObsOpts {
+        stats_addr: opt("--stats-addr"),
+        flight_dir: opt("--flight-dir").map(std::path::PathBuf::from),
+        ..ObsOpts::default()
+    };
+    if let Some(n) = opt("--trace") {
+        match n.parse::<usize>() {
+            Ok(cap) => obs.trace = cap,
+            Err(_) => {
+                eprintln!("--trace: expected a ring capacity, got '{n}'");
+                return 2;
+            }
+        }
+    }
+    // Tracing rides the same knob in both runtimes; the config digest
+    // excludes telemetry, so traced and untraced artifacts stay diffable.
+    cfg.telemetry.trace_capacity = obs.trace;
     if let Some(spec) = opt("--faults") {
         match nba_core::FaultPlan::parse(&spec) {
             Ok(plan) => cfg.fault.plan = plan,
@@ -324,7 +387,7 @@ fn cmd_run(args: &[String]) -> i32 {
         println!("{app}: scaling sweep ({runtime}), workers {counts:?}");
         let series = match runtime.as_str() {
             "des" => des_sweep(&counts, &cfg, &pipeline, &mode, &per_port),
-            "live" => match live_sweep(&counts, q, &pipeline, &mode, &per_port) {
+            "live" => match live_sweep(&counts, q, &pipeline, &mode, &per_port, &cfg.fault, &obs) {
                 Some(s) => s,
                 None => {
                     eprintln!("unknown mode '{mode}' (expected alb|cpu|gpu|<fraction>)");
@@ -372,12 +435,7 @@ fn cmd_run(args: &[String]) -> i32 {
 }
 
 fn cmd_compare(args: &[String]) -> i32 {
-    let positional: Vec<&str> = args
-        .iter()
-        .map(String::as_str)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
-    let [base_path, cur_path] = positional[..] else {
+    let [base_path, cur_path] = positionals(args)[..] else {
         usage();
     };
     let tol_of = |name: &str, default: f64| -> f64 {
@@ -428,11 +486,116 @@ fn cmd_compare(args: &[String]) -> i32 {
     i32::from(c.regressed())
 }
 
+/// One raw HTTP GET against the stats endpoint — no HTTP client dep, the
+/// server always answers with `Connection: close` so read-to-EOF is the
+/// framing.
+fn fetch(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    s.set_read_timeout(Some(std::time::Duration::from_secs(2)))
+        .ok();
+    s.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .map_err(|e| format!("send {addr}: {e}"))?;
+    let mut buf = String::new();
+    s.read_to_string(&mut buf)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    match buf.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(format!("{addr}: malformed HTTP response")),
+    }
+}
+
+/// Renders one `/status` document as a terminal snapshot: run totals on
+/// one line, then a per-shard table.
+fn render_top(doc: &nba_core::json::Value) -> String {
+    let f = |v: Option<&nba_core::json::Value>| v.and_then(nba_core::json::Value::as_f64);
+    let u = |v: Option<&nba_core::json::Value>| v.and_then(nba_core::json::Value::as_u64);
+    let totals = doc.get("totals");
+    let latency = doc.get("latency");
+    let mut out = format!(
+        "elapsed {:.1}s  tx {} pkts  dropped {}  offloaded {} batches  p50 {}ns p99 {}ns  quarantined {}  dumps {}\n",
+        f(doc.get("elapsed_s")).unwrap_or(0.0),
+        u(totals.and_then(|t| t.get("tx_packets"))).unwrap_or(0),
+        u(totals.and_then(|t| t.get("dropped"))).unwrap_or(0),
+        u(totals.and_then(|t| t.get("offloaded_batches"))).unwrap_or(0),
+        u(latency.and_then(|l| l.get("p50_ns"))).unwrap_or(0),
+        u(latency.and_then(|l| l.get("p99_ns"))).unwrap_or(0),
+        doc.get("quarantined")
+            .and_then(nba_core::json::Value::as_bool)
+            .unwrap_or(false),
+        u(doc.get("flight_dumps")).unwrap_or(0),
+    );
+    out.push_str("shard      ring   high-water   enq-fail   rx-drop        w\n");
+    for s in doc
+        .get("shards")
+        .and_then(nba_core::json::Value::as_arr)
+        .unwrap_or(&[])
+    {
+        out.push_str(&format!(
+            "{:>5} {:>9} {:>12} {:>10} {:>9} {:>8.3}\n",
+            u(s.get("shard")).unwrap_or(0),
+            u(s.get("ring_occupancy")).unwrap_or(0),
+            u(s.get("ring_high_water")).unwrap_or(0),
+            u(s.get("enqueue_failed")).unwrap_or(0),
+            u(s.get("rx_dropped")).unwrap_or(0),
+            f(s.get("w")).unwrap_or(0.0),
+        ));
+    }
+    out
+}
+
+fn cmd_top(args: &[String]) -> i32 {
+    let [addr] = positionals(args)[..] else {
+        usage();
+    };
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .or_else(|| {
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
+            })
+    };
+    let interval = opt("--interval-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1000);
+    let count = opt("--count")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1);
+    for i in 0..count.max(1) {
+        let body = match fetch(addr, "/status") {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        let doc = match nba_core::json::parse(&body) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{addr}: bad /status JSON: {e:?}");
+                return 2;
+            }
+        };
+        print!("{}", render_top(&doc));
+        if i + 1 < count {
+            println!();
+            std::thread::sleep(std::time::Duration::from_millis(interval));
+        }
+    }
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         _ => usage(),
     };
     std::process::exit(code);

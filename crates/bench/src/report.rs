@@ -1275,6 +1275,7 @@ mod tests {
             offloaded_batches: 0,
             offload_fraction: w,
             gpu_busy: Vec::new(),
+            shards: Vec::new(),
         };
         // Enters the band at 2 ms, leaves, re-enters for good at 4 ms.
         let samples = vec![mk(1, 0.2), mk(2, 0.61), mk(3, 0.4), mk(4, 0.6), mk(5, 0.62)];

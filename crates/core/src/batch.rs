@@ -42,6 +42,12 @@ pub mod anno {
     /// Nothing on the processing path reads it, so stamping cannot change
     /// behaviour.
     pub const TRACE_ID: usize = 1;
+    /// Per-batch: current causal span id, stamped at RX when tracing is
+    /// enabled and re-stamped as the batch crosses stages (offload enqueue,
+    /// device launch, completion), so each trace event links to its causal
+    /// parent. 0 when tracing is off; nothing on the processing path reads
+    /// it.
+    pub const SPAN_ID: usize = 2;
 
     /// Per-packet slots the framework owns: elements must never write
     /// these ([`TIMESTAMP`] and [`IFACE_IN`] are seeded at RX,
@@ -49,10 +55,11 @@ pub mod anno {
     /// The static verifier rejects write claims on them (`NBA011`).
     pub const RESERVED_PACKET_WRITES: &[usize] = &[TIMESTAMP, IFACE_IN, ORIG_BITS];
 
-    /// Per-batch slots the framework owns ([`TRACE_ID`] is stamped by the
-    /// runtime at RX; [`LB_DEVICE`] is intentionally element-writable —
-    /// it is the designated load-balancer decision slot).
-    pub const RESERVED_BATCH_WRITES: &[usize] = &[TRACE_ID];
+    /// Per-batch slots the framework owns ([`TRACE_ID`] and [`SPAN_ID`]
+    /// are stamped by the runtime; [`LB_DEVICE`] is intentionally
+    /// element-writable — it is the designated load-balancer decision
+    /// slot).
+    pub const RESERVED_BATCH_WRITES: &[usize] = &[TRACE_ID, SPAN_ID];
 
     /// Per-packet slots the framework seeds on every packet at RX, so
     /// element reads of them are always defined ([`crate::batch::PacketBatch::push`]).

@@ -22,7 +22,9 @@ use nba_sim::{CostModel, Time};
 use crate::batch::{anno, Anno, PacketBatch, PacketResult};
 use crate::element::{ElemCtx, Element, ElementKind};
 use crate::stats::Counters;
-use crate::telemetry::{ElementProfile, ProfileAcc, TraceBuffer, TraceEvent, TraceEventKind};
+use crate::telemetry::{
+    ElementProfile, ProfileAcc, SpanAlloc, TraceBuffer, TraceEvent, TraceEventKind,
+};
 
 use nba_io::Packet;
 
@@ -96,6 +98,10 @@ pub struct ElementGraph {
     /// (boxed so the graph stays lean, owned so the graph stays `Send`
     /// for the live runtime).
     trace: Option<Box<TraceBuffer>>,
+    /// Causal span-id allocator; `Some` exactly when tracing is enabled.
+    /// Worker replicas of one run share it (see
+    /// [`ElementGraph::share_spans`]) so ids are unique run-wide.
+    spans: Option<SpanAlloc>,
     /// Busy-time source: cycle-derived virtual time (DES) or wall clock
     /// (live runtime).
     wall_profiling: bool,
@@ -246,6 +252,7 @@ impl GraphBuilder {
             policy: self.policy,
             profiles,
             trace: None,
+            spans: None,
             wall_profiling: false,
         })
     }
@@ -333,7 +340,24 @@ impl ElementGraph {
     pub fn enable_trace(&mut self, capacity: usize) {
         if capacity > 0 {
             self.trace = Some(Box::new(TraceBuffer::new(capacity)));
+            self.spans = Some(SpanAlloc::new());
         }
+    }
+
+    /// Replaces this graph's span allocator with a shared one, so span ids
+    /// stay unique across every worker replica of one run. No-op unless
+    /// tracing is enabled.
+    pub fn share_spans(&mut self, alloc: SpanAlloc) {
+        if self.trace.is_some() {
+            self.spans = Some(alloc);
+        }
+    }
+
+    /// Allocates the next causal span id, or 0 when tracing is off — the
+    /// runtime's hook for stamping spans at RX/launch/completion without
+    /// branching on telemetry state itself.
+    pub fn alloc_span(&self) -> u64 {
+        self.spans.as_ref().map_or(0, |s| s.next())
     }
 
     /// `true` while tracing is enabled.
@@ -438,16 +462,26 @@ impl ElementGraph {
             let node = &mut self.nodes[nid.0];
             let is_offloadable = node.element.offload().is_some();
             if is_offloadable && batch.banno().get(anno::LB_DEVICE) > 0 {
-                if let Some(tr) = self.trace.as_deref_mut() {
-                    tr.push(TraceEvent {
-                        t: ctx.now,
-                        worker: ctx.worker as u32,
-                        batch: batch.banno().get(anno::TRACE_ID),
-                        node: Some(nid.0 as u32),
-                        kind: TraceEventKind::OffloadEnqueue,
-                        packets: batch.len() as u32,
-                        dur: Time::ZERO,
-                    });
+                if self.trace.is_some() {
+                    // The enqueue opens a child span of the batch's current
+                    // span; the batch carries it to the device thread so
+                    // the launch links back here.
+                    let parent = batch.banno().get(anno::SPAN_ID);
+                    let span = self.alloc_span();
+                    batch.banno_mut().set(anno::SPAN_ID, span);
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        tr.push(TraceEvent {
+                            t: ctx.now,
+                            worker: ctx.worker as u32,
+                            batch: batch.banno().get(anno::TRACE_ID),
+                            node: Some(nid.0 as u32),
+                            kind: TraceEventKind::OffloadEnqueue,
+                            packets: batch.len() as u32,
+                            dur: Time::ZERO,
+                            span,
+                            parent,
+                        });
+                    }
                 }
                 outcome.offloads.push(OffloadRequest { node: nid, batch });
                 continue;
@@ -501,6 +535,8 @@ impl ElementGraph {
                     kind: TraceEventKind::Element,
                     packets: live as u32,
                     dur: Time::from_ns(visit_ns),
+                    span: batch.banno().get(anno::SPAN_ID),
+                    parent: 0,
                 });
             }
             self.route(ctx, cost, counters, nid, batch, &mut work, outcome);
@@ -558,6 +594,8 @@ impl ElementGraph {
                     kind: TraceEventKind::Drop,
                     packets: node_drops as u32,
                     dur: Time::ZERO,
+                    span: batch.banno().get(anno::SPAN_ID),
+                    parent: 0,
                 });
             }
         }
@@ -587,6 +625,8 @@ impl ElementGraph {
                 kind: TraceEventKind::Branch,
                 packets: batch.len() as u32,
                 dur: Time::ZERO,
+                span: batch.banno().get(anno::SPAN_ID),
+                parent: 0,
             });
         }
         match self.policy {
@@ -639,6 +679,8 @@ impl ElementGraph {
                             kind: TraceEventKind::BranchMiss,
                             packets: diverged as u32,
                             dur: Time::ZERO,
+                            span: batch.banno().get(anno::SPAN_ID),
+                            parent: 0,
                         });
                     }
                 }

@@ -44,6 +44,18 @@ pub trait LoadBalancer: Send {
 
     /// Balancer name (for reports).
     fn name(&self) -> &'static str;
+
+    /// One-line JSON self-description served by the live stats endpoint
+    /// (`/status`). The default covers every balancer: name plus the
+    /// current `w`; adaptive implementations may override to expose
+    /// internal state (step direction, probe phase, ...).
+    fn status_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"w\":{}}}",
+            crate::telemetry::json_escape(self.name()),
+            crate::telemetry::json_f64(self.offload_fraction()),
+        )
+    }
 }
 
 /// Processes everything on the CPU.

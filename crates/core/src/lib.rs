@@ -15,6 +15,8 @@
 //! * [`lint`] — `nba-lint`, the static pipeline verifier: structural,
 //!   annotation-slot, datablock, and branch-shape checks with stable
 //!   `NBA0xx` diagnostic codes,
+//! * [`introspect`] — the live introspection plane: the per-shard flight
+//!   recorder and the in-flight stats endpoint,
 //! * [`offload`] — datablock gather/scatter between batches and devices,
 //! * [`fault`] — the offload degradation ladder: deterministic fault
 //!   injection plans, CPU fallback accounting, and the device circuit
@@ -36,6 +38,7 @@ pub mod config;
 pub mod element;
 pub mod fault;
 pub mod graph;
+pub mod introspect;
 pub mod json;
 pub mod lb;
 pub mod lint;
@@ -54,6 +57,7 @@ pub use element::{
 };
 pub use fault::{CircuitBreaker, FaultConfig, FaultPlan, FaultReport, FaultSnapshot, FaultStats};
 pub use graph::{BranchPolicy, ElementGraph, GraphBuilder, NodeId, OutEdge, RunOutcome};
+pub use introspect::{FlightConfig, FlightDump, FlightRecorder, StatsServer, StatsState};
 pub use lb::{
     Adaptive, AlbConfig, BalancerFactory, CpuOnly, FixedFraction, GpuOnly, LatencyBounded,
     LoadBalancer, SharedBalancer,

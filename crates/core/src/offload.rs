@@ -10,7 +10,7 @@
 
 use nba_sim::Time;
 
-use crate::batch::PacketBatch;
+use crate::batch::{anno, PacketBatch};
 use crate::element::{DbInput, DbOutput, KernelIo, OffloadSpec, Postprocess};
 use crate::graph::NodeId;
 
@@ -23,6 +23,20 @@ pub struct OffloadTask {
     pub worker: usize,
     /// The suspended batch.
     pub batch: PacketBatch,
+}
+
+impl OffloadTask {
+    /// The batch's current causal span id (the enqueue span, stamped by
+    /// the graph when it suspended the batch; 0 with tracing off).
+    pub fn span(&self) -> u64 {
+        self.batch.banno().get(anno::SPAN_ID)
+    }
+
+    /// Re-stamps the batch's causal span (the device thread advances it to
+    /// the launch span so the completion links to the launch).
+    pub fn set_span(&mut self, span: u64) {
+        self.batch.banno_mut().set(anno::SPAN_ID, span);
+    }
 }
 
 /// A finished task on its way back to the worker.
@@ -40,6 +54,14 @@ pub struct CompletedTask {
     /// (kernel output discarded or never produced) and the worker must
     /// re-execute the element's CPU path instead of resuming past it.
     pub fallback: bool,
+}
+
+impl CompletedTask {
+    /// The batch's current causal span id (the launch span when the device
+    /// stamped one, else the enqueue span; 0 with tracing off).
+    pub fn span(&self) -> u64 {
+        self.batch.banno().get(anno::SPAN_ID)
+    }
 }
 
 /// A gathered input block ready for the GPU shim.

@@ -28,7 +28,7 @@ use crate::offload::{self, CompletedTask, OffloadTask};
 use crate::runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
 use crate::stats::{Counters, LatencyHistogram, Snapshot, SystemInspector};
 use crate::telemetry::{
-    merge_profiles, ElementProfile, TimeSample, TraceBuffer, TraceEvent, TraceEventKind,
+    merge_profiles, ElementProfile, SpanAlloc, TimeSample, TraceBuffer, TraceEvent, TraceEventKind,
 };
 
 use nba_gpu::TimelineStats;
@@ -125,6 +125,7 @@ impl WorkerEntity {
         cycles_before: u64,
         outcome: RunOutcome,
         trace_batch: u64,
+        trace_span: u64,
         ctx: &mut Ctx,
     ) -> u64 {
         let mut cycles = outcome.cycles;
@@ -140,6 +141,8 @@ impl WorkerEntity {
                     kind: TraceEventKind::Tx,
                     packets: outcome.tx.len() as u32,
                     dur: Time::ZERO,
+                    span: trace_span,
+                    parent: 0,
                 });
             }
         }
@@ -205,20 +208,36 @@ impl Entity for WorkerEntity {
         let mut did_work = false;
 
         // 1. Reap offload completions (the IO loop checks these first).
-        while let Some(done) = self.completions.pop() {
+        while let Some(mut done) = self.completions.pop() {
             did_work = true;
             cycles += cost.completion_check;
             let trace_batch = done.batch.banno().get(anno::TRACE_ID);
-            if let Some(tr) = self.graph.trace_mut() {
-                tr.push(TraceEvent {
-                    t: now,
-                    worker: self.id as u32,
-                    batch: trace_batch,
-                    node: Some(done.node.0 as u32),
-                    kind: TraceEventKind::OffloadComplete,
-                    packets: done.batch.len() as u32,
-                    dur: Time::ZERO,
-                });
+            let mut trace_span = 0;
+            if self.graph.trace_enabled() {
+                // Completion opens a new span whose parent is the device's
+                // launch span (the enqueue span on never-launched fallbacks)
+                // — the cross-thread link the Chrome exporter renders.
+                let parent = done.span();
+                trace_span = self.graph.alloc_span();
+                done.batch.banno_mut().set(anno::SPAN_ID, trace_span);
+                let kind = if done.fallback {
+                    TraceEventKind::OffloadFallback
+                } else {
+                    TraceEventKind::OffloadComplete
+                };
+                if let Some(tr) = self.graph.trace_mut() {
+                    tr.push(TraceEvent {
+                        t: now,
+                        worker: self.id as u32,
+                        batch: trace_batch,
+                        node: Some(done.node.0 as u32),
+                        kind,
+                        packets: done.batch.len() as u32,
+                        dur: Time::ZERO,
+                        span: trace_span,
+                        parent,
+                    });
+                }
             }
             let mut ectx = ElemCtx {
                 now,
@@ -239,7 +258,7 @@ impl Entity for WorkerEntity {
                 self.graph
                     .resume_offloaded(&mut ectx, &cost, &self.counters, done.node, done.batch)
             };
-            cycles += self.handle_outcome(now, cycles, outcome, trace_batch, ctx);
+            cycles += self.handle_outcome(now, cycles, outcome, trace_batch, trace_span, ctx);
         }
 
         // 2. Poll RX queues round-robin and fetch one IO burst — unless the
@@ -286,13 +305,17 @@ impl Entity for WorkerEntity {
             cycles += cost.batch_alloc;
             Counters::add(&self.counters.batches, 1);
             let mut trace_batch = 0;
+            let mut trace_span = 0;
             if self.graph.trace_enabled() {
                 // Stamp a unique id so the batch's lifecycle can be followed
                 // through the trace (nothing on the processing path reads
-                // the slot, so stamping cannot change behaviour).
+                // the slot, so stamping cannot change behaviour) plus the
+                // batch's root causal span.
                 self.trace_seq += 1;
                 trace_batch = ((self.id as u64 + 1) << 40) | self.trace_seq;
                 batch.banno_mut().set(anno::TRACE_ID, trace_batch);
+                trace_span = self.graph.alloc_span();
+                batch.banno_mut().set(anno::SPAN_ID, trace_span);
                 if let Some(tr) = self.graph.trace_mut() {
                     tr.push(TraceEvent {
                         t: now,
@@ -302,6 +325,8 @@ impl Entity for WorkerEntity {
                         kind: TraceEventKind::Rx,
                         packets: batch.len() as u32,
                         dur: Time::ZERO,
+                        span: trace_span,
+                        parent: 0,
                     });
                 }
             }
@@ -315,7 +340,7 @@ impl Entity for WorkerEntity {
             let outcome = self
                 .graph
                 .run_batch(&mut ectx, &cost, &self.counters, batch);
-            cycles += self.handle_outcome(now, cycles, outcome, trace_batch, ctx);
+            cycles += self.handle_outcome(now, cycles, outcome, trace_batch, trace_span, ctx);
         }
         self.busy_until = now + cost.cycles(cycles);
         Wake::At(self.busy_until)
@@ -369,6 +394,9 @@ struct DeviceEntity {
     /// Batch-lifecycle trace ring shared with the run assembly (`None`
     /// unless tracing is enabled).
     trace: Option<Rc<RefCell<TraceBuffer>>>,
+    /// The run-wide span allocator (shared with every worker graph; `None`
+    /// unless tracing is enabled).
+    spans: Option<SpanAlloc>,
     /// Degradation-ladder knobs (watchdog, retries, breaker).
     fault: FaultConfig,
     /// Seeded fault source; `None` when the plan is inactive, so the clean
@@ -440,9 +468,26 @@ impl DeviceEntity {
             }
             return;
         }
+        let mut tasks = tasks;
+        // First launch span of this flush: the parent for retry events and
+        // the flight-recorder trigger on a quarantine trip.
+        let mut flush_span = 0;
+        let first_worker = tasks.first().map_or(0, |t| t.worker as u32);
+        let first_batch = tasks
+            .first()
+            .map_or(0, |t| t.batch.banno().get(anno::TRACE_ID));
         if let Some(tr) = &self.trace {
             let mut tr = tr.borrow_mut();
-            for t in &tasks {
+            for t in &mut tasks {
+                // Launch opens a device-side span under the worker's
+                // enqueue span; the batch carries it on so the completion
+                // links back here.
+                let parent = t.span();
+                let span = self.spans.as_ref().map_or(0, SpanAlloc::next);
+                t.set_span(span);
+                if flush_span == 0 {
+                    flush_span = span;
+                }
                 tr.push(TraceEvent {
                     t: now,
                     worker: t.worker as u32,
@@ -451,6 +496,8 @@ impl DeviceEntity {
                     kind: TraceEventKind::OffloadLaunch,
                     packets: t.batch.len() as u32,
                     dur: Time::ZERO,
+                    span,
+                    parent,
                 });
             }
         }
@@ -575,6 +622,19 @@ impl DeviceEntity {
             }
             retries_left -= 1;
             FaultStats::add(&self.fstats.retried, 1);
+            if let Some(tr) = &self.trace {
+                tr.borrow_mut().push(TraceEvent {
+                    t: attempt_at,
+                    worker: first_worker,
+                    batch: first_batch,
+                    node: Some(node as u32),
+                    kind: TraceEventKind::OffloadRetry,
+                    packets: staged.items as u32,
+                    dur: Time::ZERO,
+                    span: self.spans.as_ref().map_or(0, SpanAlloc::next),
+                    parent: flush_span,
+                });
+            }
             attempt_at += self.fault.retry_backoff;
         };
         // Only attempts whose kernel results are actually used count as
@@ -814,6 +874,7 @@ impl Entity for SamplerEntity {
                 offloaded_batches: snap.offloaded_batches,
                 offload_fraction: self.balancer.lock().offload_fraction(),
                 gpu_busy,
+                shards: Vec::new(),
             });
         }
         self.prev = snap;
@@ -931,6 +992,15 @@ pub fn run_with_sources(
         }
         g.enable_trace(cfg.telemetry.trace_capacity);
         graphs.push(g);
+    }
+    // One span allocator for the whole run: every worker graph and the
+    // device entities draw from it, so parent/child links are globally
+    // unique across threads of the simulated system.
+    let spans: Option<SpanAlloc> = (cfg.telemetry.trace_capacity > 0).then(SpanAlloc::new);
+    if let Some(alloc) = &spans {
+        for g in &mut graphs {
+            g.share_spans(alloc.clone());
+        }
     }
     let mut specs: HashMap<usize, OffloadSpec> = HashMap::new();
     let mut fuse_next: HashMap<usize, usize> = HashMap::new();
@@ -1054,6 +1124,7 @@ pub fn run_with_sources(
             counters: counters[s * wps].clone(),
             busy_until: Time::ZERO,
             trace: device_trace.clone(),
+            spans: spans.clone(),
             fault: cfg.fault.clone(),
             injector,
             breaker: CircuitBreaker::new(cfg.fault.breaker_threshold, cfg.fault.quarantine),

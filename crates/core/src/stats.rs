@@ -101,6 +101,25 @@ pub struct Snapshot {
     pub gpu_processed: u64,
 }
 
+impl Snapshot {
+    /// Renders the snapshot as a flat JSON object (the stats endpoint's
+    /// `totals` block; dependency-free like every exporter).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rx_packets\":{},\"tx_packets\":{},\"tx_frame_bits\":{},\"dropped\":{},\"batches\":{},\"split_allocs\":{},\"offloaded_batches\":{},\"cpu_processed\":{},\"gpu_processed\":{}}}",
+            self.rx_packets,
+            self.tx_packets,
+            self.tx_frame_bits,
+            self.dropped,
+            self.batches,
+            self.split_allocs,
+            self.offloaded_batches,
+            self.cpu_processed,
+            self.gpu_processed,
+        )
+    }
+}
+
 impl std::ops::Sub for Snapshot {
     type Output = Snapshot;
 

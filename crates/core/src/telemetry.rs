@@ -22,6 +22,9 @@
 //! bit-identical throughput report to the same run with it disabled —
 //! observation only reads simulation state and writes side tables.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use nba_sim::Time;
 
 use crate::runtime::RunReport;
@@ -130,6 +133,48 @@ pub fn merge_histograms(shards: impl IntoIterator<Item = LatencyHistogram>) -> L
     merged
 }
 
+/// A run-wide causal span-id allocator. Span ids are unique across every
+/// thread of one run (workers share the allocator through their graph
+/// replicas), strictly positive, and dense — 0 is reserved for "no span"
+/// so a zeroed [`TraceEvent`] means tracing was off.
+///
+/// Cloning shares the counter; `next()` is a single relaxed `fetch_add`,
+/// cheap enough to sit on the traced hot path and absent from the untraced
+/// one (allocation only happens when a trace buffer exists).
+#[derive(Debug, Clone, Default)]
+pub struct SpanAlloc(Arc<AtomicU64>);
+
+impl SpanAlloc {
+    /// A fresh allocator starting at span id 1.
+    pub fn new() -> SpanAlloc {
+        SpanAlloc::default()
+    }
+
+    /// Allocates the next span id (never 0).
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Per-shard gauges sampled alongside each [`TimeSample`]: the state of one
+/// worker's RX ring and balancer at the sample instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSample {
+    /// Worker (shard) index the gauges belong to.
+    pub shard: u32,
+    /// Packets sitting in the shard's RX rings at the sample instant
+    /// (summed over the IO threads feeding it).
+    pub ring_occupancy: u64,
+    /// Highest RX-ring occupancy observed so far (summed over rings).
+    pub ring_high_water: u64,
+    /// Cumulative enqueue failures (full-ring refusals) on the shard's RX
+    /// rings.
+    pub enqueue_failed: u64,
+    /// The shard balancer's offloading fraction `w` at the sample instant
+    /// (equals the shared `w` under `lb::shared`).
+    pub w: f64,
+}
+
 /// One point of the run time-series.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimeSample {
@@ -154,11 +199,18 @@ pub struct TimeSample {
     pub offload_fraction: f64,
     /// Per-GPU compute-engine busy fraction over the window.
     pub gpu_busy: Vec<f64>,
+    /// Per-shard ring/balancer gauges at `t` (live runtime only; empty in
+    /// the DES runtime, whose rings are simulated).
+    pub shards: Vec<ShardSample>,
 }
 
 /// What happened to a batch at one point of its life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEventKind {
+    /// An IO thread Toeplitz-steered a burst of packets into a worker's
+    /// SPSC ring (live runtime only; `worker` is the destination shard,
+    /// `node` carries the IO thread index).
+    Steer,
     /// Packets fetched from RX queues and wrapped into the batch.
     Rx,
     /// An element processed the batch.
@@ -172,8 +224,13 @@ pub enum TraceEventKind {
     OffloadEnqueue,
     /// The device thread launched the batch (inside an aggregated task).
     OffloadLaunch,
+    /// The device thread retried the task after a transient failure.
+    OffloadRetry,
     /// The offload round trip completed; the pipeline resumes.
     OffloadComplete,
+    /// The offload failed terminally and the batch fell back to the CPU
+    /// path.
+    OffloadFallback,
     /// Packets from the batch were transmitted.
     Tx,
     /// Packets from the batch were dropped.
@@ -184,13 +241,16 @@ impl TraceEventKind {
     /// Stable lowercase name used by the exporters.
     pub fn as_str(&self) -> &'static str {
         match self {
+            TraceEventKind::Steer => "steer",
             TraceEventKind::Rx => "rx",
             TraceEventKind::Element => "element",
             TraceEventKind::Branch => "branch",
             TraceEventKind::BranchMiss => "branch_miss",
             TraceEventKind::OffloadEnqueue => "offload_enqueue",
             TraceEventKind::OffloadLaunch => "offload_launch",
+            TraceEventKind::OffloadRetry => "offload_retry",
             TraceEventKind::OffloadComplete => "offload_complete",
+            TraceEventKind::OffloadFallback => "offload_fallback",
             TraceEventKind::Tx => "tx",
             TraceEventKind::Drop => "drop",
         }
@@ -215,6 +275,12 @@ pub struct TraceEvent {
     /// How long the event's work took ([`TraceEventKind::Element`] visits:
     /// cycle-derived in DES, wall clock in live; zero for point events).
     pub dur: Time,
+    /// This event's causal span id ([`SpanAlloc`]; 0 when span tracing is
+    /// off — legacy traces stay valid with both fields zeroed).
+    pub span: u64,
+    /// Span id of the causal parent (0 for roots: an RX with no recorded
+    /// steer, or any event with span tracing off).
+    pub parent: u64,
 }
 
 /// A bounded ring of [`TraceEvent`]s: pushes never allocate past capacity,
@@ -334,8 +400,22 @@ pub fn samples_to_jsonl(samples: &[TimeSample]) -> String {
     let mut out = String::new();
     for s in samples {
         let gpu: Vec<String> = s.gpu_busy.iter().map(|&g| json_f64(g)).collect();
+        let shards: Vec<String> = s
+            .shards
+            .iter()
+            .map(|sh| {
+                format!(
+                    "{{\"shard\":{},\"ring_occupancy\":{},\"ring_high_water\":{},\"enqueue_failed\":{},\"w\":{}}}",
+                    sh.shard,
+                    sh.ring_occupancy,
+                    sh.ring_high_water,
+                    sh.enqueue_failed,
+                    json_f64(sh.w),
+                )
+            })
+            .collect();
         out.push_str(&format!(
-            "{{\"t_us\":{},\"tx_packets\":{},\"tx_mpps\":{},\"tx_gbps\":{},\"dropped\":{},\"rx_dropped\":{},\"latency_ewma_ns\":{},\"offloaded_batches\":{},\"w\":{},\"gpu_busy\":[{}]}}\n",
+            "{{\"t_us\":{},\"tx_packets\":{},\"tx_mpps\":{},\"tx_gbps\":{},\"dropped\":{},\"rx_dropped\":{},\"latency_ewma_ns\":{},\"offloaded_batches\":{},\"w\":{},\"gpu_busy\":[{}],\"shards\":[{}]}}\n",
             s.t.as_ns() / 1000,
             s.tx_packets,
             json_f64(s.tx_mpps),
@@ -346,6 +426,7 @@ pub fn samples_to_jsonl(samples: &[TimeSample]) -> String {
             s.offloaded_batches,
             json_f64(s.offload_fraction),
             gpu.join(","),
+            shards.join(","),
         ));
     }
     out
@@ -355,22 +436,31 @@ pub fn samples_to_jsonl(samples: &[TimeSample]) -> String {
 pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
     let mut out = String::new();
     for e in events {
-        let node = match e.node {
-            Some(n) => n.to_string(),
-            None => "null".to_string(),
-        };
-        out.push_str(&format!(
-            "{{\"t_ns\":{},\"worker\":{},\"batch\":{},\"node\":{},\"kind\":\"{}\",\"packets\":{},\"dur_ns\":{}}}\n",
-            e.t.as_ns(),
-            e.worker,
-            e.batch,
-            node,
-            e.kind.as_str(),
-            e.packets,
-            e.dur.as_ns(),
-        ));
+        out.push_str(&trace_event_json(e));
+        out.push('\n');
     }
     out
+}
+
+/// One [`TraceEvent`] as a standalone JSON object (the JSONL line without
+/// its newline) — shared by the JSONL exporter and the flight recorder.
+pub fn trace_event_json(e: &TraceEvent) -> String {
+    let node = match e.node {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"t_ns\":{},\"worker\":{},\"batch\":{},\"node\":{},\"kind\":\"{}\",\"packets\":{},\"dur_ns\":{},\"span\":{},\"parent\":{}}}",
+        e.t.as_ns(),
+        e.worker,
+        e.batch,
+        node,
+        e.kind.as_str(),
+        e.packets,
+        e.dur.as_ns(),
+        e.span,
+        e.parent,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -380,6 +470,10 @@ pub fn trace_to_jsonl(events: &[TraceEvent]) -> String {
 /// Pseudo thread id for the device thread's events (`OffloadLaunch` runs on
 /// the device, not on the worker that shipped the batch).
 const CHROME_DEVICE_TID: u32 = 10_000;
+
+/// Base pseudo thread id for IO threads (`Steer` events render on
+/// `CHROME_IO_TID_BASE + io_index`).
+const CHROME_IO_TID_BASE: u32 = 20_000;
 
 /// One emitted Chrome trace record under construction.
 struct ChromeEvent {
@@ -416,10 +510,16 @@ impl ChromeEvent {
 /// * RX/TX/branch/drop events become thread-scoped instants (`i`).
 /// * The offload handoff becomes a flow arrow: flow-start `s` at
 ///   `OffloadEnqueue` on the worker thread, flow-step `t` at
-///   `OffloadLaunch` on the device pseudo-thread, flow-finish `f` at
-///   `OffloadComplete` back on the worker — all bound by the batch's trace
-///   id, each anchored in a zero-length `B`/`E` slice so Perfetto has a
-///   slice to attach the arrow to.
+///   `OffloadLaunch` (and any `OffloadRetry`) on the device pseudo-thread,
+///   flow-finish `f` at `OffloadComplete`/`OffloadFallback` back on the
+///   worker — each anchored in a zero-length `B`/`E` slice so Perfetto has
+///   a slice to attach the arrow to. When the trace carries causal span
+///   ids (any event with `span != 0`), arrows are bound by the enqueue
+///   span resolved through parent links — exact even when a batch offloads
+///   repeatedly; legacy traces fall back to the batch-id heuristic.
+/// * With spans, IO→worker handoffs render too: `Steer` events become
+///   flow-starts on per-IO pseudo-threads (`io <n>`) finished by the RX
+///   that first drained the steered ring.
 /// * `M` metadata records name the process and every thread.
 ///
 /// Timestamps are microseconds with nanosecond precision (the format's
@@ -437,15 +537,92 @@ pub fn trace_to_chrome(events: &[TraceEvent], elements: &[ElementProfile]) -> St
     let mut sorted: Vec<&TraceEvent> = events.iter().collect();
     sorted.sort_by_key(|e| e.t);
 
+    // Causal span index, used to key offload flow arrows when the trace
+    // carries span ids: every arrow of one offload round trip binds to the
+    // round trip's enqueue span, resolved by walking parent links.
+    let spans_on = events.iter().any(|e| e.span != 0);
+    let mut span_parent: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut enqueue_spans: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    if spans_on {
+        for e in events {
+            if e.span != 0 {
+                span_parent.insert(e.span, e.parent);
+                if e.kind == TraceEventKind::OffloadEnqueue {
+                    enqueue_spans.insert(e.span);
+                }
+            }
+        }
+    }
+    let offload_flow_id = |e: &TraceEvent| -> u64 {
+        if !spans_on {
+            return e.batch;
+        }
+        // Walk ancestors (complete → launch → enqueue) to the enqueue span.
+        let mut p = if e.kind == TraceEventKind::OffloadEnqueue {
+            e.span
+        } else {
+            e.parent
+        };
+        for _ in 0..4 {
+            if p == 0 || enqueue_spans.contains(&p) {
+                break;
+            }
+            p = span_parent.get(&p).copied().unwrap_or(0);
+        }
+        if p != 0 {
+            p
+        } else if e.span != 0 {
+            e.span
+        } else {
+            e.batch
+        }
+    };
+
+    // Emits a zero-length anchor slice plus the flow event it anchors (a
+    // flow arrow must attach to a slice on its thread).
+    #[allow(clippy::too_many_arguments)]
+    fn push_flow(
+        out: &mut Vec<ChromeEvent>,
+        tid: u32,
+        args: &str,
+        name: &str,
+        ph: char,
+        id: u64,
+        ts: u64,
+        end: u64,
+    ) {
+        out.push(ChromeEvent {
+            ph: 'B',
+            ts_ns: ts,
+            tid,
+            name: name.into(),
+            extra: format!(",\"cat\":\"offload\"{args}"),
+        });
+        out.push(ChromeEvent {
+            ph,
+            ts_ns: ts,
+            tid,
+            name: "offload".into(),
+            extra: format!(",\"cat\":\"offload\",\"id\":{id},\"bp\":\"e\""),
+        });
+        out.push(ChromeEvent {
+            ph: 'E',
+            ts_ns: end,
+            tid,
+            name: name.into(),
+            extra: ",\"cat\":\"offload\"".into(),
+        });
+    }
+
     let mut out_events: Vec<ChromeEvent> = Vec::new();
     // Per-tid layout cursor in nanoseconds (see the doc comment).
     let mut cursor: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
     let mut tids: Vec<u32> = Vec::new();
     for e in &sorted {
-        let tid = if e.kind == TraceEventKind::OffloadLaunch {
-            CHROME_DEVICE_TID
-        } else {
-            e.worker
+        let tid = match e.kind {
+            TraceEventKind::OffloadLaunch | TraceEventKind::OffloadRetry => CHROME_DEVICE_TID,
+            TraceEventKind::Steer => CHROME_IO_TID_BASE + e.node.unwrap_or(0),
+            _ => e.worker,
         };
         if !tids.contains(&tid) {
             tids.push(tid);
@@ -453,8 +630,8 @@ pub fn trace_to_chrome(events: &[TraceEvent], elements: &[ElementProfile]) -> St
         let cur = cursor.entry(tid).or_insert(0);
         let ts = (*cur).max(e.t.as_ns());
         let args = format!(
-            ",\"args\":{{\"batch\":{},\"packets\":{},\"worker\":{}}}",
-            e.batch, e.packets, e.worker
+            ",\"args\":{{\"batch\":{},\"packets\":{},\"worker\":{},\"span\":{},\"parent\":{}}}",
+            e.batch, e.packets, e.worker, e.span, e.parent
         );
         match e.kind {
             TraceEventKind::Element => {
@@ -478,37 +655,38 @@ pub fn trace_to_chrome(events: &[TraceEvent], elements: &[ElementProfile]) -> St
             }
             TraceEventKind::OffloadEnqueue
             | TraceEventKind::OffloadLaunch
-            | TraceEventKind::OffloadComplete => {
+            | TraceEventKind::OffloadRetry
+            | TraceEventKind::OffloadComplete
+            | TraceEventKind::OffloadFallback => {
                 let (name, ph) = match e.kind {
                     TraceEventKind::OffloadEnqueue => ("offload enqueue", 's'),
                     TraceEventKind::OffloadLaunch => ("offload launch", 't'),
+                    TraceEventKind::OffloadRetry => ("offload retry", 't'),
+                    TraceEventKind::OffloadFallback => ("offload fallback", 'f'),
                     _ => ("offload complete", 'f'),
                 };
                 let end = ts + e.dur.as_ns();
-                // Anchor slice for the flow arrow.
-                out_events.push(ChromeEvent {
-                    ph: 'B',
-                    ts_ns: ts,
+                push_flow(
+                    &mut out_events,
                     tid,
-                    name: name.into(),
-                    extra: format!(",\"cat\":\"offload\"{args}"),
-                });
-                // The flow event itself, bound by the batch trace id.
-                out_events.push(ChromeEvent {
+                    &args,
+                    name,
                     ph,
-                    ts_ns: ts,
-                    tid,
-                    name: "offload".into(),
-                    extra: format!(",\"cat\":\"offload\",\"id\":{},\"bp\":\"e\"", e.batch),
-                });
-                out_events.push(ChromeEvent {
-                    ph: 'E',
-                    ts_ns: end,
-                    tid,
-                    name: name.into(),
-                    extra: ",\"cat\":\"offload\"".into(),
-                });
+                    offload_flow_id(e),
+                    ts,
+                    end,
+                );
                 *cur = end;
+            }
+            // IO→worker handoff arrows exist only in span mode: the steer
+            // span starts the flow, the RX that drained the ring ends it.
+            TraceEventKind::Steer if e.span != 0 => {
+                push_flow(&mut out_events, tid, &args, "steer", 's', e.span, ts, ts);
+                *cur = ts;
+            }
+            TraceEventKind::Rx if e.parent != 0 => {
+                push_flow(&mut out_events, tid, &args, "rx", 'f', e.parent, ts, ts);
+                *cur = ts;
             }
             _ => {
                 out_events.push(ChromeEvent {
@@ -533,6 +711,8 @@ pub fn trace_to_chrome(events: &[TraceEvent], elements: &[ElementProfile]) -> St
     for tid in &tids {
         let tname = if *tid == CHROME_DEVICE_TID {
             "device".to_string()
+        } else if *tid >= CHROME_IO_TID_BASE {
+            format!("io {}", tid - CHROME_IO_TID_BASE)
         } else {
             format!("worker {tid}")
         };
@@ -579,6 +759,22 @@ pub fn profile_table(profiles: &[ElementProfile]) -> String {
             format!("{}ns", p.latency.percentile_ns(50.0)),
             format!("{}ns", p.latency.percentile_ns(99.0)),
         ));
+    }
+    out
+}
+
+/// Escapes a label value for the Prometheus text exposition format
+/// (backslash, double quote, and line feed must be escaped inside the
+/// quoted value).
+pub fn prom_label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -675,7 +871,9 @@ pub fn report_to_prometheus(r: &RunReport) -> String {
     for p in &r.elements {
         out.push_str(&format!(
             "nba_element_packets_total{{node=\"{}\",element=\"{}\"}} {}\n",
-            p.node, p.element, p.packets
+            p.node,
+            prom_label_escape(p.element),
+            p.packets
         ));
     }
     out.push_str("# HELP nba_element_busy_seconds Busy time accumulated by each element\n");
@@ -684,9 +882,45 @@ pub fn report_to_prometheus(r: &RunReport) -> String {
         out.push_str(&format!(
             "nba_element_busy_seconds{{node=\"{}\",element=\"{}\"}} {}\n",
             p.node,
-            p.element,
+            prom_label_escape(p.element),
             json_f64(p.busy.as_secs_f64())
         ));
+    }
+
+    // Per-shard ring/balancer gauges at the final sample (live runtime
+    // only; the DES runtime leaves `shards` empty).
+    if let Some(last) = r.samples.iter().rev().find(|s| !s.shards.is_empty()) {
+        let mut shard_metric =
+            |name: &str, help: &str, kind: &str, value: &dyn Fn(&ShardSample) -> String| {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+                for sh in &last.shards {
+                    out.push_str(&format!("{name}{{shard=\"{}\"}} {}\n", sh.shard, value(sh)));
+                }
+            };
+        shard_metric(
+            "nba_ring_occupancy",
+            "Packets queued in the shard's RX rings at the last sample",
+            "gauge",
+            &|sh| sh.ring_occupancy.to_string(),
+        );
+        shard_metric(
+            "nba_ring_high_water",
+            "Highest RX-ring occupancy observed by the shard",
+            "gauge",
+            &|sh| sh.ring_high_water.to_string(),
+        );
+        shard_metric(
+            "nba_ring_enqueue_failed_total",
+            "Full-ring enqueue refusals on the shard's RX rings",
+            "counter",
+            &|sh| sh.enqueue_failed.to_string(),
+        );
+        shard_metric(
+            "nba_shard_offload_fraction",
+            "The shard balancer's offloading fraction w at the last sample",
+            "gauge",
+            &|sh| json_f64(sh.w),
+        );
     }
 
     // Fault-tolerance accounting (all zero on a clean run).
@@ -761,6 +995,17 @@ mod tests {
             kind: TraceEventKind::Rx,
             packets: 1,
             dur: Time::ZERO,
+            span: 0,
+            parent: 0,
+        }
+    }
+
+    fn span_ev(t_ns: u64, kind: TraceEventKind, span: u64, parent: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            span,
+            parent,
+            ..ev(t_ns, 1)
         }
     }
 
@@ -863,10 +1108,19 @@ mod tests {
             offloaded_batches: 4,
             offload_fraction: 0.5,
             gpu_busy: vec![0.25],
+            shards: vec![ShardSample {
+                shard: 2,
+                ring_occupancy: 17,
+                ring_high_water: 64,
+                enqueue_failed: 3,
+                w: 0.75,
+            }],
         }];
         let s = samples_to_jsonl(&samples);
         assert!(!s.contains("NaN"));
         assert!(s.contains("\"gpu_busy\":[0.25]"));
+        assert!(s.contains("\"shards\":[{\"shard\":2,\"ring_occupancy\":17,"));
+        assert!(s.contains("\"enqueue_failed\":3,\"w\":0.75}"));
 
         let s = trace_to_jsonl(&[ev(1000, 42)]);
         assert!(s.contains("\"kind\":\"rx\""));
@@ -877,5 +1131,184 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(TraceEventKind::OffloadEnqueue.as_str(), "offload_enqueue");
         assert_eq!(TraceEventKind::BranchMiss.as_str(), "branch_miss");
+        assert_eq!(TraceEventKind::Steer.as_str(), "steer");
+        assert_eq!(TraceEventKind::OffloadRetry.as_str(), "offload_retry");
+        assert_eq!(TraceEventKind::OffloadFallback.as_str(), "offload_fallback");
+    }
+
+    #[test]
+    fn span_alloc_is_dense_positive_and_shared() {
+        let a = SpanAlloc::new();
+        let b = a.clone();
+        assert_eq!(a.next(), 1, "ids start at 1; 0 means no span");
+        assert_eq!(b.next(), 2, "clones share the counter");
+        assert_eq!(a.next(), 3);
+    }
+
+    #[test]
+    fn trace_ring_wraps_repeatedly_with_exact_overwrite_count() {
+        // Satellite coverage: wraparound semantics after multiple full
+        // laps of the ring, not just one.
+        let mut tb = TraceBuffer::new(4);
+        for i in 0..11 {
+            tb.push(ev(i, i));
+        }
+        assert_eq!(tb.len(), 4, "len saturates at capacity");
+        assert_eq!(tb.overwritten(), 7, "11 pushes into 4 slots lose 7");
+        let ids: Vec<u64> = tb.into_events().iter().map(|e| e.batch).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10], "survivors in arrival order");
+    }
+
+    #[test]
+    fn trace_ring_exactly_full_counts_nothing_overwritten() {
+        let mut tb = TraceBuffer::new(3);
+        for i in 0..3 {
+            tb.push(ev(i, i));
+        }
+        assert_eq!(tb.overwritten(), 0);
+        let ids: Vec<u64> = tb.into_events().iter().map(|e| e.batch).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn merge_histograms_handles_unequal_shard_counts() {
+        // Two workers vs four workers vs zero: merging shard lists of any
+        // length must equal one histogram fed every sample.
+        let samples: [&[u64]; 4] = [&[100, 900, 5_000], &[250], &[], &[70_000, 70_000]];
+        let mut reference = LatencyHistogram::new();
+        let mut shards = Vec::new();
+        for shard_samples in samples {
+            let mut h = LatencyHistogram::new();
+            for &ns in shard_samples {
+                h.record_ns(ns);
+                reference.record_ns(ns);
+            }
+            shards.push(h);
+        }
+        // Unequal counts: merge all four, then a prefix of two, then none.
+        let all = merge_histograms(shards.clone());
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(all.percentile_ns(p), reference.percentile_ns(p));
+        }
+        let mut two_ref = LatencyHistogram::new();
+        for &ns in samples[0].iter().chain(samples[1]) {
+            two_ref.record_ns(ns);
+        }
+        let two = merge_histograms(shards[..2].to_vec());
+        for p in [0.0, 50.0, 100.0] {
+            assert_eq!(two.percentile_ns(p), two_ref.percentile_ns(p));
+        }
+        let none = merge_histograms(Vec::<LatencyHistogram>::new());
+        assert_eq!(none.percentile_ns(99.0), 0, "empty merge stays empty");
+    }
+
+    #[test]
+    fn chrome_spans_key_offload_flows_and_render_io_threads() {
+        // A full causal chain: steer(1) → rx(2←1) → enqueue(3←2) →
+        // launch(4←3) → retry(5←4) → complete(6←4). Offload arrows must
+        // all bind to the enqueue span (3); the steer/rx pair binds to the
+        // steer span (1) on an IO pseudo-thread.
+        let events = vec![
+            span_ev(100, TraceEventKind::Steer, 1, 0),
+            span_ev(200, TraceEventKind::Rx, 2, 1),
+            span_ev(300, TraceEventKind::OffloadEnqueue, 3, 2),
+            span_ev(400, TraceEventKind::OffloadLaunch, 4, 3),
+            span_ev(500, TraceEventKind::OffloadRetry, 5, 4),
+            span_ev(600, TraceEventKind::OffloadComplete, 6, 4),
+            span_ev(700, TraceEventKind::Tx, 6, 0),
+        ];
+        let mut with_io = events.clone();
+        with_io[0].node = Some(1); // steer came from IO thread 1
+        let out = trace_to_chrome(&with_io, &[]);
+        let doc = crate::json::parse(&out).expect("valid JSON");
+        let evs = doc
+            .get("traceEvents")
+            .and_then(crate::json::Value::as_arr)
+            .unwrap()
+            .to_vec();
+        let flows: Vec<(String, u64, u64)> = evs
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.get("ph").and_then(crate::json::Value::as_str),
+                    Some("s") | Some("t") | Some("f")
+                )
+            })
+            .map(|e| {
+                (
+                    e.get("ph")
+                        .and_then(crate::json::Value::as_str)
+                        .unwrap()
+                        .to_string(),
+                    e.get("id").and_then(crate::json::Value::as_u64).unwrap(),
+                    e.get("tid").and_then(crate::json::Value::as_u64).unwrap(),
+                )
+            })
+            .collect();
+        // Offload round trip: s/t/t/f all keyed by the enqueue span 3,
+        // with launch and retry on the device pseudo-thread.
+        assert!(flows.contains(&("s".into(), 3, 0)), "{flows:?}");
+        assert!(
+            flows.contains(&("t".into(), 3, u64::from(CHROME_DEVICE_TID))),
+            "{flows:?}"
+        );
+        assert_eq!(
+            flows.iter().filter(|f| f.0 == "t" && f.1 == 3).count(),
+            2,
+            "launch and retry both step the flow: {flows:?}"
+        );
+        assert!(flows.contains(&("f".into(), 3, 0)), "{flows:?}");
+        // IO handoff: steer starts flow 1 on io tid base+1, rx finishes it.
+        let io_tid = u64::from(CHROME_IO_TID_BASE + 1);
+        assert!(flows.contains(&("s".into(), 1, io_tid)), "{flows:?}");
+        assert!(flows.contains(&("f".into(), 1, 0)), "{flows:?}");
+        // The IO pseudo-thread is named.
+        assert!(out.contains("\"name\":\"io 1\""));
+        // Tx stays an instant so timelines keep their point events.
+        assert!(evs.iter().any(|e| {
+            e.get("ph").and_then(crate::json::Value::as_str) == Some("i")
+                && e.get("name").and_then(crate::json::Value::as_str) == Some("tx")
+        }));
+    }
+
+    #[test]
+    fn chrome_without_spans_keeps_batch_id_flows() {
+        // Legacy traces (all spans zero) must render exactly as before:
+        // arrows keyed by the batch trace id.
+        let mk = |t_ns: u64, kind| TraceEvent {
+            kind,
+            ..ev(t_ns, 42)
+        };
+        let events = vec![
+            mk(100, TraceEventKind::OffloadEnqueue),
+            mk(200, TraceEventKind::OffloadLaunch),
+            mk(300, TraceEventKind::OffloadComplete),
+        ];
+        let out = trace_to_chrome(&events, &[]);
+        let doc = crate::json::parse(&out).unwrap();
+        let evs = doc
+            .get("traceEvents")
+            .and_then(crate::json::Value::as_arr)
+            .unwrap()
+            .to_vec();
+        for ph in ["s", "t", "f"] {
+            assert!(
+                evs.iter().any(|e| {
+                    e.get("ph").and_then(crate::json::Value::as_str) == Some(ph)
+                        && e.get("id").and_then(crate::json::Value::as_u64) == Some(42)
+                }),
+                "missing {ph} keyed by batch id"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        assert_eq!(
+            prom_label_escape("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd",
+            "backslash, quote, and newline must escape"
+        );
+        assert_eq!(prom_label_escape("plain"), "plain");
     }
 }

@@ -1,0 +1,140 @@
+//! Golden-file test of the Prometheus text exporter: the exact bytes a
+//! fixed [`RunReport`] renders to, pinned in `tests/golden/prometheus.txt`.
+//! Every metric must carry `# HELP`/`# TYPE` headers and label values must
+//! be escaped per the exposition format.
+//!
+//! Re-bless after an intentional format change with
+//! `NBA_BLESS=1 cargo test -p nba-core --test prometheus_golden`.
+
+use nba_core::fault::FaultReport;
+use nba_core::runtime::RunReport;
+use nba_core::stats::{LatencyHistogram, Snapshot};
+use nba_core::telemetry::{report_to_prometheus, ElementProfile, ShardSample, TimeSample};
+use nba_sim::Time;
+
+/// A fully hand-built report: every section of the exporter exercised —
+/// scalars, per-GPU and per-element label series (with a name that needs
+/// escaping), per-shard gauges from the last sample, and fault counters.
+fn fixture() -> RunReport {
+    let mut latency = LatencyHistogram::new();
+    for ns in [800, 1_200, 1_200, 5_000, 40_000] {
+        latency.record_ns(ns);
+    }
+    let profile = |node: usize, element: &'static str, packets: u64| ElementProfile {
+        node,
+        element,
+        batches: packets / 32,
+        packets,
+        drops: 0,
+        cycles: packets * 100,
+        busy: Time::from_us(packets),
+        latency: LatencyHistogram::new(),
+    };
+    let shard = |shard: u32, occ: u64, w: f64| ShardSample {
+        shard,
+        ring_occupancy: occ,
+        ring_high_water: occ * 3,
+        enqueue_failed: u64::from(shard) * 2,
+        w,
+    };
+    let sample = |t_ms: u64, shards: Vec<ShardSample>| TimeSample {
+        t: Time::from_ms(t_ms),
+        tx_packets: 10_000,
+        tx_mpps: 1.0,
+        tx_gbps: 0.672,
+        dropped: 0,
+        rx_dropped: 0,
+        latency_ewma_ns: 1_500,
+        offloaded_batches: 12,
+        offload_fraction: 0.5,
+        gpu_busy: Vec::new(),
+        shards,
+    };
+    RunReport {
+        duration: Time::from_ms(50),
+        tx_gbps: 9.5,
+        tx_packets: 1_000_000,
+        offered_packets: 1_100_000,
+        offered_gbps: 10.0,
+        rx_dropped: 42,
+        window: Snapshot {
+            dropped: 7,
+            ..Snapshot::default()
+        },
+        latency,
+        final_w: 0.625,
+        gpu: vec![nba_gpu::TimelineStats {
+            tasks: 9,
+            kernel_busy: Time::from_us(500),
+            ..nba_gpu::TimelineStats::default()
+        }],
+        elements: vec![
+            profile(0, "IPlookup", 1_000_000),
+            // The escaping case: quotes and backslashes in a label value
+            // must round-trip per the exposition format.
+            profile(1, "Queue \"fast\\slow\"", 999_958),
+        ],
+        samples: vec![
+            // An early sample without shard gauges — the exporter must
+            // pick the *last* sample that carries them.
+            sample(10, Vec::new()),
+            sample(40, vec![shard(0, 5, 0.5), shard(1, 17, 0.75)]),
+        ],
+        trace: Vec::new(),
+        totals: Snapshot::default(),
+        faults: FaultReport::default(),
+        tx_capture: Vec::new(),
+    }
+}
+
+#[test]
+fn prometheus_export_matches_golden_file() {
+    let got = report_to_prometheus(&fixture());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/prometheus.txt");
+    if std::env::var("NBA_BLESS").is_ok() {
+        std::fs::write(path, &got).expect("bless golden file");
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing — run once with NBA_BLESS=1 to create it");
+    assert_eq!(
+        got, want,
+        "Prometheus exposition drifted from the golden file; if the change \
+         is intentional, re-bless with NBA_BLESS=1"
+    );
+}
+
+/// Structural invariants the golden bytes imply, asserted directly so a
+/// careless re-bless cannot silently drop them: every emitted metric name
+/// is preceded by its `# HELP` and `# TYPE` headers, and escaped label
+/// values stay on one line.
+#[test]
+fn every_metric_has_help_and_type_headers() {
+    let out = report_to_prometheus(&fixture());
+    let mut declared: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for line in out.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            declared.insert(rest.split_whitespace().next().unwrap_or(""));
+            continue;
+        }
+        if line.starts_with("# TYPE ") || line.is_empty() {
+            continue;
+        }
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .expect("metric lines start with a name");
+        assert!(
+            declared.contains(name),
+            "sample line before its # HELP header: {line}"
+        );
+    }
+    assert!(
+        out.contains(r#"element="Queue \"fast\\slow\"""#),
+        "label escaping missing: {out}"
+    );
+    assert!(out.contains("nba_ring_occupancy{shard=\"1\"} 17"), "{out}");
+    assert!(
+        out.contains("nba_shard_offload_fraction{shard=\"1\"} 0.75"),
+        "{out}"
+    );
+}

@@ -18,12 +18,20 @@
 //! as empty, the consumer only one they show as full), so `lock()` never
 //! blocks and the cursors remain the only cross-thread synchronization that
 //! matters.
+//!
+//! Every ring also keeps always-on occupancy statistics (high-water mark,
+//! enqueue failures) in its control block; [`RingGauges`] is a cheap
+//! `Clone`-able observer handle over that block, so a reporter thread can
+//! watch a ring whose two halves have long since moved into other threads.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-struct Inner<T> {
-    slots: Box<[Mutex<Option<T>>]>,
+/// The non-generic control block of one ring: the two cursors, the close
+/// flag, and the occupancy statistics. Shared (via [`RingGauges`]) with
+/// observers that never touch the payload slots.
+#[derive(Debug)]
+struct Control {
     /// Consumer cursor: next slot index to pop. Monotonic, wraps via `% cap`.
     head: AtomicUsize,
     /// Producer cursor: next slot index to push. Monotonic, wraps via `% cap`.
@@ -31,6 +39,18 @@ struct Inner<T> {
     /// Set when the producer is dropped; the consumer drains then reports
     /// disconnection.
     closed: AtomicBool,
+    /// Highest occupancy ever observed at push time (relaxed; a gauge, not
+    /// a synchronization point).
+    high_water: AtomicUsize,
+    /// Pushes refused because the ring was full.
+    enqueue_failed: AtomicU64,
+    /// Slot count, duplicated here so observers need no generic access.
+    capacity: usize,
+}
+
+struct Inner<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+    ctl: Arc<Control>,
 }
 
 /// The sending half of a bounded SPSC ring. Not `Clone`; dropping it closes
@@ -44,6 +64,39 @@ pub struct Consumer<T> {
     inner: Arc<Inner<T>>,
 }
 
+/// A read-only observer handle over one ring's occupancy statistics.
+/// `Clone`-able and payload-type-erased: take one before moving the
+/// producer/consumer halves into their threads and poll it from anywhere
+/// (the live runtime's reporter and stats endpoint do exactly that).
+#[derive(Clone, Debug)]
+pub struct RingGauges {
+    ctl: Arc<Control>,
+}
+
+impl RingGauges {
+    /// Items currently queued (racy snapshot; relaxed loads).
+    pub fn occupancy(&self) -> usize {
+        let tail = self.ctl.tail.load(Ordering::Relaxed);
+        let head = self.ctl.head.load(Ordering::Relaxed);
+        tail.saturating_sub(head)
+    }
+
+    /// Highest occupancy ever observed at push time.
+    pub fn high_water(&self) -> usize {
+        self.ctl.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative pushes refused because the ring was full.
+    pub fn enqueue_failed(&self) -> u64 {
+        self.ctl.enqueue_failed.load(Ordering::Relaxed)
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.ctl.capacity
+    }
+}
+
 /// Creates a bounded SPSC ring holding at most `capacity` items.
 ///
 /// # Panics
@@ -53,9 +106,14 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let slots = (0..capacity).map(|_| Mutex::new(None)).collect();
     let inner = Arc::new(Inner {
         slots,
-        head: AtomicUsize::new(0),
-        tail: AtomicUsize::new(0),
-        closed: AtomicBool::new(false),
+        ctl: Arc::new(Control {
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+            high_water: AtomicUsize::new(0),
+            enqueue_failed: AtomicU64::new(0),
+            capacity,
+        }),
     });
     (
         Producer {
@@ -66,12 +124,15 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
 }
 
 impl<T> Producer<T> {
-    /// Enqueues `v`, or returns it back when the ring is full.
+    /// Enqueues `v`, or returns it back when the ring is full (counting the
+    /// refusal in the ring's gauges).
     pub fn push(&self, v: T) -> Result<(), T> {
         let inner = &self.inner;
-        let tail = inner.tail.load(Ordering::Relaxed);
-        let head = inner.head.load(Ordering::Acquire);
+        let ctl = &inner.ctl;
+        let tail = ctl.tail.load(Ordering::Relaxed);
+        let head = ctl.head.load(Ordering::Acquire);
         if tail - head == inner.slots.len() {
+            ctl.enqueue_failed.fetch_add(1, Ordering::Relaxed);
             return Err(v);
         }
         // Uncontended by protocol: the consumer will not touch this slot
@@ -79,14 +140,17 @@ impl<T> Producer<T> {
         *inner.slots[tail % inner.slots.len()]
             .lock()
             .expect("spsc slot poisoned") = Some(v);
-        inner.tail.store(tail + 1, Ordering::Release);
+        ctl.tail.store(tail + 1, Ordering::Release);
+        // Occupancy after this push; head may have advanced since the read
+        // above, so this is a conservative (never-under) high-water mark.
+        ctl.high_water.fetch_max(tail + 1 - head, Ordering::Relaxed);
         Ok(())
     }
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
-        let tail = self.inner.tail.load(Ordering::Relaxed);
-        let head = self.inner.head.load(Ordering::Acquire);
+        let tail = self.inner.ctl.tail.load(Ordering::Relaxed);
+        let head = self.inner.ctl.head.load(Ordering::Acquire);
         tail - head
     }
 
@@ -99,11 +163,18 @@ impl<T> Producer<T> {
     pub fn capacity(&self) -> usize {
         self.inner.slots.len()
     }
+
+    /// A `Clone`-able observer over this ring's occupancy statistics.
+    pub fn gauges(&self) -> RingGauges {
+        RingGauges {
+            ctl: Arc::clone(&self.inner.ctl),
+        }
+    }
 }
 
 impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
-        self.inner.closed.store(true, Ordering::Release);
+        self.inner.ctl.closed.store(true, Ordering::Release);
     }
 }
 
@@ -111,8 +182,8 @@ impl<T> Consumer<T> {
     /// Dequeues the oldest item, or `None` when the ring is currently empty.
     pub fn pop(&self) -> Option<T> {
         let inner = &self.inner;
-        let head = inner.head.load(Ordering::Relaxed);
-        let tail = inner.tail.load(Ordering::Acquire);
+        let head = inner.ctl.head.load(Ordering::Relaxed);
+        let tail = inner.ctl.tail.load(Ordering::Acquire);
         if head == tail {
             return None;
         }
@@ -120,14 +191,14 @@ impl<T> Consumer<T> {
             .lock()
             .expect("spsc slot poisoned")
             .take();
-        inner.head.store(head + 1, Ordering::Release);
+        inner.ctl.head.store(head + 1, Ordering::Release);
         v
     }
 
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
-        let head = self.inner.head.load(Ordering::Relaxed);
-        let tail = self.inner.tail.load(Ordering::Acquire);
+        let head = self.inner.ctl.head.load(Ordering::Relaxed);
+        let tail = self.inner.ctl.tail.load(Ordering::Acquire);
         tail - head
     }
 
@@ -142,7 +213,14 @@ impl<T> Consumer<T> {
         // Order matters: check closed before emptiness so a push racing the
         // producer's drop is never missed (close happens-after the last
         // push's release store).
-        self.inner.closed.load(Ordering::Acquire) && self.is_empty()
+        self.inner.ctl.closed.load(Ordering::Acquire) && self.is_empty()
+    }
+
+    /// A `Clone`-able observer over this ring's occupancy statistics.
+    pub fn gauges(&self) -> RingGauges {
+        RingGauges {
+            ctl: Arc::clone(&self.inner.ctl),
+        }
     }
 }
 
@@ -186,6 +264,54 @@ mod tests {
     }
 
     #[test]
+    fn gauges_track_occupancy_high_water_and_failures() {
+        let (tx, rx) = channel::<u32>(4);
+        let g = tx.gauges();
+        assert_eq!(g.capacity(), 4);
+        assert_eq!(
+            (g.occupancy(), g.high_water(), g.enqueue_failed()),
+            (0, 0, 0)
+        );
+
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(g.occupancy(), 2);
+        assert_eq!(g.high_water(), 2);
+
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(g.occupancy(), 1, "occupancy follows the consumer");
+        assert_eq!(g.high_water(), 2, "high water does not recede");
+
+        for v in 3..6 {
+            tx.push(v).unwrap();
+        }
+        assert_eq!(g.occupancy(), 4);
+        assert_eq!(g.high_water(), 4);
+        assert_eq!(tx.push(99), Err(99));
+        assert_eq!(tx.push(98), Err(98));
+        assert_eq!(g.enqueue_failed(), 2);
+        // Failed pushes never move the high-water mark past capacity.
+        assert_eq!(g.high_water(), 4);
+
+        // Both halves hand out the same underlying gauges.
+        let g2 = rx.gauges();
+        assert_eq!(g2.enqueue_failed(), 2);
+        assert_eq!(g2.occupancy(), g.occupancy());
+    }
+
+    #[test]
+    fn gauges_outlive_both_halves() {
+        let (tx, rx) = channel::<u32>(2);
+        let g = tx.gauges();
+        tx.push(7).unwrap();
+        drop(tx);
+        drop(rx);
+        // The observer still reads the final state of the control block.
+        assert_eq!(g.occupancy(), 1);
+        assert_eq!(g.high_water(), 1);
+    }
+
+    #[test]
     fn cross_thread_stress_preserves_sequence() {
         let (tx, rx) = channel::<u64>(64);
         const N: u64 = 200_000;
@@ -199,6 +325,7 @@ mod tests {
             }
         });
         let mut expect = 0u64;
+        let gauges = rx.gauges();
         while expect < N {
             match rx.pop() {
                 Some(v) => {
@@ -210,5 +337,6 @@ mod tests {
         }
         producer.join().unwrap();
         assert!(rx.is_disconnected());
+        assert!(gauges.high_water() <= gauges.capacity());
     }
 }

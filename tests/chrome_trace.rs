@@ -206,6 +206,8 @@ fn element_names_are_escaped() {
         kind: TraceEventKind::Element,
         packets: 1,
         dur: Time::from_ns(500),
+        span: 0,
+        parent: 0,
     }];
     let out = trace_to_chrome(&events, &profiles);
     let doc = json::parse(&out).expect("escaped names must stay valid JSON");

@@ -5,7 +5,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
-use nba_core::element::{ElemCtx, Element, SlotClaim};
+use nba_core::element::{Disposition, ElemCtx, Element, ElementEffects, HeaderFact, SlotClaim};
 use nba_io::proto::{self, ether, ipv4::Ipv4View, ipv6::Ipv6View};
 use nba_io::Packet;
 use nba_sim::CpuProfile;
@@ -102,6 +102,16 @@ impl Element for CheckIPHeader {
         // Header parse + 20-byte checksum verification.
         CpuProfile::fixed(50)
     }
+
+    // Port 0 carries only packets that passed the IPv4 checks; port 1 is
+    // the reject path (validity is *not* established there).
+    fn effects(&self) -> ElementEffects {
+        const EST: &[(usize, HeaderFact)] = &[(0, HeaderFact::Ipv4Valid)];
+        ElementEffects {
+            establishes: EST,
+            ..ElementEffects::default()
+        }
+    }
 }
 
 /// Validates IPv6 headers; valid packets leave port 0, invalid port 1.
@@ -133,6 +143,14 @@ impl Element for CheckIP6Header {
     fn cpu_profile(&self) -> CpuProfile {
         CpuProfile::fixed(38)
     }
+
+    fn effects(&self) -> ElementEffects {
+        const EST: &[(usize, HeaderFact)] = &[(0, HeaderFact::Ipv6Valid)];
+        ElementEffects {
+            establishes: EST,
+            ..ElementEffects::default()
+        }
+    }
 }
 
 /// Decrements the IPv4 TTL with an incremental checksum update; expired
@@ -159,6 +177,17 @@ impl Element for DecIPTTL {
     fn cpu_profile(&self) -> CpuProfile {
         CpuProfile::fixed(30)
     }
+
+    // Touches the IPv4 TTL and checksum fields: must sit behind a
+    // validator on every path (NBA043 otherwise). Expired packets drop.
+    fn effects(&self) -> ElementEffects {
+        const REQ: &[HeaderFact] = &[HeaderFact::Ipv4Valid];
+        ElementEffects {
+            requires: REQ,
+            disposition: Disposition::MayDrop,
+            ..ElementEffects::default()
+        }
+    }
 }
 
 /// Decrements the IPv6 hop limit; expired packets are dropped.
@@ -184,6 +213,15 @@ impl Element for DecIP6HLIM {
     fn cpu_profile(&self) -> CpuProfile {
         CpuProfile::fixed(22)
     }
+
+    fn effects(&self) -> ElementEffects {
+        const REQ: &[HeaderFact] = &[HeaderFact::Ipv6Valid];
+        ElementEffects {
+            requires: REQ,
+            disposition: Disposition::MayDrop,
+            ..ElementEffects::default()
+        }
+    }
 }
 
 /// Drops Ethernet broadcast/multicast frames (port 1), like Click's
@@ -205,6 +243,13 @@ impl Element for DropBroadcasts {
 
     fn cpu_profile(&self) -> CpuProfile {
         CpuProfile::fixed(10)
+    }
+
+    fn effects(&self) -> ElementEffects {
+        ElementEffects {
+            disposition: Disposition::MayDrop,
+            ..ElementEffects::default()
+        }
     }
 }
 

@@ -15,7 +15,8 @@ use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
 use nba_core::element::{
-    ComputeMode, DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess, SlotClaim,
+    ComputeMode, DbInput, DbOutput, ElemCtx, Element, ElementEffects, KernelIo, OffloadSpec,
+    Postprocess, SlotClaim,
 };
 use nba_io::proto::ether::ETHER_HDR_LEN;
 use nba_io::Packet;
@@ -359,6 +360,20 @@ impl Element for IDSAlert {
 
     fn cpu_profile(&self) -> CpuProfile {
         CpuProfile::fixed(14)
+    }
+
+    // Both verdict slots default to 0 = "no hit", which this element
+    // treats as a perfectly valid (quiet) verdict — reading them on a
+    // path where no matcher ran is not a bug (clean-traffic fast path).
+    fn effects(&self) -> ElementEffects {
+        const OK: &[SlotClaim] = &[
+            SlotClaim::reads(anno::AC_MATCH),
+            SlotClaim::reads(anno::RE_MATCH),
+        ];
+        ElementEffects {
+            default_ok: OK,
+            ..ElementEffects::default()
+        }
     }
 }
 

@@ -21,7 +21,8 @@ use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{Anno, PacketResult};
 use nba_core::element::{
-    ComputeMode, DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess,
+    ComputeMode, DbInput, DbOutput, Disposition, ElemCtx, Element, ElementEffects, HeaderFact,
+    KernelIo, OffloadSpec, Postprocess,
 };
 use nba_crypto::{Aes128Ctr, HmacSha1};
 use nba_io::proto::esp::{
@@ -177,6 +178,17 @@ impl Element for IPsecESPEncap {
         CpuProfile {
             fixed_cycles: 170,
             cycles_per_byte: 0.25,
+        }
+    }
+
+    // Rewrites IP header fields in place: needs a validated IPv4 packet.
+    // Buffer-exhausted or runt packets drop.
+    fn effects(&self) -> ElementEffects {
+        const REQ: &[HeaderFact] = &[HeaderFact::Ipv4Valid];
+        ElementEffects {
+            requires: REQ,
+            disposition: Disposition::MayDrop,
+            ..ElementEffects::default()
         }
     }
 }
@@ -405,6 +417,14 @@ impl Element for IPsecAuthVerify {
         }
     }
 
+    // Packets failing ICV verification drop here.
+    fn effects(&self) -> ElementEffects {
+        ElementEffects {
+            disposition: Disposition::MayDrop,
+            ..ElementEffects::default()
+        }
+    }
+
     fn offload(&self) -> Option<OffloadSpec> {
         let sa = self.sa.clone();
         Some(OffloadSpec {
@@ -552,6 +572,18 @@ impl Element for IPsecESPDecap {
         CpuProfile {
             fixed_cycles: 150,
             cycles_per_byte: 0.25,
+        }
+    }
+
+    // The recovered inner packet gets a freshly rewritten, checksummed
+    // IPv4 header, so validity is re-established downstream of the decap;
+    // malformed ESP framing drops.
+    fn effects(&self) -> ElementEffects {
+        const EST: &[(usize, HeaderFact)] = &[(0, HeaderFact::Ipv4Valid)];
+        ElementEffects {
+            establishes: EST,
+            disposition: Disposition::MayDrop,
+            ..ElementEffects::default()
         }
     }
 }

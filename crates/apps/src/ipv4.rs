@@ -13,7 +13,8 @@ use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
 use nba_core::element::{
-    DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess, SlotClaim,
+    DbInput, DbOutput, Disposition, ElemCtx, Element, ElementEffects, HeaderFact, KernelIo,
+    OffloadSpec, Postprocess, SlotClaim,
 };
 use nba_io::proto::ether::ETHER_HDR_LEN;
 use nba_io::Packet;
@@ -305,6 +306,17 @@ impl Element for IPLookup {
     fn cpu_profile(&self) -> CpuProfile {
         // Two dependent memory accesses over a 32 MB table: cache-hostile.
         CpuProfile::fixed(112)
+    }
+
+    // Trusts the destination-address field: must run behind a header
+    // validator; packets with no matching route drop.
+    fn effects(&self) -> ElementEffects {
+        const REQ: &[HeaderFact] = &[HeaderFact::Ipv4Valid];
+        ElementEffects {
+            requires: REQ,
+            disposition: Disposition::MayDrop,
+            ..ElementEffects::default()
+        }
     }
 
     fn offload(&self) -> Option<OffloadSpec> {

@@ -16,7 +16,8 @@ use rand::{Rng, SeedableRng};
 
 use nba_core::batch::{anno, Anno, PacketResult};
 use nba_core::element::{
-    DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess, SlotClaim,
+    DbInput, DbOutput, Disposition, ElemCtx, Element, ElementEffects, HeaderFact, KernelIo,
+    OffloadSpec, Postprocess, SlotClaim,
 };
 use nba_io::proto::ether::ETHER_HDR_LEN;
 use nba_io::Packet;
@@ -299,6 +300,15 @@ impl Element for LookupIP6 {
     fn cpu_profile(&self) -> CpuProfile {
         // Up to seven dependent hash probes: memory- and compute-intensive.
         CpuProfile::fixed(520)
+    }
+
+    fn effects(&self) -> ElementEffects {
+        const REQ: &[HeaderFact] = &[HeaderFact::Ipv6Valid];
+        ElementEffects {
+            requires: REQ,
+            disposition: Disposition::MayDrop,
+            ..ElementEffects::default()
+        }
     }
 
     fn offload(&self) -> Option<OffloadSpec> {

@@ -299,6 +299,7 @@ pub fn build_graph_checked(
     let lint = crate::lint::verify_graph(&graph, Some(&source));
     let mut report = LintReport { diagnostics: pre };
     report.diagnostics.extend(lint.diagnostics);
+    crate::verify::apply_deep(&graph, Some(&source), &mut report);
     Ok(CheckedGraph {
         graph,
         report,

@@ -129,6 +129,65 @@ impl SlotClaim {
     }
 }
 
+/// A protocol-header validity fact the deep verifier (`nba-verify`)
+/// tracks along pipeline paths. Facts are *established* by validator
+/// elements (e.g. `CheckIPHeader` on its valid port) and *required* by
+/// header-dependent elements (lookups, TTL decrements, crypto framing):
+/// reaching a requirer before any establisher is diagnostic `NBA043`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeaderFact {
+    /// The frame carries a structurally valid IPv4 header (version,
+    /// length, checksum, nonzero TTL all checked).
+    Ipv4Valid,
+    /// The frame carries a structurally valid IPv6 header.
+    Ipv6Valid,
+}
+
+impl HeaderFact {
+    /// Bit position in the verifier's fact set.
+    pub(crate) fn bit(self) -> u8 {
+        match self {
+            HeaderFact::Ipv4Valid => 1,
+            HeaderFact::Ipv6Valid => 2,
+        }
+    }
+}
+
+/// What an element may do to the batch population, declared for the deep
+/// verifier's batch-disposition analysis (`NBA042` blackhole detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Disposition {
+    /// Every live packet continues to some output port.
+    #[default]
+    Pass,
+    /// Some packets may be dropped (TTL expiry, lookup miss, bad ICV).
+    MayDrop,
+    /// Every packet is dropped; nothing ever leaves this element. A path
+    /// ending here without an explicit `Discard` edge is a silent
+    /// blackhole.
+    DropAll,
+}
+
+/// Declarative dataflow effects of one element, consumed by the
+/// path-sensitive verifier (`crate::verify`). Everything defaults to "no
+/// effect": elements only declare what they actually do. These complement
+/// [`Element::slot_claims`] — claims say *which* slots are touched,
+/// effects say what the element guarantees or assumes *along a path*.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElementEffects {
+    /// Header facts guaranteed to hold for every packet leaving the given
+    /// output port (validators list their "valid" port here).
+    pub establishes: &'static [(usize, HeaderFact)],
+    /// Header facts that must hold for every packet entering this element.
+    pub requires: &'static [HeaderFact],
+    /// Declared slot reads that tolerate the framework's all-zero default
+    /// (the element treats "slot never written" as a meaningful verdict,
+    /// e.g. "no match"). Such reads are exempt from `NBA040`.
+    pub default_ok: &'static [SlotClaim],
+    /// What happens to the batch population.
+    pub disposition: Disposition,
+}
+
 /// A packet-processing operator composed into a pipeline.
 pub trait Element: Send {
     /// The class name used by the configuration language.
@@ -144,6 +203,15 @@ pub trait Element: Send {
     /// pipeline (`NBA010`–`NBA013`).
     fn slot_claims(&self) -> &'static [SlotClaim] {
         &[]
+    }
+
+    /// Declarative dataflow effects for the path-sensitive verifier
+    /// (`crate::verify`): header facts established per output port, facts
+    /// required on entry, default-tolerant slot reads, and the batch
+    /// disposition. The default declares no effects, which is sound (the
+    /// verifier assumes nothing) but forfeits path-sensitive precision.
+    fn effects(&self) -> ElementEffects {
+        ElementEffects::default()
     }
 
     /// Number of output ports (edges) this element has.

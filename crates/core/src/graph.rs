@@ -306,6 +306,17 @@ impl ElementGraph {
         crate::lint::verify_graph(self, None)
     }
 
+    /// Like [`ElementGraph::verify`] but also runs `nba-verify`, the
+    /// path-sensitive deep pass: shallow findings the fixpoint disproves
+    /// are demoted, and the `NBA04x` path-family diagnostics (unwritten
+    /// reads per path, dead branches, silent blackholes, header use
+    /// before validation, transitive datablock hazards) are appended.
+    pub fn verify_deep(&self) -> crate::lint::LintReport {
+        let mut report = crate::lint::verify_graph(self, None);
+        crate::verify::apply_deep(self, None, &mut report);
+        report
+    }
+
     /// The edge out of `id`'s output `port`, if that port exists (used by
     /// the runtime to discover fusable offloadable chains).
     pub fn out_edge(&self, id: NodeId, port: usize) -> Option<OutEdge> {

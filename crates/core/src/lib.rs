@@ -15,6 +15,11 @@
 //! * [`lint`] — `nba-lint`, the static pipeline verifier: structural,
 //!   annotation-slot, datablock, and branch-shape checks with stable
 //!   `NBA0xx` diagnostic codes,
+//! * [`verify`] — `nba-verify`, the path-sensitive deep verifier: an
+//!   abstract interpretation over the element graph (per-slot write
+//!   lattice, header-validity facts, datablock rewrite effects) emitting
+//!   the `NBA04x` path family, plus static queue-law capacity checks
+//!   (`NBA05x`) over the runtime configurations,
 //! * [`introspect`] — the live introspection plane: the per-shard flight
 //!   recorder and the in-flight stats endpoint,
 //! * [`offload`] — datablock gather/scatter between batches and devices,
@@ -47,13 +52,14 @@ pub mod offload;
 pub mod runtime;
 pub mod stats;
 pub mod telemetry;
+pub mod verify;
 
 pub use batch::{anno, Anno, PacketBatch, PacketResult};
 pub use capture::TxRecord;
 pub use config::{build_graph, build_graph_checked, CheckedGraph, ConfigError, ElementRegistry};
 pub use element::{
-    ComputeMode, DbInput, DbOutput, ElemCtx, Element, ElementKind, Kernel, KernelIo, OffloadSpec,
-    Postprocess, SlotAccess, SlotClaim, SlotScope,
+    ComputeMode, DbInput, DbOutput, Disposition, ElemCtx, Element, ElementEffects, ElementKind,
+    HeaderFact, Kernel, KernelIo, OffloadSpec, Postprocess, SlotAccess, SlotClaim, SlotScope,
 };
 pub use fault::{CircuitBreaker, FaultConfig, FaultPlan, FaultReport, FaultSnapshot, FaultStats};
 pub use graph::{BranchPolicy, ElementGraph, GraphBuilder, NodeId, OutEdge, RunOutcome};
@@ -62,10 +68,11 @@ pub use lb::{
     Adaptive, AlbConfig, BalancerFactory, CpuOnly, FixedFraction, GpuOnly, LatencyBounded,
     LoadBalancer, SharedBalancer,
 };
-pub use lint::{Code, Diagnostic, LintReport, Severity, SourceMap};
+pub use lint::{Code, Diagnostic, LintReport, Severity, SourceMap, SCHEMA_VERSION};
 pub use nls::NodeLocalStorage;
 pub use runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
 pub use stats::{Counters, LatencyHistogram, Snapshot, SystemInspector};
 pub use telemetry::{
     ElementProfile, TelemetryConfig, TimeSample, TraceBuffer, TraceEvent, TraceEventKind,
 };
+pub use verify::{apply_deep, check_capacity, deep_verify, AbsState, CapacityModel, SlotState};

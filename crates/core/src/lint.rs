@@ -95,6 +95,28 @@ pub enum Code {
     /// `NBA031` — wide fan-out under `Predict`: prediction covers one
     /// port, so most packets still split.
     WideFanOut,
+    /// `NBA040` — path-sensitive: a slot read is not dominated by a write
+    /// on some path from the entry (the offending path is printed as an
+    /// element chain). Emitted by the deep verifier (`crate::verify`).
+    PathReadUnwritten,
+    /// `NBA041` — path-sensitive: an output port no abstract state can
+    /// ever take (e.g. the "invalid" port of a validator whose fact
+    /// already holds on every incoming path).
+    DeadBranch,
+    /// `NBA042` — path-sensitive: an edge from exit-reaching code into a
+    /// subgraph from which no packet can reach `ToOutput` — traffic is
+    /// silently blackholed (explicit `Discard` edges are exempt).
+    BlackholePath,
+    /// `NBA043` — path-sensitive: a header-dependent element is reachable
+    /// before any validator establishes the fact it requires.
+    HeaderBeforeValidation,
+    /// `NBA050` — capacity: an SPSC ring's depth is below the worst-case
+    /// flow-affine burst bound (2 × batch).
+    RingUnderBurst,
+    /// `NBA051` — capacity: the steering/offload stage violates the
+    /// queue law that proves it deadlock-free (a full device aggregate
+    /// can never assemble within the producers' in-flight caps).
+    SteeringDeadlock,
 }
 
 impl Code {
@@ -115,10 +137,19 @@ impl Code {
             Code::EmptyDatablock => "NBA022",
             Code::BatchSplit => "NBA030",
             Code::WideFanOut => "NBA031",
+            Code::PathReadUnwritten => "NBA040",
+            Code::DeadBranch => "NBA041",
+            Code::BlackholePath => "NBA042",
+            Code::HeaderBeforeValidation => "NBA043",
+            Code::RingUnderBurst => "NBA050",
+            Code::SteeringDeadlock => "NBA051",
         }
     }
 
-    /// The severity this code always carries.
+    /// The default severity of this code. Diagnostics normally carry it
+    /// verbatim; the deep verifier may *demote* a path-insensitive finding
+    /// (NBA012/NBA013) to `Warn` after proving the conflict cannot occur
+    /// on any single path — see [`Diagnostic::severity`].
     pub fn severity(self) -> Severity {
         match self {
             Code::UnreachableNode
@@ -127,14 +158,20 @@ impl Code {
             | Code::SlotOutOfRange
             | Code::ReservedSlotWrite
             | Code::SlotCollision
-            | Code::DatablockOverlap => Severity::Error,
+            | Code::DatablockOverlap
+            | Code::SteeringDeadlock => Severity::Error,
             Code::NoExit
             | Code::UnconnectedPort
             | Code::SlotReadUnwritten
             | Code::AnnotationTruncated
             | Code::EmptyDatablock
             | Code::BatchSplit
-            | Code::WideFanOut => Severity::Warn,
+            | Code::WideFanOut
+            | Code::PathReadUnwritten
+            | Code::DeadBranch
+            | Code::BlackholePath
+            | Code::HeaderBeforeValidation
+            | Code::RingUnderBurst => Severity::Warn,
         }
     }
 }
@@ -150,7 +187,11 @@ impl fmt::Display for Code {
 pub struct Diagnostic {
     /// Stable code.
     pub code: Code,
-    /// Severity (always `code.severity()`).
+    /// Severity. Usually `code.severity()`; the deep verifier demotes a
+    /// path-insensitive `Error` to `Warn` when the fixpoint proves the
+    /// flagged conflict lives on disjoint branches (so no packet can ever
+    /// observe it) — the message gains a `[deep: ...]` suffix explaining
+    /// the proof.
     pub severity: Severity,
     /// Human-readable description.
     pub message: String,
@@ -210,6 +251,11 @@ impl SourceMap {
     }
 }
 
+/// Version of the JSON envelope [`LintReport::render_json`] emits. Bump on
+/// any incompatible change to the rendered shape; the golden-file test
+/// pins the bytes.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// All findings of one verification pass.
 #[derive(Debug, Clone, Default)]
 pub struct LintReport {
@@ -261,10 +307,13 @@ impl LintReport {
         out
     }
 
-    /// The whole report as one JSON array (machine-readable `--check`
-    /// output; dependency-free like the telemetry exporters).
+    /// The whole report as one JSON object (machine-readable `--check` /
+    /// `nba-lint` output; dependency-free like the telemetry exporters).
+    /// The envelope carries [`SCHEMA_VERSION`] so consumers can detect
+    /// format changes; the exact bytes are pinned by a golden-file test
+    /// (`crates/core/tests/lint_json_golden.rs`).
     pub fn render_json(&self) -> String {
-        let mut out = String::from("[");
+        let mut out = format!("{{\"schema_version\":{SCHEMA_VERSION},\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -289,11 +338,17 @@ impl LintReport {
             }
             out.push('}');
         }
-        out.push_str("]\n");
+        out.push_str("]}\n");
         out
     }
 
-    fn push(&mut self, code: Code, message: String, node: Option<usize>, line: Option<usize>) {
+    pub(crate) fn push(
+        &mut self,
+        code: Code,
+        message: String,
+        node: Option<usize>,
+        line: Option<usize>,
+    ) {
         self.diagnostics.push(Diagnostic {
             code,
             severity: code.severity(),
@@ -964,6 +1019,12 @@ mod tests {
         assert!(text.contains("error[NBA003]"), "{text}");
         let json = report.render_json();
         assert!(json.contains("\"code\":\"NBA003\""), "{json}");
-        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+        assert!(
+            json.starts_with(&format!(
+                "{{\"schema_version\":{SCHEMA_VERSION},\"diagnostics\":["
+            )),
+            "{json}"
+        );
+        assert!(json.trim_end().ends_with("]}"), "{json}");
     }
 }

@@ -985,10 +985,12 @@ pub fn run_with_sources(
         };
         let mut g = build(&bctx);
         if w == 0 {
-            // Mandatory nba-lint preflight on the first replica (all
-            // replicas are clones of one pipeline): log warnings, refuse
-            // to start on Error-severity findings.
-            crate::lint::preflight(&g);
+            // Mandatory deep preflight on the first replica (all replicas
+            // are clones of one pipeline): shallow lint plus the
+            // path-sensitive pass and the static queue-law checks over
+            // this run's capacity model. Warnings are logged; Error-
+            // severity findings refuse to start.
+            crate::verify::preflight(&g, &crate::verify::CapacityModel::from_runtime(cfg));
         }
         g.enable_trace(cfg.telemetry.trace_capacity);
         graphs.push(g);

@@ -1,0 +1,876 @@
+//! `nba-verify`: the path-sensitive deep verifier.
+//!
+//! `nba-lint` ([`crate::lint`]) checks the pipeline with whole-graph,
+//! path-insensitive heuristics: a slot read is satisfied by a writer
+//! *anywhere*, a write-write collision fires on *any* co-occurrence. This
+//! module runs an abstract interpretation over the element graph instead —
+//! a worklist fixpoint propagating an [`AbsState`] (per-slot write
+//! lattice, must-hold header facts, may-rewrite datablock effects; see
+//! [`domain`]) along every edge, with per-element transfer functions
+//! derived from [`crate::element::Element::slot_claims`] plus the
+//! declarative [`crate::element::ElementEffects`] annotations.
+//!
+//! On top of the fixpoint it emits the `NBA04x` path family:
+//!
+//! * `NBA040` — a slot read not dominated by a write on some path (the
+//!   offending path is printed as an element chain),
+//! * `NBA041` — an output port no abstract state can ever take,
+//! * `NBA042` — an edge from exit-reaching code into a subgraph that can
+//!   only drop (a silent blackhole; explicit `Discard` edges are exempt),
+//! * `NBA043` — a header-dependent element reachable before validation,
+//!
+//! plus transitive `NBA020` datablock hazards the pairwise check misses,
+//! and — via [`capacity`] — the `NBA05x` static queue-law family over
+//! [`CapacityModel`]s extracted from the runtime configurations.
+//!
+//! The same fixpoint *demotes* path-insensitive findings it can disprove:
+//! an `NBA012` collision whose writers live on provably disjoint branches
+//! drops to `Warn` (no packet can ever traverse two writers), and an
+//! `NBA013` read the element declares default-tolerant is annotated as
+//! benign. Entry points: [`deep_verify`] (path family only),
+//! [`apply_deep`] (demote + extend an existing shallow report — what
+//! [`crate::config::build_graph_checked`] and
+//! [`crate::graph::ElementGraph::verify_deep`] use), and [`preflight`]
+//! (what both runtimes run before starting, capacity checks included).
+
+mod capacity;
+mod domain;
+
+pub use capacity::{check_capacity, CapacityModel};
+pub use domain::{AbsState, SlotState};
+
+use std::collections::VecDeque;
+
+use crate::batch::ANNO_SLOTS;
+use crate::element::{
+    DbInput, DbOutput, Disposition, Element, ElementEffects, HeaderFact, Postprocess, SlotAccess,
+    SlotClaim, SlotScope,
+};
+use crate::graph::{ElementGraph, NodeId, OutEdge};
+use crate::lint::{Code, LintReport, Severity, SourceMap};
+
+/// Per-node static metadata the engine queries repeatedly, gathered once.
+struct Model<'g> {
+    graph: &'g ElementGraph,
+    src: Option<&'g SourceMap>,
+    n: usize,
+    /// Explicit claims plus the implicit write of an offloadable
+    /// element's `Postprocess::Annotation` (same rule as `nba-lint`).
+    claims: Vec<Vec<SlotClaim>>,
+    effects: Vec<ElementEffects>,
+    /// Offset a size-changing in-place rewrite starts at, per node.
+    grow_from: Vec<Option<usize>>,
+    /// Declared input datablock range `(start, end)` per offloadable
+    /// node; `end == None` means "to the end of the frame".
+    db_range: Vec<Option<(usize, Option<usize>)>>,
+}
+
+impl<'g> Model<'g> {
+    fn new(graph: &'g ElementGraph, src: Option<&'g SourceMap>) -> Model<'g> {
+        let n = graph.len();
+        let mut claims = Vec::with_capacity(n);
+        let mut effects = Vec::with_capacity(n);
+        let mut grow_from = vec![None; n];
+        let mut db_range = vec![None; n];
+        for i in 0..n {
+            let el: &dyn Element = graph.element(NodeId(i));
+            let mut cs: Vec<SlotClaim> = el.slot_claims().to_vec();
+            if let Some(spec) = el.offload() {
+                if let Postprocess::Annotation(slot) = spec.postprocess {
+                    let implicit = SlotClaim::writes(slot);
+                    if !cs.contains(&implicit) {
+                        cs.push(implicit);
+                    }
+                }
+                let (start, end) = match spec.input {
+                    DbInput::PartialPacket { offset, len } => (offset, Some(offset + len)),
+                    DbInput::WholePacket { offset } => (offset, None),
+                };
+                db_range[i] = Some((start, end));
+                if matches!(spec.output, DbOutput::InPlace { extra } if extra > 0) {
+                    grow_from[i] = Some(start);
+                }
+            }
+            claims.push(cs);
+            effects.push(el.effects());
+        }
+        Model {
+            graph,
+            src,
+            n,
+            claims,
+            effects,
+            grow_from,
+            db_range,
+        }
+    }
+
+    fn ports(&self, i: usize) -> usize {
+        self.graph.element(NodeId(i)).output_count().max(1)
+    }
+
+    fn edge(&self, i: usize, p: usize) -> Option<OutEdge> {
+        self.graph.out_edge(NodeId(i), p)
+    }
+
+    /// `"name" (Class)` when a source map knows the node, else the class.
+    fn label(&self, i: usize) -> String {
+        let class = self.graph.element(NodeId(i)).class_name();
+        match self.src.and_then(|s| s.name(i)) {
+            Some(name) => format!("{name:?} ({class})"),
+            None => class.to_string(),
+        }
+    }
+
+    fn node_line(&self, i: usize) -> Option<usize> {
+        self.src
+            .and_then(|s| s.node_lines.get(i).copied())
+            .filter(|&l| l > 0)
+    }
+
+    fn conn_line(&self, i: usize, p: usize) -> Option<usize> {
+        self.src.and_then(|s| s.conn_lines.get(&(i, p)).copied())
+    }
+
+    /// Whether node `i` writes `(scope, slot)` (implicit claims included).
+    fn writes(&self, i: usize, scope: SlotScope, slot: usize) -> bool {
+        self.claims[i]
+            .iter()
+            .any(|c| c.access == SlotAccess::Write && c.scope == scope && c.slot == slot)
+    }
+
+    /// The transfer function: state after node `i` ran (before any
+    /// port-specific fact is added). Purely monotone: slots only move up
+    /// the lattice, the may-rewrite offset only shrinks.
+    fn transfer(&self, i: usize, state: &AbsState) -> AbsState {
+        let mut s = state.clone();
+        for c in &self.claims[i] {
+            if c.access == SlotAccess::Write && c.slot < ANNO_SLOTS {
+                s.set_slot(c.scope, c.slot, SlotState::Written);
+            }
+        }
+        if let Some(off) = self.grow_from[i] {
+            s.rewrite = match s.rewrite {
+                Some(prev) if prev <= (off, i) => Some(prev),
+                _ => Some((off, i)),
+            };
+        }
+        s
+    }
+
+    /// The state leaving node `i` on port `p`.
+    fn out_state(&self, i: usize, p: usize, post: &AbsState) -> AbsState {
+        let mut s = post.clone();
+        for &(port, fact) in self.effects[i].establishes {
+            if port == p {
+                s.establish(fact);
+            }
+        }
+        s
+    }
+}
+
+/// Runs the worklist fixpoint; `in_state[i]` is the join over every edge
+/// into `i` (`None` = unreached). `DropAll` elements propagate nothing.
+fn fixpoint(m: &Model<'_>) -> Vec<Option<AbsState>> {
+    let mut in_state: Vec<Option<AbsState>> = vec![None; m.n];
+    if m.n == 0 {
+        return in_state;
+    }
+    let entry = m.graph.entry_node().0;
+    in_state[entry] = Some(AbsState::entry());
+    let mut queued = vec![false; m.n];
+    queued[entry] = true;
+    let mut work: VecDeque<usize> = VecDeque::from([entry]);
+    while let Some(i) = work.pop_front() {
+        queued[i] = false;
+        let Some(s) = in_state[i].clone() else {
+            continue;
+        };
+        if m.effects[i].disposition == Disposition::DropAll {
+            continue;
+        }
+        let post = m.transfer(i, &s);
+        for p in 0..m.ports(i) {
+            let Some(OutEdge::Node(t)) = m.edge(i, p) else {
+                continue;
+            };
+            let out = m.out_state(i, p, &post);
+            let joined = match &in_state[t.0] {
+                Some(old) => old.join(&out),
+                None => out,
+            };
+            if in_state[t.0].as_ref() != Some(&joined) {
+                in_state[t.0] = Some(joined);
+                if !queued[t.0] {
+                    queued[t.0] = true;
+                    work.push_back(t.0);
+                }
+            }
+        }
+    }
+    in_state
+}
+
+/// Nodes from which some `ToOutput` exit is reachable. A `DropAll`
+/// element never reaches an exit regardless of its wiring (nothing leaves
+/// it), which is what makes blackhole subgraphs detectable.
+fn exit_reaching(m: &Model<'_>) -> Vec<bool> {
+    let mut exits = vec![false; m.n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..m.n {
+            if exits[i] || m.effects[i].disposition == Disposition::DropAll {
+                continue;
+            }
+            let reaches = (0..m.ports(i)).any(|p| match m.edge(i, p) {
+                Some(OutEdge::Exit) => true,
+                Some(OutEdge::Node(t)) => exits[t.0],
+                _ => false,
+            });
+            if reaches {
+                exits[i] = true;
+                changed = true;
+            }
+        }
+    }
+    exits
+}
+
+/// BFS witness path from the entry to `target` avoiding `avoid` nodes
+/// (the target itself is always admissible). Returns the node chain
+/// entry..=target, or `None` when every path is blocked.
+fn witness_avoiding(
+    m: &Model<'_>,
+    target: usize,
+    avoid: impl Fn(usize) -> bool,
+) -> Option<Vec<usize>> {
+    let entry = m.graph.entry_node().0;
+    if avoid(entry) && entry != target {
+        return None;
+    }
+    let mut pred: Vec<Option<usize>> = vec![None; m.n];
+    let mut seen = vec![false; m.n];
+    seen[entry] = true;
+    let mut q = VecDeque::from([entry]);
+    while let Some(i) = q.pop_front() {
+        if i == target {
+            return Some(unwind(&pred, entry, target));
+        }
+        for p in 0..m.ports(i) {
+            if let Some(OutEdge::Node(t)) = m.edge(i, p) {
+                let t = t.0;
+                if !seen[t] && (t == target || !avoid(t)) {
+                    seen[t] = true;
+                    pred[t] = Some(i);
+                    q.push_back(t);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// BFS witness path reaching `target` with `fact` *not* established —
+/// search states are `(node, fact held)` pairs, so a path through a
+/// validator's establishing port is correctly rejected.
+fn witness_without_fact(m: &Model<'_>, target: usize, fact: HeaderFact) -> Option<Vec<usize>> {
+    let entry = m.graph.entry_node().0;
+    // Index: node * 2 + held.
+    let mut pred: Vec<Option<usize>> = vec![None; m.n * 2];
+    let mut seen = vec![false; m.n * 2];
+    seen[entry * 2] = true;
+    let mut q = VecDeque::from([entry * 2]);
+    while let Some(state) = q.pop_front() {
+        let (i, held) = (state / 2, state % 2 == 1);
+        if i == target && !held {
+            // Unwind over search states, then strip the `held` dimension.
+            let mut path = vec![i];
+            let mut cur = state;
+            while let Some(prev) = pred[cur] {
+                path.push(prev / 2);
+                cur = prev;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for p in 0..m.ports(i) {
+            if let Some(OutEdge::Node(t)) = m.edge(i, p) {
+                let establishes = m.effects[i]
+                    .establishes
+                    .iter()
+                    .any(|&(port, f)| port == p && f == fact);
+                let next = t.0 * 2 + usize::from(held || establishes);
+                if !seen[next] {
+                    seen[next] = true;
+                    pred[next] = Some(state);
+                    q.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn unwind(pred: &[Option<usize>], entry: usize, target: usize) -> Vec<usize> {
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != entry {
+        match pred[cur] {
+            Some(p) => {
+                path.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+fn render_path(m: &Model<'_>, path: &[usize]) -> String {
+    path.iter()
+        .map(|&i| m.label(i))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// The path-sensitive verification pass: runs the fixpoint and emits the
+/// `NBA04x` family (plus transitive `NBA020` hazards). Structural and
+/// path-insensitive checks are `nba-lint`'s job — callers usually want
+/// [`apply_deep`] or [`crate::graph::ElementGraph::verify_deep`], which
+/// combine both.
+pub fn deep_verify(graph: &ElementGraph, src: Option<&SourceMap>) -> LintReport {
+    let m = Model::new(graph, src);
+    let mut report = LintReport::default();
+    if m.n == 0 {
+        return report;
+    }
+    let in_state = fixpoint(&m);
+    let exits = exit_reaching(&m);
+    let any_exit = exits.iter().any(|&e| e);
+
+    // Any writer per (scope, slot), for the NBA013-subsumption rule: when
+    // *nothing* writes a slot, the shallow NBA013 already said so and a
+    // path diagnostic would be noise.
+    let has_writer = |scope: SlotScope, slot: usize| (0..m.n).any(|w| m.writes(w, scope, slot));
+
+    for i in 0..m.n {
+        let Some(s) = &in_state[i] else { continue };
+
+        // NBA040 — reads not dominated by a write on every path. A node's
+        // own write satisfies its read (read-modify-write elements and
+        // offload postprocess scratch slots), and reads declared
+        // default-tolerant in the element's effects are exempt.
+        for c in &m.claims[i] {
+            if c.access != SlotAccess::Read || c.slot >= ANNO_SLOTS {
+                continue;
+            }
+            if m.writes(i, c.scope, c.slot)
+                || m.effects[i]
+                    .default_ok
+                    .iter()
+                    .any(|d| d.scope == c.scope && d.slot == c.slot)
+                || !has_writer(c.scope, c.slot)
+                || s.slot(c.scope, c.slot) == SlotState::Written
+            {
+                continue;
+            }
+            let path = witness_avoiding(&m, i, |w| m.writes(w, c.scope, c.slot))
+                .map(|p| render_path(&m, &p))
+                .unwrap_or_else(|| m.label(i));
+            report.push(
+                Code::PathReadUnwritten,
+                format!(
+                    "{} reads {:?} slot {} but no write dominates it; unwritten on \
+                     path: {path}",
+                    m.label(i),
+                    c.scope,
+                    c.slot
+                ),
+                Some(i),
+                m.node_line(i),
+            );
+        }
+
+        // NBA043 — required header facts not established on every path.
+        for &fact in m.effects[i].requires {
+            if s.has(fact) {
+                continue;
+            }
+            let path = witness_without_fact(&m, i, fact)
+                .map(|p| render_path(&m, &p))
+                .unwrap_or_else(|| m.label(i));
+            report.push(
+                Code::HeaderBeforeValidation,
+                format!(
+                    "{} requires {fact:?} but is reachable before any validator \
+                     establishes it, on path: {path}",
+                    m.label(i)
+                ),
+                Some(i),
+                m.node_line(i),
+            );
+        }
+
+        // NBA041 — dead validator ports: when a fact this element
+        // establishes already holds on every incoming path, validation
+        // cannot fail, so every non-establishing port is unreachable.
+        if m.ports(i) >= 2 {
+            let forced: Vec<(usize, HeaderFact)> = m.effects[i]
+                .establishes
+                .iter()
+                .copied()
+                .filter(|&(_, f)| s.has(f))
+                .collect();
+            if !forced.is_empty() {
+                for p in 0..m.ports(i) {
+                    if forced.iter().any(|&(fp, _)| fp == p) {
+                        continue;
+                    }
+                    let (_, fact) = forced[0];
+                    report.push(
+                        Code::DeadBranch,
+                        format!(
+                            "output port {p} of {} is dead: {fact:?} already holds on \
+                             every packet reaching it, so validation cannot fail",
+                            m.label(i)
+                        ),
+                        Some(i),
+                        m.conn_line(i, p).or_else(|| m.node_line(i)),
+                    );
+                }
+            }
+        }
+
+        // Transitive NBA020 — a size-changing rewrite anywhere upstream
+        // whose shifted bytes a later datablock declaration still covers.
+        // The pairwise `nba-lint` check handles directly-connected specs;
+        // this catches rewriters separated by intermediate elements.
+        if let (Some((start, end)), Some((off, wnode))) = (m.db_range[i], s.rewrite) {
+            let _ = start;
+            let overlaps = end.is_none_or(|e| e > off);
+            let adjacent = wnode == i
+                || (0..m.ports(wnode))
+                    .any(|p| matches!(m.edge(wnode, p), Some(OutEdge::Node(t)) if t.0 == i));
+            if overlaps && !adjacent {
+                report.push(
+                    Code::DatablockOverlap,
+                    format!(
+                        "{} rewrites packet bytes from offset {off} with a size delta \
+                         on a path to {}, whose datablock range covers those bytes \
+                         (stale offsets after the rewrite)",
+                        m.label(wnode),
+                        m.label(i)
+                    ),
+                    Some(i),
+                    m.node_line(i),
+                );
+            }
+        }
+
+        // NBA042 — silent blackholes: an edge from exit-reaching code
+        // into a subgraph that can only drop. Direct `-> Discard` edges
+        // are explicit and exempt; a whole graph with no exit is already
+        // NBA004.
+        if any_exit && exits[i] {
+            for p in 0..m.ports(i) {
+                if let Some(OutEdge::Node(t)) = m.edge(i, p) {
+                    if !exits[t.0] {
+                        report.push(
+                            Code::BlackholePath,
+                            format!(
+                                "output port {p} of {} silently blackholes traffic: \
+                                 no packet entering {} can reach ToOutput; connect \
+                                 to Discard if dropping is intended",
+                                m.label(i),
+                                m.label(t.0)
+                            ),
+                            Some(i),
+                            m.conn_line(i, p).or_else(|| m.node_line(i)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Attach element class names, mirroring `nba-lint`.
+    for d in &mut report.diagnostics {
+        if let Some(i) = d.node {
+            if d.element.is_none() {
+                d.element = Some(graph.element(NodeId(i)).class_name().to_owned());
+            }
+        }
+    }
+    report
+}
+
+/// Demotes path-insensitive findings the fixpoint disproves (the shallow
+/// checks' known false positives):
+///
+/// * `NBA012` (write-write collision) drops from `Error` to `Warn` when
+///   every pair of different-class writers is path-disjoint — no packet
+///   can traverse two of them, so nothing is ever clobbered.
+/// * `NBA013` (read of a never-written slot) is annotated as benign when
+///   the reader's effects declare the read default-tolerant.
+fn demote_disproven(graph: &ElementGraph, report: &mut LintReport) {
+    let m = Model::new(graph, None);
+    if m.n == 0 {
+        return;
+    }
+
+    // Forward reachability closure (reach[a][b]: a path a -> ... -> b).
+    let mut reach = vec![vec![false; m.n]; m.n];
+    for (start, row) in reach.iter_mut().enumerate() {
+        let mut stack = vec![start];
+        while let Some(i) = stack.pop() {
+            for p in 0..m.ports(i) {
+                if let Some(OutEdge::Node(t)) = m.edge(i, p) {
+                    if !row[t.0] {
+                        row[t.0] = true;
+                        stack.push(t.0);
+                    }
+                }
+            }
+        }
+    }
+
+    // Writers per (scope, slot), same registry the shallow check builds.
+    let mut keys: Vec<(SlotScope, usize)> = Vec::new();
+    for i in 0..m.n {
+        for c in &m.claims[i] {
+            if c.access == SlotAccess::Write
+                && c.slot < ANNO_SLOTS
+                && !keys.contains(&(c.scope, c.slot))
+            {
+                keys.push((c.scope, c.slot));
+            }
+        }
+    }
+    for (scope, slot) in keys {
+        let writers: Vec<usize> = (0..m.n).filter(|&i| m.writes(i, scope, slot)).collect();
+        let disjoint = writers.iter().all(|&a| {
+            writers.iter().all(|&b| {
+                a == b
+                    || m.graph.element(NodeId(a)).class_name()
+                        == m.graph.element(NodeId(b)).class_name()
+                    || (!reach[a][b] && !reach[b][a])
+            })
+        });
+        if !disjoint {
+            continue;
+        }
+        let prefix = format!("{scope:?} slot {slot} is written");
+        for d in &mut report.diagnostics {
+            if d.code == Code::SlotCollision
+                && d.severity == Severity::Error
+                && d.message.starts_with(&prefix)
+            {
+                d.severity = Severity::Warn;
+                d.message.push_str(
+                    " [deep: the writers live on disjoint branches; no packet \
+                     traverses more than one]",
+                );
+            }
+        }
+    }
+
+    for d in &mut report.diagnostics {
+        if d.code != Code::SlotReadUnwritten {
+            continue;
+        }
+        let Some(i) = d.node.filter(|&i| i < m.n) else {
+            continue;
+        };
+        let tolerated = m.claims[i].iter().any(|c| {
+            c.access == SlotAccess::Read
+                && d.message
+                    .contains(&format!("{:?} slot {}", c.scope, c.slot))
+                && m.effects[i]
+                    .default_ok
+                    .iter()
+                    .any(|t| t.scope == c.scope && t.slot == c.slot)
+        });
+        if tolerated {
+            d.message
+                .push_str(" [deep: the reader treats the unwritten default as a valid verdict]");
+        }
+    }
+}
+
+/// Applies the deep pass to an existing shallow report: demotes disproven
+/// path-insensitive findings, then appends the `NBA04x` diagnostics.
+pub fn apply_deep(graph: &ElementGraph, src: Option<&SourceMap>, report: &mut LintReport) {
+    demote_disproven(graph, report);
+    let deep = deep_verify(graph, src);
+    report.diagnostics.extend(deep.diagnostics);
+}
+
+/// Runtime preflight, the deep superset of [`crate::lint::preflight`]:
+/// shallow checks with deep demotion applied, the path family, and the
+/// static queue-law checks over the run's [`CapacityModel`]. Warnings go
+/// to stderr; `Error`-severity findings refuse to start the run.
+pub fn preflight(graph: &ElementGraph, cap: &CapacityModel) {
+    let mut report = crate::lint::verify_graph(graph, None);
+    apply_deep(graph, None, &mut report);
+    report.diagnostics.extend(check_capacity(cap).diagnostics);
+    for w in report.warnings() {
+        eprintln!("nba-verify: {w}");
+    }
+    if report.has_errors() {
+        panic!(
+            "pipeline failed static verification (nba-lint):\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{anno, Anno, PacketResult};
+    use crate::element::ElemCtx;
+    use crate::graph::GraphBuilder;
+    use nba_io::Packet;
+
+    struct Fx {
+        name: &'static str,
+        ports: usize,
+        claims: &'static [SlotClaim],
+        effects: ElementEffects,
+    }
+
+    impl Fx {
+        fn new(name: &'static str) -> Fx {
+            Fx {
+                name,
+                ports: 1,
+                claims: &[],
+                effects: ElementEffects::default(),
+            }
+        }
+    }
+
+    impl Element for Fx {
+        fn class_name(&self) -> &'static str {
+            self.name
+        }
+        fn output_count(&self) -> usize {
+            self.ports
+        }
+        fn slot_claims(&self) -> &'static [SlotClaim] {
+            self.claims
+        }
+        fn effects(&self) -> ElementEffects {
+            self.effects
+        }
+        fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, _: &mut Anno) -> PacketResult {
+            PacketResult::Out(0)
+        }
+    }
+
+    static WRITE_RE: &[SlotClaim] = &[SlotClaim::writes(anno::RE_MATCH)];
+    static READ_RE: &[SlotClaim] = &[SlotClaim::reads(anno::RE_MATCH)];
+
+    #[test]
+    fn dominated_read_is_clean_and_disjoint_read_is_flagged() {
+        // fork[0] -> w -> r1 (dominated), fork[1] -> r2 (not dominated).
+        let mut gb = GraphBuilder::new();
+        let f = gb.add(Box::new(Fx {
+            ports: 2,
+            ..Fx::new("Fork")
+        }));
+        let w = gb.add(Box::new(Fx {
+            claims: WRITE_RE,
+            ..Fx::new("W")
+        }));
+        let r1 = gb.add(Box::new(Fx {
+            claims: READ_RE,
+            ..Fx::new("R")
+        }));
+        let r2 = gb.add(Box::new(Fx {
+            claims: READ_RE,
+            ..Fx::new("R")
+        }));
+        gb.connect(f, 0, w);
+        gb.connect(w, 0, r1);
+        gb.connect(f, 1, r2);
+        gb.connect_exit(r1, 0);
+        gb.connect_exit(r2, 0);
+        let g = gb.build().unwrap();
+        let report = deep_verify(&g, None);
+        let hits: Vec<_> = report.with_code(Code::PathReadUnwritten).collect();
+        assert_eq!(hits.len(), 1, "{}", report.render_text());
+        assert_eq!(hits[0].node, Some(r2.0));
+        assert!(hits[0].message.contains("Fork -> R"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn fixpoint_terminates_on_cycles() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Fx::new("A")));
+        let b = gb.add(Box::new(Fx::new("B")));
+        gb.connect(a, 0, b);
+        gb.connect(b, 0, a);
+        let g = gb.build().unwrap();
+        deep_verify(&g, None); // must not hang or panic
+    }
+
+    #[test]
+    fn join_of_maybe_written_flags_read() {
+        // Diamond where only one arm writes: the merge point reads.
+        let mut gb = GraphBuilder::new();
+        let f = gb.add(Box::new(Fx {
+            ports: 2,
+            ..Fx::new("Fork")
+        }));
+        let w = gb.add(Box::new(Fx {
+            claims: WRITE_RE,
+            ..Fx::new("W")
+        }));
+        let n = gb.add(Box::new(Fx::new("N")));
+        let r = gb.add(Box::new(Fx {
+            claims: READ_RE,
+            ..Fx::new("R")
+        }));
+        gb.connect(f, 0, w);
+        gb.connect(f, 1, n);
+        gb.connect(w, 0, r);
+        gb.connect(n, 0, r);
+        gb.connect_exit(r, 0);
+        let g = gb.build().unwrap();
+        let report = deep_verify(&g, None);
+        let hit = report.with_code(Code::PathReadUnwritten).next().unwrap();
+        // The witness must be the non-writing arm.
+        assert!(hit.message.contains("Fork -> N -> R"), "{}", hit.message);
+    }
+
+    #[test]
+    fn demotion_turns_disjoint_collision_into_warning() {
+        static W_A: &[SlotClaim] = &[SlotClaim::writes(anno::FLOW_ID)];
+        static W_B: &[SlotClaim] = &[SlotClaim::writes(anno::FLOW_ID)];
+        let build = |disjoint: bool| {
+            let mut gb = GraphBuilder::new();
+            let f = gb.add(Box::new(Fx {
+                ports: 2,
+                ..Fx::new("Fork")
+            }));
+            let a = gb.add(Box::new(Fx {
+                claims: W_A,
+                ..Fx::new("WA")
+            }));
+            let b = gb.add(Box::new(Fx {
+                claims: W_B,
+                ..Fx::new("WB")
+            }));
+            gb.connect(f, 0, a);
+            if disjoint {
+                gb.connect(f, 1, b);
+                gb.connect_exit(a, 0);
+            } else {
+                gb.connect(a, 0, b);
+                gb.connect_exit(f, 1);
+            }
+            gb.connect_exit(b, 0);
+            gb.build().unwrap()
+        };
+        let g = build(true);
+        let mut report = crate::lint::verify_graph(&g, None);
+        apply_deep(&g, None, &mut report);
+        let d = report.with_code(Code::SlotCollision).next().unwrap();
+        assert_eq!(d.severity, Severity::Warn, "{}", d.message);
+        assert!(d.message.contains("[deep:"), "{}", d.message);
+
+        let g = build(false);
+        let mut report = crate::lint::verify_graph(&g, None);
+        apply_deep(&g, None, &mut report);
+        let d = report.with_code(Code::SlotCollision).next().unwrap();
+        assert_eq!(d.severity, Severity::Error, "{}", d.message);
+    }
+
+    #[test]
+    fn blackhole_subgraph_flagged_once_at_boundary() {
+        let mut gb = GraphBuilder::new();
+        let f = gb.add(Box::new(Fx {
+            ports: 2,
+            ..Fx::new("Fork")
+        }));
+        let ok = gb.add(Box::new(Fx::new("Ok")));
+        let hole = gb.add(Box::new(Fx::new("Hole")));
+        gb.connect(f, 0, ok);
+        gb.connect(f, 1, hole);
+        gb.connect_exit(ok, 0);
+        gb.connect_discard(hole, 0);
+        let g = gb.build().unwrap();
+        let report = deep_verify(&g, None);
+        assert_eq!(report.with_code(Code::BlackholePath).count(), 1);
+    }
+
+    #[test]
+    fn direct_discard_edge_is_not_a_blackhole() {
+        let mut gb = GraphBuilder::new();
+        let f = gb.add(Box::new(Fx {
+            ports: 2,
+            ..Fx::new("Fork")
+        }));
+        let ok = gb.add(Box::new(Fx::new("Ok")));
+        gb.connect(f, 0, ok);
+        gb.connect_discard(f, 1);
+        gb.connect_exit(ok, 0);
+        let g = gb.build().unwrap();
+        assert_eq!(
+            deep_verify(&g, None).with_code(Code::BlackholePath).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn required_fact_without_validator_flags_nba043() {
+        static REQ4: &[HeaderFact] = &[HeaderFact::Ipv4Valid];
+        let mut gb = GraphBuilder::new();
+        let a = gb.add(Box::new(Fx::new("A")));
+        let ttl = gb.add(Box::new(Fx {
+            effects: ElementEffects {
+                requires: REQ4,
+                ..ElementEffects::default()
+            },
+            ..Fx::new("Ttl")
+        }));
+        gb.connect(a, 0, ttl);
+        gb.connect_exit(ttl, 0);
+        let g = gb.build().unwrap();
+        let report = deep_verify(&g, None);
+        let hit = report
+            .with_code(Code::HeaderBeforeValidation)
+            .next()
+            .unwrap();
+        assert!(hit.message.contains("A -> Ttl"), "{}", hit.message);
+    }
+
+    #[test]
+    fn redundant_validator_port_is_dead() {
+        static EST4: &[(usize, HeaderFact)] = &[(0, HeaderFact::Ipv4Valid)];
+        let validator = || Fx {
+            ports: 2,
+            effects: ElementEffects {
+                establishes: EST4,
+                ..ElementEffects::default()
+            },
+            ..Fx::new("Check")
+        };
+        let mut gb = GraphBuilder::new();
+        let v1 = gb.add(Box::new(validator()));
+        let v2 = gb.add(Box::new(validator()));
+        gb.connect(v1, 0, v2);
+        gb.connect_discard(v1, 1);
+        gb.connect_exit(v2, 0);
+        gb.connect_discard(v2, 1);
+        let g = gb.build().unwrap();
+        let report = deep_verify(&g, None);
+        let hits: Vec<_> = report.with_code(Code::DeadBranch).collect();
+        assert_eq!(hits.len(), 1, "{}", report.render_text());
+        assert_eq!(hits[0].node, Some(v2.0));
+    }
+}

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use nba_core::batch::{anno, Anno, PacketResult};
 use nba_core::config::{build_graph, build_graph_checked, ElementRegistry};
 use nba_core::element::{
-    DbInput, DbOutput, ElemCtx, Element, KernelIo, OffloadSpec, Postprocess, SlotClaim,
+    DbInput, DbOutput, Disposition, ElemCtx, Element, ElementEffects, HeaderFact, KernelIo,
+    OffloadSpec, Postprocess, SlotClaim,
 };
 use nba_core::graph::{BranchPolicy, GraphBuilder};
 use nba_core::lint::{Code, Severity};
@@ -22,6 +23,7 @@ struct Fx {
     ports: usize,
     claims: &'static [SlotClaim],
     spec: Option<OffloadSpec>,
+    effects: ElementEffects,
 }
 
 impl Element for Fx {
@@ -36,6 +38,9 @@ impl Element for Fx {
     }
     fn offload(&self) -> Option<OffloadSpec> {
         self.spec.clone()
+    }
+    fn effects(&self) -> ElementEffects {
+        self.effects
     }
     fn process(&mut self, _: &mut ElemCtx<'_>, _: &mut Packet, _: &mut Anno) -> PacketResult {
         PacketResult::Out(0)
@@ -57,6 +62,8 @@ static WRITE_FLOW: &[SlotClaim] = &[SlotClaim::writes(anno::FLOW_ID)];
 static READ_AC: &[SlotClaim] = &[SlotClaim::reads(anno::AC_MATCH)];
 static WRITE_TS: &[SlotClaim] = &[SlotClaim::writes(anno::TIMESTAMP)];
 static SLOT_99: &[SlotClaim] = &[SlotClaim::writes(99)];
+static WRITE_RE: &[SlotClaim] = &[SlotClaim::writes(anno::RE_MATCH)];
+static READ_RE: &[SlotClaim] = &[SlotClaim::reads(anno::RE_MATCH)];
 
 fn registry() -> ElementRegistry {
     let mut r = ElementRegistry::new();
@@ -65,6 +72,7 @@ fn registry() -> ElementRegistry {
         ports,
         claims,
         spec: None,
+        effects: ElementEffects::default(),
     };
     r.register("Stage", move |_| Ok(Box::new(fx("Stage", 1, &[]))));
     r.register("Fork", move |_| Ok(Box::new(fx("Fork", 2, &[]))));
@@ -91,6 +99,7 @@ fn registry() -> ElementRegistry {
                 DbOutput::InPlace { extra: 16 },
                 Postprocess::WriteBack,
             )),
+            effects: ElementEffects::default(),
         }))
     });
     // A whole-packet scanner scattering verdicts into an annotation.
@@ -104,8 +113,60 @@ fn registry() -> ElementRegistry {
                 DbOutput::PerItem { len: 8 },
                 Postprocess::Annotation(anno::AC_MATCH),
             )),
+            effects: ElementEffects::default(),
         }))
     });
+    // The deep-verifier fixtures: a two-port header validator, a consumer
+    // that requires the validated fact, a drop-everything sink, and a
+    // writer/reader pair over a non-seeded slot.
+    r.register("Check", |_| {
+        static EST: &[(usize, HeaderFact)] = &[(0, HeaderFact::Ipv4Valid)];
+        Ok(Box::new(Fx {
+            name: "Check",
+            ports: 2,
+            claims: &[],
+            spec: None,
+            effects: ElementEffects {
+                establishes: EST,
+                ..ElementEffects::default()
+            },
+        }))
+    });
+    r.register("Ttl", |_| {
+        static REQ: &[HeaderFact] = &[HeaderFact::Ipv4Valid];
+        Ok(Box::new(Fx {
+            name: "Ttl",
+            ports: 1,
+            claims: &[],
+            spec: None,
+            effects: ElementEffects {
+                requires: REQ,
+                disposition: Disposition::MayDrop,
+                ..ElementEffects::default()
+            },
+        }))
+    });
+    r.register("Hole", |_| {
+        Ok(Box::new(Fx {
+            name: "Hole",
+            ports: 1,
+            claims: &[],
+            spec: None,
+            effects: ElementEffects {
+                disposition: Disposition::DropAll,
+                ..ElementEffects::default()
+            },
+        }))
+    });
+    let fx2 = |name: &'static str, claims: &'static [SlotClaim]| Fx {
+        name,
+        ports: 1,
+        claims,
+        spec: None,
+        effects: ElementEffects::default(),
+    };
+    r.register("WriteRe", move |_| Ok(Box::new(fx2("WriteRe", WRITE_RE))));
+    r.register("ReadRe", move |_| Ok(Box::new(fx2("ReadRe", READ_RE))));
     r
 }
 
@@ -231,6 +292,149 @@ fn strict_frontend_rejects_error_fixture_with_code_and_line() {
     assert_eq!(err.line, 6);
 }
 
+/// Exactly one diagnostic with `code`, with its (severity, line) — the
+/// deep-verifier fixtures pin the *count* too, because a path family that
+/// double-reports (once per path, once per shallow check) would bury real
+/// findings.
+fn exactly_one(src: &str, code: Code) -> (Severity, Option<usize>) {
+    let checked =
+        build_graph_checked(src, &registry(), BranchPolicy::Predict).expect("fixture assembles");
+    let hits: Vec<_> = checked.report.with_code(code).collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one {code:?} in:\n{}",
+        checked.report.render_text()
+    );
+    (hits[0].severity, hits[0].line)
+}
+
+#[test]
+fn nba040_path_read_unwritten_on_one_branch() {
+    // The writer lives on the other fork arm: the shallow NBA013 is
+    // satisfied (a writer exists), only the path-sensitive check sees the
+    // unwritten branch — and names it in the witness chain.
+    let src = "src :: FromInput();\nf :: Fork();\nw :: WriteRe();\nr :: ReadRe();\n\
+               src -> f;\nf [0] -> w -> ToOutput;\nf [1] -> r -> ToOutput;";
+    let (sev, line) = exactly_one(src, Code::PathReadUnwritten);
+    assert_eq!(sev, Severity::Warn);
+    assert_eq!(line, Some(4));
+    let checked = build_graph_checked(src, &registry(), BranchPolicy::Predict).unwrap();
+    let d = checked
+        .report
+        .with_code(Code::PathReadUnwritten)
+        .next()
+        .unwrap();
+    assert!(
+        d.message.contains(" -> "),
+        "witness path missing: {}",
+        d.message
+    );
+}
+
+#[test]
+fn nba041_dead_branch_of_redundant_validator() {
+    // The second validator re-checks a fact that already must-holds on
+    // every packet reaching it, so its failure port can never fire.
+    let src = "src :: FromInput();\nc1 :: Check();\nc2 :: Check();\nsrc -> c1;\n\
+               c1 [0] -> c2;\nc1 [1] -> Discard;\nc2 [0] -> ToOutput;\nc2 [1] -> Discard;";
+    let (sev, _line) = exactly_one(src, Code::DeadBranch);
+    assert_eq!(sev, Severity::Warn);
+}
+
+#[test]
+fn nba042_silent_blackhole_subgraph() {
+    // `Hole` consumes every packet; the edge into it is flagged (a direct
+    // `-> Discard` would be explicit and exempt).
+    let src = "src :: FromInput();\nf :: Fork();\na :: Stage();\nh :: Hole();\n\
+               src -> f;\nf [0] -> a -> ToOutput;\nf [1] -> h;\nh -> Discard;";
+    let (sev, _line) = exactly_one(src, Code::BlackholePath);
+    assert_eq!(sev, Severity::Warn);
+}
+
+#[test]
+fn nba042_direct_discard_is_exempt() {
+    let src = "src :: FromInput();\nf :: Fork();\na :: Stage();\n\
+               src -> f;\nf [0] -> a -> ToOutput;\nf [1] -> Discard;";
+    let checked = build_graph_checked(src, &registry(), BranchPolicy::Predict).unwrap();
+    assert_eq!(checked.report.with_code(Code::BlackholePath).count(), 0);
+}
+
+#[test]
+fn nba043_header_use_before_validation() {
+    let src = "src :: FromInput();\nt :: Ttl();\nsrc -> t -> ToOutput;";
+    let (sev, line) = exactly_one(src, Code::HeaderBeforeValidation);
+    assert_eq!(sev, Severity::Warn);
+    assert_eq!(line, Some(2));
+    // Behind a validator the same element is clean.
+    let ok = "src :: FromInput();\nc :: Check();\nt :: Ttl();\nsrc -> c;\n\
+              c [0] -> t -> ToOutput;\nc [1] -> Discard;";
+    let checked = build_graph_checked(ok, &registry(), BranchPolicy::Predict).unwrap();
+    assert!(
+        checked.report.is_clean(),
+        "{}",
+        checked.report.render_text()
+    );
+}
+
+#[test]
+fn nba050_ring_under_burst_bound() {
+    use nba_core::runtime::live::LiveConfig;
+    use nba_core::verify::{check_capacity, CapacityModel};
+    let m = CapacityModel::from_live(&LiveConfig {
+        ring_capacity: 64,
+        batch: 64,
+        ..LiveConfig::default()
+    });
+    let r = check_capacity(&m);
+    let hits: Vec<_> = r.with_code(Code::RingUnderBurst).collect();
+    assert_eq!(hits.len(), 1, "{}", r.render_text());
+    assert_eq!(hits[0].severity, Severity::Warn);
+}
+
+#[test]
+fn nba051_aggregate_exceeds_inflight_cap() {
+    use nba_core::runtime::live::LiveConfig;
+    use nba_core::verify::{check_capacity, CapacityModel};
+    let m = CapacityModel::from_live(&LiveConfig {
+        workers: 1,
+        aggregate: 64,
+        ..LiveConfig::default()
+    });
+    let r = check_capacity(&m);
+    let hits: Vec<_> = r.with_code(Code::SteeringDeadlock).collect();
+    assert_eq!(hits.len(), 1, "{}", r.render_text());
+    assert_eq!(hits[0].severity, Severity::Error);
+}
+
+#[test]
+fn deep_demotion_lets_disjoint_collision_build_strict() {
+    // Different classes write FLOW_ID on *disjoint* fork arms: the shallow
+    // NBA012 Error is demoted to Warn by the fixpoint proof, so the strict
+    // frontend accepts the config.
+    let src = "src :: FromInput();\nf :: Fork();\nw1 :: WriteFlow();\nw2 :: StampFlow();\n\
+               src -> f;\nf [0] -> w1 -> ToOutput;\nf [1] -> w2 -> ToOutput;";
+    let checked = build_graph_checked(src, &registry(), BranchPolicy::Predict).unwrap();
+    let d = checked
+        .report
+        .with_code(Code::SlotCollision)
+        .next()
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warn);
+    assert!(d.message.contains("[deep:"), "{}", d.message);
+    build_graph(src, &registry(), BranchPolicy::Predict).expect("demoted config builds strict");
+    // In sequence (one path traverses both writers) it stays an Error.
+    let seq = "src :: FromInput();\nw1 :: WriteFlow();\nw2 :: StampFlow();\n\
+               src -> w1 -> w2 -> ToOutput;";
+    let checked = build_graph_checked(seq, &registry(), BranchPolicy::Predict).unwrap();
+    let d = checked
+        .report
+        .with_code(Code::SlotCollision)
+        .next()
+        .unwrap();
+    assert_eq!(d.severity, Severity::Error);
+}
+
 /// The runtimes refuse to start a pipeline that fails verification: the
 /// mandatory preflight panics before any batch flows.
 #[test]
@@ -244,6 +448,7 @@ fn des_runtime_refuses_unverified_graph() {
             ports: 1,
             claims: &[],
             spec: None,
+            effects: ElementEffects::default(),
         }));
         // An orphan node nothing feeds: NBA001 at Error severity.
         let b = gb.add(Box::new(Fx {
@@ -251,6 +456,7 @@ fn des_runtime_refuses_unverified_graph() {
             ports: 1,
             claims: &[],
             spec: None,
+            effects: ElementEffects::default(),
         }));
         gb.connect_exit(a, 0);
         gb.connect_exit(b, 0);

@@ -134,6 +134,34 @@ proptest! {
         let src = mutate(pipelines::IPSEC_CONFIG, &ops);
         prop_assert!(check_never_panics(&src).is_ok(), "{:?}", check_never_panics(&src));
     }
+
+    /// The static queue-law checks (`NBA05x`) never panic — or overflow —
+    /// on arbitrary runtime dimensions, including zeros and extremes.
+    #[test]
+    fn capacity_checks_never_panic(
+        workers in 0usize..1 << 20,
+        batch in 0usize..1 << 20,
+        ring in 0usize..1 << 30,
+        aggregate in 0usize..1 << 30,
+        io_threads in 0usize..64,
+        drain in any::<bool>(),
+    ) {
+        use nba::core::runtime::live::LiveConfig;
+        use nba::core::verify::{check_capacity, CapacityModel};
+        let m = CapacityModel::from_live(&LiveConfig {
+            workers,
+            batch,
+            ring_capacity: ring,
+            aggregate,
+            io_threads,
+            drain,
+            ..LiveConfig::default()
+        });
+        // Every diagnostic the law checks emit is one of the NBA05x pair.
+        for d in &check_capacity(&m).diagnostics {
+            prop_assert!(matches!(d.code.as_str(), "NBA050" | "NBA051"), "{d}");
+        }
+    }
 }
 
 /// The unmutated shipped configs still build without Error-severity

@@ -17,16 +17,26 @@
 //!   Diffs two reports under per-metric tolerances, prints the verdict
 //!   table, and exits 1 on regression. Gates are one-sided — improvements
 //!   never fail.
-//! * `nba-bench top <addr> [--interval-ms MS] [--count N]`
+//! * `nba-bench top <addr> [--interval MS] [--count N]`
 //!   Polls a running instance's stats endpoint (`--stats-addr` on `run`)
 //!   and prints a per-shard terminal snapshot: ring occupancy, high
-//!   water, `w`, drops, latency percentiles.
+//!   water, `w`, drops, latency percentiles, SLO burn rates, and
+//!   cost-model drift gauges. (`--interval-ms` is accepted as an alias.)
+//! * `nba-bench explain <decisions.jsonl>`
+//!   Renders a balancer decision log (written by `run --audit N
+//!   --audit-out PATH`) as a human-readable timeline, after verifying the
+//!   log replays bit-exactly through a fresh balancer.
 //!
 //! Observability flags on `run`: `--trace N` sizes the batch-lifecycle
 //! trace rings (0 = off, the default — tracing-off runs are bit-identical
 //! to a build without telemetry), `--stats-addr HOST:PORT` serves the
 //! live stats endpoint during live runs, `--flight-dir DIR` writes
-//! flight-recorder post-mortem dumps there.
+//! flight-recorder post-mortem dumps there. `--audit N` turns the
+//! decision-audit plane fully on (decision log of N records, per-stage
+//! offload histograms, cost-model drift detection); `--audit-out PATH`
+//! writes the decision log as JSONL for `explain`; `--slo SPEC` declares
+//! latency/throughput budgets (`p99=500us,mpps=1.5,budget=0.05`) burned
+//! down window by window and scored in the artifact's `slo` section.
 //!
 //! Exit codes: 0 ok, 1 regression, 2 usage/parse error.
 //!
@@ -45,7 +55,7 @@ use nba_sim::{Time, Topology};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live] [--trace N] [--stats-addr HOST:PORT] [--flight-dir DIR]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]\n  nba-bench top <addr> [--interval-ms MS] [--count N]"
+        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live] [--trace N] [--stats-addr HOST:PORT] [--flight-dir DIR] [--audit N] [--audit-out PATH] [--slo SPEC]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]\n  nba-bench top <addr> [--interval MS] [--count N]\n  nba-bench explain <decisions.jsonl>"
     );
     std::process::exit(2);
 }
@@ -210,6 +220,9 @@ struct ObsOpts {
     stats_addr: Option<String>,
     /// Write flight-recorder post-mortem dumps into this directory.
     flight_dir: Option<std::path::PathBuf>,
+    /// Declared SLO budgets, burned down by live sweeps too (the DES
+    /// artifact run reads them from `RuntimeConfig`).
+    slo: Option<nba_core::audit::SloConfig>,
 }
 
 /// Runs the sweep on the live runtime: real threads, one RSS-sharded
@@ -241,6 +254,7 @@ fn live_sweep(
                     ..nba_core::FlightConfig::default()
                 },
                 stats_addr: obs.stats_addr.clone(),
+                slo: obs.slo.clone(),
                 ..LiveConfig::default()
             };
             let factory = balancer_factory_for(mode)?;
@@ -333,6 +347,32 @@ fn cmd_run(args: &[String]) -> i32 {
             Ok(plan) => cfg.fault.plan = plan,
             Err(e) => {
                 eprintln!("--faults: {e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(n) = opt("--audit") {
+        match n.parse::<usize>() {
+            Ok(cap) if cap > 0 => cfg.audit = nba_core::audit::AuditConfig::full(cap),
+            _ => {
+                eprintln!("--audit: expected a decision-log capacity > 0, got '{n}'");
+                return 2;
+            }
+        }
+    }
+    let audit_out = opt("--audit-out");
+    if audit_out.is_some() && !cfg.audit.enabled() {
+        eprintln!("--audit-out needs --audit N to record decisions");
+        return 2;
+    }
+    if let Some(spec) = opt("--slo") {
+        match nba_core::audit::SloConfig::parse(&spec) {
+            Ok(slo) => {
+                cfg.slo = Some(slo.clone());
+                obs.slo = Some(slo);
+            }
+            Err(e) => {
+                eprintln!("--slo: {e}");
                 return 2;
             }
         }
@@ -431,6 +471,85 @@ fn cmd_run(args: &[String]) -> i32 {
             f.quarantines.len(),
         );
     }
+    if let Some(d) = &report.drift {
+        println!(
+            "{app}: drift rel_err {:.3} over {} tasks, events {}{}",
+            d.rel_err,
+            d.tasks,
+            d.events,
+            match &d.worst_stage {
+                Some(s) => format!(" (worst stage: {s})"),
+                None => String::new(),
+            },
+        );
+    }
+    if let Some(sl) = &report.slo {
+        println!(
+            "{app}: slo {} — latency burn {:.2}, throughput burn {:.2} over {} windows",
+            if sl.met { "met" } else { "MISSED" },
+            sl.latency_burn,
+            sl.throughput_burn,
+            sl.windows,
+        );
+    }
+    if let Some(path) = audit_out {
+        let Some(log) = &r.decisions else {
+            eprintln!(
+                "--audit-out: the run produced no decision log (mode '{mode}' never updates w?)"
+            );
+            return 2;
+        };
+        if let Err(e) = std::fs::write(&path, log.to_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            return 2;
+        }
+        println!(
+            "{app}: {} balancer decisions -> {path} (render with `nba-bench explain {path}`)",
+            log.records.len()
+        );
+    }
+    0
+}
+
+/// `nba-bench explain <decisions.jsonl>`: verify the log replays
+/// bit-exactly, then render it as a human timeline.
+fn cmd_explain(args: &[String]) -> i32 {
+    let [path] = positionals(args)[..] else {
+        usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let log = match nba_core::audit::DecisionLog::from_jsonl(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 2;
+        }
+    };
+    // Replay the recorded inputs through a fresh balancer: the log is
+    // trustworthy only if it reproduces itself bit for bit.
+    match nba_core::audit::replay(&log) {
+        Ok(replayed) if replayed.bit_eq(&log) => {
+            println!(
+                "replay: {} records reproduced bit-exactly\n",
+                log.records.len()
+            );
+        }
+        Ok(_) => {
+            eprintln!("{path}: replay DIVERGED from the recorded decisions — the log does not explain itself");
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("{path}: replay failed: {e}");
+            return 1;
+        }
+    }
+    print!("{}", log.explain());
     0
 }
 
@@ -527,6 +646,44 @@ fn render_top(doc: &nba_core::json::Value) -> String {
             .unwrap_or(false),
         u(doc.get("flight_dumps")).unwrap_or(0),
     );
+    // SLO burn rates (null unless the run declared budgets) and drift
+    // gauges published by the device thread.
+    if let Some(slo) = doc
+        .get("slo")
+        .filter(|v| !matches!(v, nba_core::json::Value::Null))
+    {
+        let ok = |k: &str| {
+            slo.get(k)
+                .and_then(nba_core::json::Value::as_bool)
+                .unwrap_or(true)
+        };
+        out.push_str(&format!(
+            "slo: latency {} (burn {:.2})  throughput {} (burn {:.2})\n",
+            if ok("latency_ok") { "ok" } else { "VIOLATED" },
+            f(slo.get("latency_burn")).unwrap_or(0.0),
+            if ok("throughput_ok") {
+                "ok"
+            } else {
+                "VIOLATED"
+            },
+            f(slo.get("throughput_burn")).unwrap_or(0.0),
+        ));
+    }
+    if let Some(drift) = doc.get("drift") {
+        let events = u(drift.get("events")).unwrap_or(0);
+        if events > 0 {
+            out.push_str(&format!(
+                "drift: {} event(s), rel_err {:.3}{}\n",
+                events,
+                f(drift.get("rel_err")).unwrap_or(0.0),
+                drift
+                    .get("worst_stage")
+                    .and_then(nba_core::json::Value::as_str)
+                    .map(|s| format!(", worst stage {s}"))
+                    .unwrap_or_default(),
+            ));
+        }
+    }
     out.push_str("shard      ring   high-water   enq-fail   rx-drop        w\n");
     for s in doc
         .get("shards")
@@ -560,7 +717,8 @@ fn cmd_top(args: &[String]) -> i32 {
                     .find_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
             })
     };
-    let interval = opt("--interval-ms")
+    let interval = opt("--interval")
+        .or_else(|| opt("--interval-ms"))
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(1000);
     let count = opt("--count")
@@ -596,6 +754,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         _ => usage(),
     };
     std::process::exit(code);

@@ -26,9 +26,11 @@ use crate::table::Table;
 
 /// Version of the `BENCH_*.json` schema this code writes. Version 2 added
 /// the `faults` section; version 3 added the optional `scaling` section
-/// (throughput-vs-workers series). Version-1/2 artifacts still parse (with
-/// zero-fault / no-scaling defaults) so existing baselines stay valid.
-pub const SCHEMA_VERSION: u64 = 3;
+/// (throughput-vs-workers series); version 4 added the optional audit
+/// sections (`offload_stages`, `drift`, `slo`). Earlier artifacts still
+/// parse (with the missing sections defaulted) so existing baselines stay
+/// valid.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Oldest schema version [`BenchReport::parse`] accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -165,6 +167,69 @@ pub struct ScalingSection {
     pub series: Vec<ScalePoint>,
 }
 
+/// One offload sub-stage's timing summary (schema v4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Stage name (`enqueue_wait` / `gather` / `copy_in` / `launch` /
+    /// `compute` / `copy_out` / `scatter`).
+    pub stage: String,
+    /// Mean nanoseconds per offload task.
+    pub mean_ns: f64,
+    /// 99th-percentile nanoseconds per offload task.
+    pub p99_ns: u64,
+    /// Total nanoseconds accumulated over the run.
+    pub total_ns: u64,
+}
+
+/// Offload stage decomposition (schema v4): where device round-trip time
+/// actually went, one row per sub-stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadStagesSection {
+    /// Offload tasks decomposed.
+    pub tasks: u64,
+    /// Per-stage rows in pipeline order.
+    pub stages: Vec<StageRow>,
+}
+
+/// Cost-model drift accounting (schema v4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftSection {
+    /// Tasks the detector scored.
+    pub tasks: u64,
+    /// Final smoothed relative error between predicted and measured cost.
+    pub rel_err: f64,
+    /// Drift events raised (the detector latches at 1).
+    pub events: u64,
+    /// Stage with the largest accumulated unpredicted time, if any.
+    pub worst_stage: Option<String>,
+    /// That stage's accumulated unpredicted nanoseconds.
+    pub worst_excess_ns: f64,
+}
+
+/// SLO budget verdict (schema v4): the declared objectives plus burn-rate
+/// accounting over the run's sample windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSection {
+    /// Latency budget, nanoseconds (None = not tracked).
+    pub latency_ns: Option<u64>,
+    /// Throughput floor, Mpps (None = not tracked).
+    pub min_mpps: Option<f64>,
+    /// Fraction of sample windows allowed to violate.
+    pub error_budget: f64,
+    /// Sample windows scored.
+    pub windows: u64,
+    /// Windows that violated the latency budget.
+    pub latency_violations: u64,
+    /// Windows that violated the throughput floor.
+    pub throughput_violations: u64,
+    /// Latency burn rate (>1 = budget blown).
+    pub latency_burn: f64,
+    /// Throughput burn rate (>1 = budget blown).
+    pub throughput_burn: f64,
+    /// Every budget held over the run.
+    pub met: bool,
+}
+
 /// Band half-width around `final_w` used for settle-time detection.
 const SETTLE_BAND: f64 = 0.05;
 
@@ -225,6 +290,12 @@ pub struct BenchReport {
     /// Throughput-vs-workers sweep, when the run was a scaling sweep
     /// (`None` for single-configuration runs and pre-v3 artifacts).
     pub scaling: Option<ScalingSection>,
+    /// Offload stage decomposition (`None` unless stage stats were on).
+    pub offload_stages: Option<OffloadStagesSection>,
+    /// Cost-model drift accounting (`None` unless drift detection was on).
+    pub drift: Option<DriftSection>,
+    /// SLO budget verdict (`None` unless an SLO was configured).
+    pub slo: Option<SloSection>,
 }
 
 /// FNV-1a over the configuration knobs that define the experiment. Not a
@@ -349,6 +420,36 @@ impl BenchReport {
                 })
                 .collect(),
             scaling: None,
+            offload_stages: run.stages.as_ref().map(|st| OffloadStagesSection {
+                tasks: st.tasks,
+                stages: nba_core::audit::OffloadStage::ALL
+                    .iter()
+                    .map(|s| StageRow {
+                        stage: s.as_str().to_string(),
+                        mean_ns: st.mean_ns(*s),
+                        p99_ns: st.hist[s.index()].percentile_ns(99.0),
+                        total_ns: st.total_ns[s.index()],
+                    })
+                    .collect(),
+            }),
+            drift: run.drift.as_ref().map(|d| DriftSection {
+                tasks: d.tasks,
+                rel_err: d.rel_err,
+                events: d.events,
+                worst_stage: d.worst_stage.clone(),
+                worst_excess_ns: d.worst_excess_ns,
+            }),
+            slo: run.slo.as_ref().map(|s| SloSection {
+                latency_ns: s.cfg.latency_ns,
+                min_mpps: s.cfg.min_mpps,
+                error_budget: s.cfg.error_budget,
+                windows: s.windows,
+                latency_violations: s.latency_violations,
+                throughput_violations: s.throughput_violations,
+                latency_burn: s.latency_burn,
+                throughput_burn: s.throughput_burn,
+                met: s.met,
+            }),
         }
     }
 
@@ -457,6 +558,64 @@ impl BenchReport {
                 })
                 .collect();
             s.push_str(&format!("    \"series\": [{}]\n", pts.join(", ")));
+            s.push_str("  },\n");
+        }
+        if let Some(st) = &self.offload_stages {
+            s.push_str("  \"offload_stages\": {\n");
+            s.push_str(&format!("    \"tasks\": {},\n", st.tasks));
+            let rows: Vec<String> = st
+                .stages
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"stage\": \"{}\", \"mean_ns\": {}, \"p99_ns\": {}, \"total_ns\": {}}}",
+                        json_escape(&r.stage),
+                        json_f64(r.mean_ns),
+                        r.p99_ns,
+                        r.total_ns
+                    )
+                })
+                .collect();
+            s.push_str(&format!("    \"stages\": [{}]\n", rows.join(", ")));
+            s.push_str("  },\n");
+        }
+        if let Some(d) = &self.drift {
+            let worst = match &d.worst_stage {
+                Some(w) => format!("\"{}\"", json_escape(w)),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "  \"drift\": {{\"tasks\": {}, \"rel_err\": {}, \"events\": {}, \"worst_stage\": {worst}, \"worst_excess_ns\": {}}},\n",
+                d.tasks,
+                json_f64(d.rel_err),
+                d.events,
+                json_f64(d.worst_excess_ns)
+            ));
+        }
+        if let Some(sl) = &self.slo {
+            let lat = match sl.latency_ns {
+                Some(ns) => ns.to_string(),
+                None => "null".to_string(),
+            };
+            let mpps = match sl.min_mpps {
+                Some(m) => json_f64(m),
+                None => "null".to_string(),
+            };
+            s.push_str("  \"slo\": {\n");
+            s.push_str(&format!(
+                "    \"latency_ns\": {lat}, \"min_mpps\": {mpps}, \"error_budget\": {},\n",
+                json_f64(sl.error_budget)
+            ));
+            s.push_str(&format!(
+                "    \"windows\": {}, \"latency_violations\": {}, \"throughput_violations\": {},\n",
+                sl.windows, sl.latency_violations, sl.throughput_violations
+            ));
+            s.push_str(&format!(
+                "    \"latency_burn\": {}, \"throughput_burn\": {}, \"met\": {}\n",
+                json_f64(sl.latency_burn),
+                json_f64(sl.throughput_burn),
+                sl.met
+            ));
             s.push_str("  },\n");
         }
         s.push_str("  \"elements\": [\n");
@@ -603,6 +762,101 @@ impl BenchReport {
             }
             scaling = Some(ScalingSection { runtime, series });
         }
+        // The audit sections are optional at every version: audited runs
+        // write them, plain runs and pre-v4 artifacts don't.
+        let mut offload_stages = None;
+        if let Some(st) = obj.get("offload_stages") {
+            let tasks = st
+                .get("tasks")
+                .and_then(Value::as_u64)
+                .ok_or("offload_stages.tasks missing or not an integer")?;
+            let mut stages = Vec::new();
+            for r in st
+                .get("stages")
+                .and_then(Value::as_arr)
+                .ok_or("offload_stages.stages missing or not an array")?
+            {
+                stages.push(StageRow {
+                    stage: r
+                        .get("stage")
+                        .and_then(Value::as_str)
+                        .ok_or("stage row missing name")?
+                        .to_string(),
+                    mean_ns: r
+                        .get("mean_ns")
+                        .and_then(Value::as_f64)
+                        .ok_or("stage row missing mean_ns")?,
+                    p99_ns: r
+                        .get("p99_ns")
+                        .and_then(Value::as_u64)
+                        .ok_or("stage row missing p99_ns")?,
+                    total_ns: r
+                        .get("total_ns")
+                        .and_then(Value::as_u64)
+                        .ok_or("stage row missing total_ns")?,
+                });
+            }
+            offload_stages = Some(OffloadStagesSection { tasks, stages });
+        }
+        let mut drift = None;
+        if let Some(d) = obj.get("drift") {
+            drift = Some(DriftSection {
+                tasks: d
+                    .get("tasks")
+                    .and_then(Value::as_u64)
+                    .ok_or("drift.tasks missing or not an integer")?,
+                rel_err: d
+                    .get("rel_err")
+                    .and_then(Value::as_f64)
+                    .ok_or("drift.rel_err missing or not a number")?,
+                events: d
+                    .get("events")
+                    .and_then(Value::as_u64)
+                    .ok_or("drift.events missing or not an integer")?,
+                worst_stage: match d.get("worst_stage") {
+                    Some(Value::Null) | None => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .ok_or("drift.worst_stage is not a string")?
+                            .to_string(),
+                    ),
+                },
+                worst_excess_ns: d
+                    .get("worst_excess_ns")
+                    .and_then(Value::as_f64)
+                    .ok_or("drift.worst_excess_ns missing or not a number")?,
+            });
+        }
+        let mut slo = None;
+        if let Some(sl) = obj.get("slo") {
+            let su = |k: &str| -> Result<u64, String> {
+                sl.get(k)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("slo.{k} missing or not an integer"))
+            };
+            let sf = |k: &str| -> Result<f64, String> {
+                sl.get(k)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("slo.{k} missing or not a number"))
+            };
+            slo = Some(SloSection {
+                latency_ns: match sl.get("latency_ns") {
+                    Some(Value::Null) | None => None,
+                    Some(v) => Some(v.as_u64().ok_or("slo.latency_ns is not an integer")?),
+                },
+                min_mpps: match sl.get("min_mpps") {
+                    Some(Value::Null) | None => None,
+                    Some(v) => Some(v.as_f64().ok_or("slo.min_mpps is not a number")?),
+                },
+                error_budget: sf("error_budget")?,
+                windows: su("windows")?,
+                latency_violations: su("latency_violations")?,
+                throughput_violations: su("throughput_violations")?,
+                latency_burn: sf("latency_burn")?,
+                throughput_burn: sf("throughput_burn")?,
+                met: matches!(sl.get("met"), Some(Value::Bool(true))),
+            });
+        }
         let mut elements = Vec::new();
         for e in need("elements")?
             .as_arr()
@@ -657,6 +911,9 @@ impl BenchReport {
             faults,
             elements,
             scaling,
+            offload_stages,
+            drift,
+            slo,
         })
     }
 }
@@ -985,6 +1242,51 @@ pub fn compare(base: &BenchReport, cur: &BenchReport, tol: &Tolerances) -> Compa
         (None, None) => {}
     }
 
+    // Audit-plane context: SLO burn rates and drift events inform but
+    // never gate — they describe budgets and model fit, not regressions
+    // the throughput/latency gates wouldn't already catch.
+    let opt_f64 = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    };
+    if base.slo.is_some() || cur.slo.is_some() {
+        for (metric, bv, cv) in [
+            (
+                "slo_latency_burn",
+                base.slo.as_ref().map(|s| s.latency_burn),
+                cur.slo.as_ref().map(|s| s.latency_burn),
+            ),
+            (
+                "slo_throughput_burn",
+                base.slo.as_ref().map(|s| s.throughput_burn),
+                cur.slo.as_ref().map(|s| s.throughput_burn),
+            ),
+        ] {
+            c.rows.push(CompareRow {
+                metric: metric.to_string(),
+                baseline: opt_f64(bv),
+                current: opt_f64(cv),
+                delta: "-".to_string(),
+                allowed: "-".to_string(),
+                verdict: Verdict::Info,
+            });
+        }
+    }
+    if base.drift.is_some() || cur.drift.is_some() {
+        let fmt = |d: Option<&DriftSection>| match d {
+            Some(d) => format!("{} (err {:.3})", d.events, d.rel_err),
+            None => "-".to_string(),
+        };
+        c.rows.push(CompareRow {
+            metric: "drift_events".to_string(),
+            baseline: fmt(base.drift.as_ref()),
+            current: fmt(cur.drift.as_ref()),
+            delta: "-".to_string(),
+            allowed: "-".to_string(),
+            verdict: Verdict::Info,
+        });
+    }
+
     // Context rows: never gate.
     c.rows.push(CompareRow {
         metric: "rx_dropped".to_string(),
@@ -1068,6 +1370,9 @@ mod tests {
                 p99_ns: 900,
             }],
             scaling: None,
+            offload_stages: None,
+            drift: None,
+            slo: None,
         }
     }
 
@@ -1121,6 +1426,54 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip_with_audit_sections() {
+        let mut r = sample();
+        r.offload_stages = Some(OffloadStagesSection {
+            tasks: 42,
+            stages: vec![
+                StageRow {
+                    stage: "gather".to_string(),
+                    mean_ns: 1500.0,
+                    p99_ns: 2100,
+                    total_ns: 63_000,
+                },
+                StageRow {
+                    stage: "compute".to_string(),
+                    mean_ns: 20_000.5,
+                    p99_ns: 31_000,
+                    total_ns: 840_021,
+                },
+            ],
+        });
+        r.drift = Some(DriftSection {
+            tasks: 42,
+            rel_err: 0.75,
+            events: 1,
+            worst_stage: Some("launch".to_string()),
+            worst_excess_ns: 1_000_000.0,
+        });
+        r.slo = Some(SloSection {
+            latency_ns: Some(500_000),
+            min_mpps: None,
+            error_budget: 0.05,
+            windows: 25,
+            latency_violations: 3,
+            throughput_violations: 0,
+            latency_burn: 2.4,
+            throughput_burn: 0.0,
+            met: false,
+        });
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // The audit context rows show up in a comparison but never gate.
+        let c = compare(&r, &r, &Tolerances::default());
+        assert!(!c.regressed(), "{}", c.render());
+        let rendered = c.render();
+        assert!(rendered.contains("slo_latency_burn"), "{rendered}");
+        assert!(rendered.contains("drift_events"), "{rendered}");
+    }
+
+    #[test]
     fn scaling_point_cliff_fails() {
         let pts = |m1: f64, m4: f64| {
             vec![
@@ -1161,7 +1514,7 @@ mod tests {
     fn parse_rejects_wrong_schema_version() {
         let text = sample()
             .to_json()
-            .replace("\"schema_version\": 3", "\"schema_version\": 999");
+            .replace("\"schema_version\": 4", "\"schema_version\": 999");
         assert!(BenchReport::parse(&text)
             .unwrap_err()
             .contains("schema_version"));
@@ -1172,7 +1525,7 @@ mod tests {
         // A version-1 artifact: no `faults` section at all.
         let mut text = sample()
             .to_json()
-            .replace("\"schema_version\": 3", "\"schema_version\": 1");
+            .replace("\"schema_version\": 4", "\"schema_version\": 1");
         let start = text.find("  \"faults\": {").unwrap();
         let end = text[start..].find("},\n").unwrap() + start + 3;
         text.replace_range(start..end, "");
@@ -1276,6 +1629,7 @@ mod tests {
             offload_fraction: w,
             gpu_busy: Vec::new(),
             shards: Vec::new(),
+            slo: None,
         };
         // Enters the band at 2 ms, leaves, re-enters for good at 4 ms.
         let samples = vec![mk(1, 0.2), mk(2, 0.61), mk(3, 0.4), mk(4, 0.6), mk(5, 0.62)];

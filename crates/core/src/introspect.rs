@@ -339,6 +339,9 @@ pub struct StatsState {
     pub samples: Arc<Mutex<Vec<TimeSample>>>,
     /// Per-worker latency-histogram shards, merged per request.
     pub latency: Arc<Vec<Mutex<LatencyHistogram>>>,
+    /// Cost-model drift gauges published by the device thread (all-zero
+    /// when drift detection is off).
+    pub drift: Arc<crate::audit::DriftGauge>,
 }
 
 impl StatsState {
@@ -394,9 +397,33 @@ impl StatsState {
             .iter()
             .map(|s| json_f64(s.offload_fraction))
             .collect();
+        // SLO burn from the latest reporter window; null when no SLO is
+        // configured (or before the first sample).
+        let slo = self
+            .samples
+            .lock()
+            .last()
+            .and_then(|s| s.slo)
+            .map_or("null".to_string(), |s| {
+                format!(
+                    "{{\"latency_ok\":{},\"throughput_ok\":{},\"latency_burn\":{},\
+                     \"throughput_burn\":{}}}",
+                    s.latency_ok,
+                    s.throughput_ok,
+                    json_f64(s.latency_burn),
+                    json_f64(s.throughput_burn)
+                )
+            });
+        let (drift_events, drift_rel, drift_stage) = self.drift.snapshot();
+        let drift = format!(
+            "{{\"events\":{drift_events},\"rel_err\":{},\"worst_stage\":{}}}",
+            json_f64(drift_rel),
+            drift_stage.map_or("null".to_string(), |s| format!("\"{}\"", s.as_str()))
+        );
         format!(
             "{{\"elapsed_s\":{},\"totals\":{},\"quarantined\":{},\"flight_dumps\":{},\
-             \"faults\":{},\"shards\":[{}],\"latency\":{},\"w_trajectory\":[{}]}}",
+             \"faults\":{},\"shards\":[{}],\"latency\":{},\"w_trajectory\":[{}],\
+             \"slo\":{slo},\"drift\":{drift}}}",
             json_f64(elapsed),
             totals.to_json(),
             self.flight.quarantined(),
@@ -457,6 +484,45 @@ impl StatsState {
             "1 while the device circuit breaker is open.",
             u32::from(self.flight.quarantined()).to_string(),
         );
+        let (drift_events, drift_rel, _) = self.drift.snapshot();
+        scalar(
+            "nba_cost_drift_events_total",
+            "counter",
+            "Cost-model drift events raised.",
+            drift_events.to_string(),
+        );
+        scalar(
+            "nba_cost_drift_rel_err",
+            "gauge",
+            "Smoothed relative error of the offload cost model.",
+            json_f64(drift_rel),
+        );
+        if let Some(slo) = self.samples.lock().last().and_then(|s| s.slo) {
+            scalar(
+                "nba_slo_latency_burn",
+                "gauge",
+                "Latency SLO burn rate so far.",
+                json_f64(slo.latency_burn),
+            );
+            scalar(
+                "nba_slo_throughput_burn",
+                "gauge",
+                "Throughput SLO burn rate so far.",
+                json_f64(slo.throughput_burn),
+            );
+            scalar(
+                "nba_slo_latency_ok",
+                "gauge",
+                "1 while the latest window met the latency budget.",
+                u32::from(slo.latency_ok).to_string(),
+            );
+            scalar(
+                "nba_slo_throughput_ok",
+                "gauge",
+                "1 while the latest window met the throughput floor.",
+                u32::from(slo.throughput_ok).to_string(),
+            );
+        }
         let mut per_shard = |name: &str, kind: &str, help: &str, f: &dyn Fn(usize) -> String| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
             for w in 0..self.balancers.len() {
@@ -717,6 +783,12 @@ mod tests {
             offload_fraction: 0.25,
             gpu_busy: Vec::new(),
             shards: Vec::new(),
+            slo: Some(crate::audit::SloSample {
+                latency_ok: true,
+                throughput_ok: false,
+                latency_burn: 0.0,
+                throughput_burn: 2.5,
+            }),
         }]));
         let state = StatsState {
             started: Instant::now(),
@@ -728,6 +800,7 @@ mod tests {
             rx_drops: Arc::new(vec![AtomicU64::new(7)]),
             samples,
             latency: Arc::new(vec![Mutex::new(hist)]),
+            drift: Arc::new(crate::audit::DriftGauge::default()),
         };
         (state, tx)
     }
@@ -801,6 +874,55 @@ mod tests {
         assert!(metrics.contains("# TYPE nba_ring_occupancy gauge"));
         assert!(metrics.contains("nba_ring_occupancy{shard=\"0\"} 3"));
         assert!(metrics.contains("nba_quarantined 1"));
+        assert!(metrics.contains("nba_cost_drift_events_total 0"));
+        assert!(metrics.contains("nba_slo_throughput_burn 2.5"));
+        assert!(metrics.contains("nba_slo_latency_ok 1"));
         assert!(fetch("/nope").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn status_json_reports_slo_and_drift() {
+        let (state, _tx) = test_state();
+        let doc = crate::json::parse(&state.status_json()).expect("status parses");
+        let slo = doc.get("slo").expect("slo object");
+        assert_eq!(
+            slo.get("latency_ok").and_then(crate::json::Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            slo.get("throughput_burn")
+                .and_then(crate::json::Value::as_f64),
+            Some(2.5)
+        );
+        let drift = doc.get("drift").expect("drift object");
+        assert_eq!(
+            drift.get("events").and_then(crate::json::Value::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn unknown_path_gets_proper_404_with_content_length() {
+        let (state, _tx) = test_state();
+        let server = StatsServer::start("127.0.0.1:0", state).expect("bind");
+        let mut s = TcpStream::connect(server.bound_addr()).expect("connect");
+        write!(
+            s,
+            "GET /definitely-not-a-path HTTP/1.1\r\nHost: nba\r\n\r\n"
+        )
+        .unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        let (head, body) = resp.split_once("\r\n\r\n").expect("header/body split");
+        assert!(head.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .trim()
+            .parse()
+            .expect("numeric Content-Length");
+        assert_eq!(content_length, body.len());
+        assert_eq!(body, "not found\n");
     }
 }

@@ -15,6 +15,7 @@
 
 use nba_sim::Time;
 
+use crate::audit::{DecisionClock, DecisionContext, DecisionKind, DecisionLog, DecisionRecord};
 use crate::batch::{anno, PacketBatch};
 use crate::element::{ElemCtx, Element, ElementKind};
 
@@ -38,6 +39,41 @@ pub trait LoadBalancer: Send {
     /// against a processor that cannot do work; fixed policies ignore it
     /// (the device thread falls their batches back regardless).
     fn observe_device_health(&mut self, _healthy: bool) {}
+
+    /// Enables the bounded decision audit log, keeping the first
+    /// `capacity` records. Call **before** the first tick so the log's
+    /// recorded `initial_w` anchors the replayed trajectory; stateless
+    /// balancers ignore it.
+    fn enable_audit(&mut self, _capacity: usize) {}
+
+    /// Publishes device-side gauges (queue depth, busy fraction, predicted
+    /// per-packet costs) that explain subsequent records. Observational
+    /// only: no balancer branches on these values.
+    fn set_decision_context(&mut self, _ctx: DecisionContext) {}
+
+    /// Replaces the time-based update interval with a logical packet-count
+    /// clock so the decision stream becomes a pure function of the packet
+    /// set (cross-runtime determinism). Adaptive balancers only.
+    fn set_decision_clock(&mut self, _clock: DecisionClock) {}
+
+    /// Fires any decision-clock milestones still pending at `final_tx`
+    /// transmitted packets. Runtimes call this once at teardown: the
+    /// per-batch tick reads the tx counter *before* the batch transmits,
+    /// so without a flush the trailing milestones — and how many a run
+    /// records — would depend on tick cadence rather than the packet set.
+    /// No-op for time-based balancers (an extra wall-clock update would
+    /// perturb the hill climb).
+    fn flush_decision_clock(&mut self, _final_tx: u64) {}
+
+    /// The decision log recorded so far, when auditing is enabled.
+    fn audit_log(&self) -> Option<&DecisionLog> {
+        None
+    }
+
+    /// Takes ownership of the decision log (report assembly).
+    fn take_audit_log(&mut self) -> Option<DecisionLog> {
+        None
+    }
 
     /// Current offloading fraction in `[0, 1]` (for reporting).
     fn offload_fraction(&self) -> f64;
@@ -197,6 +233,15 @@ pub struct Adaptive {
     device_healthy: bool,
     /// Decisions since the last quarantine probe.
     probe_tick: u32,
+    /// Latest latency EWMA fed via [`LoadBalancer::observe_latency`]
+    /// (recorded in audit records; the plain adaptive walk ignores it).
+    latest_latency_ns: u64,
+    /// Device-side explanation gauges for the audit records.
+    ctx: DecisionContext,
+    /// Logical decision clock replacing the time interval when set.
+    clock: Option<DecisionClock>,
+    /// Bounded decision audit log (None until enabled).
+    audit: Option<DecisionLog>,
     /// Trace of (time, w) after each move, for the convergence plots.
     pub trace: Vec<(Time, f64)>,
 }
@@ -224,8 +269,167 @@ impl Adaptive {
             wait_remaining: 0,
             device_healthy: true,
             probe_tick: 0,
+            latest_latency_ns: 0,
+            ctx: DecisionContext::default(),
+            clock: None,
+            audit: None,
             trace: Vec::new(),
         }
+    }
+
+    /// Appends one audit record for a state transition that just happened
+    /// (`w`/`dir` already hold their post-transition values).
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        t: Time,
+        kind: DecisionKind,
+        total_tx: u64,
+        thr: f64,
+        avg: f64,
+        last_avg: f64,
+        w_before: f64,
+    ) {
+        let latency = self.latest_latency_ns;
+        let healthy = self.device_healthy;
+        let ctx = self.ctx;
+        let dir = self.dir;
+        let w_after = self.w;
+        let Some(log) = self.audit.as_mut() else {
+            return;
+        };
+        let rec = DecisionRecord {
+            seq: log.next_seq(),
+            t,
+            kind,
+            total_tx,
+            latency_ewma_ns: latency,
+            healthy,
+            queue_depth: ctx.queue_depth,
+            gpu_busy: ctx.gpu_busy,
+            predicted_cpu_ns_per_pkt: ctx.predicted_cpu_ns_per_pkt,
+            predicted_gpu_ns_per_pkt: ctx.predicted_gpu_ns_per_pkt,
+            thr_pps: thr,
+            avg_pps: avg,
+            last_avg_pps: last_avg,
+            dir,
+            w_before,
+            w_after,
+        };
+        log.push(rec);
+    }
+
+    /// The un-clocked update step: every state mutation emits exactly one
+    /// audit record, which is what makes the log replayable — feeding the
+    /// recorded `(t, total_tx, latency, health)` stream back through a
+    /// fresh balancer traverses the same branches bit-for-bit.
+    fn tick_inner(&mut self, now: Time, total_tx_packets: u64) {
+        if !self.device_healthy {
+            // No hill-climbing against a dead device: walk `w` down one
+            // δ per update interval so the trace records the fail-over.
+            if now.saturating_sub(self.last_obs_time) >= self.cfg.update_interval {
+                self.last_obs_time = now;
+                self.last_tx = total_tx_packets;
+                let w_before = self.w;
+                if self.w > 0.0 {
+                    self.w = (self.w - self.cfg.delta).max(0.0);
+                    self.trace.push((now, self.w));
+                }
+                // Recorded even when `w` is already 0: the tick still moved
+                // the observation anchor, and replay must reproduce that.
+                self.record(
+                    now,
+                    DecisionKind::QuarantineStep,
+                    total_tx_packets,
+                    0.0,
+                    0.0,
+                    0.0,
+                    w_before,
+                );
+            }
+            return;
+        }
+        if self.last_obs_time == Time::ZERO {
+            self.last_obs_time = now;
+            self.last_tx = total_tx_packets;
+            self.record(
+                now,
+                DecisionKind::Init,
+                total_tx_packets,
+                0.0,
+                0.0,
+                0.0,
+                self.w,
+            );
+            return;
+        }
+        let elapsed = now.saturating_sub(self.last_obs_time);
+        if elapsed < self.cfg.update_interval {
+            return;
+        }
+        // Throughput in packets per second over the last interval.
+        let tx = total_tx_packets.saturating_sub(self.last_tx);
+        let thr = tx as f64 / elapsed.as_secs_f64();
+        self.last_obs_time = now;
+        self.last_tx = total_tx_packets;
+
+        self.window.push(thr);
+        if (self.window.len() as u32) < self.cfg.avg_window {
+            self.record(
+                now,
+                DecisionKind::Observe,
+                total_tx_packets,
+                thr,
+                0.0,
+                0.0,
+                self.w,
+            );
+            return;
+        }
+        let avg = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        self.window.clear();
+
+        if self.wait_remaining > 0 {
+            self.wait_remaining -= 1;
+            let last = self.last_avg.unwrap_or(0.0);
+            self.record(
+                now,
+                DecisionKind::Hold,
+                total_tx_packets,
+                thr,
+                avg,
+                last,
+                self.w,
+            );
+            return;
+        }
+
+        // Move towards higher throughput; always move (perturbation).
+        let prev_avg = self.last_avg.unwrap_or(0.0);
+        if let Some(last) = self.last_avg {
+            if avg < last {
+                self.dir = -self.dir;
+            }
+        }
+        self.last_avg = Some(avg);
+        let w_before = self.w;
+        self.w = (self.w + self.dir * self.cfg.delta).clamp(0.0, 1.0);
+        if self.w == 0.0 {
+            self.dir = 1.0;
+        } else if self.w == 1.0 {
+            self.dir = -1.0;
+        }
+        self.wait_remaining = self.wait_for(self.w);
+        self.trace.push((now, self.w));
+        self.record(
+            now,
+            DecisionKind::Move,
+            total_tx_packets,
+            thr,
+            avg,
+            prev_avg,
+            w_before,
+        );
     }
 
     fn wait_for(&self, w: f64) -> u32 {
@@ -258,61 +462,71 @@ impl LoadBalancer for Adaptive {
     }
 
     fn tick(&mut self, now: Time, total_tx_packets: u64) {
-        if !self.device_healthy {
-            // No hill-climbing against a dead device: walk `w` down one
-            // δ per update interval so the trace records the fail-over.
-            if now.saturating_sub(self.last_obs_time) >= self.cfg.update_interval {
-                self.last_obs_time = now;
-                self.last_tx = total_tx_packets;
-                if self.w > 0.0 {
-                    self.w = (self.w - self.cfg.delta).max(0.0);
-                    self.trace.push((now, self.w));
+        match self.clock {
+            None => self.tick_inner(now, total_tx_packets),
+            Some(clock) => {
+                // Logical clock: updates fire at packet-count milestones
+                // with fully quantized (t, tx) inputs, so the record
+                // stream is a pure function of the transmitted packet set
+                // regardless of runtime timing or tick cadence.
+                let milestone = (total_tx_packets / clock.pkts_per_update).min(clock.max_updates);
+                while self.clock.map_or(0, |c| c.fired) < milestone {
+                    let fired = {
+                        let c = self.clock.as_mut().expect("clock set");
+                        c.fired += 1;
+                        c.fired
+                    };
+                    let t = Time::from_ps(self.cfg.update_interval.as_ps() * fired);
+                    self.tick_inner(t, fired * clock.pkts_per_update);
                 }
             }
-            return;
         }
-        if self.last_obs_time == Time::ZERO {
-            self.last_obs_time = now;
-            self.last_tx = total_tx_packets;
-            return;
-        }
-        let elapsed = now.saturating_sub(self.last_obs_time);
-        if elapsed < self.cfg.update_interval {
-            return;
-        }
-        // Throughput in packets per second over the last interval.
-        let tx = total_tx_packets.saturating_sub(self.last_tx);
-        let thr = tx as f64 / elapsed.as_secs_f64();
-        self.last_obs_time = now;
-        self.last_tx = total_tx_packets;
+    }
 
-        self.window.push(thr);
-        if (self.window.len() as u32) < self.cfg.avg_window {
-            return;
+    fn observe_latency(&mut self, ewma_ns: u64) {
+        // Clock mode: runtime-published latency differs across runtimes —
+        // keep it out of the deterministic record stream.
+        if self.clock.is_none() {
+            self.latest_latency_ns = ewma_ns;
         }
-        let avg = self.window.iter().sum::<f64>() / self.window.len() as f64;
-        self.window.clear();
+    }
 
-        if self.wait_remaining > 0 {
-            self.wait_remaining -= 1;
-            return;
+    fn flush_decision_clock(&mut self, final_tx: u64) {
+        if self.clock.is_some() {
+            // The milestone loop in `tick` is already a catch-up loop; the
+            // time argument is ignored in clock mode (quantized per fire).
+            self.tick(Time::ZERO, final_tx);
         }
+    }
 
-        // Move towards higher throughput; always move (perturbation).
-        if let Some(last) = self.last_avg {
-            if avg < last {
-                self.dir = -self.dir;
-            }
+    fn enable_audit(&mut self, capacity: usize) {
+        let mut log = DecisionLog::new("adaptive", self.cfg.clone(), self.w, capacity);
+        log.clock = self.clock.map(|c| (c.pkts_per_update, c.max_updates));
+        self.audit = Some(log);
+    }
+
+    fn set_decision_context(&mut self, ctx: DecisionContext) {
+        if self.clock.is_none() {
+            self.ctx = ctx;
         }
-        self.last_avg = Some(avg);
-        self.w = (self.w + self.dir * self.cfg.delta).clamp(0.0, 1.0);
-        if self.w == 0.0 {
-            self.dir = 1.0;
-        } else if self.w == 1.0 {
-            self.dir = -1.0;
+    }
+
+    fn set_decision_clock(&mut self, clock: DecisionClock) {
+        self.clock = Some(clock);
+        if let Some(log) = self.audit.as_mut() {
+            log.clock = Some((clock.pkts_per_update, clock.max_updates));
         }
-        self.wait_remaining = self.wait_for(self.w);
-        self.trace.push((now, self.w));
+        // Quantized mode: zero any runtime-published gauges already fed.
+        self.latest_latency_ns = 0;
+        self.ctx = DecisionContext::default();
+    }
+
+    fn audit_log(&self) -> Option<&DecisionLog> {
+        self.audit.as_ref()
+    }
+
+    fn take_audit_log(&mut self) -> Option<DecisionLog> {
+        self.audit.take()
     }
 
     fn observe_device_health(&mut self, healthy: bool) {
@@ -330,6 +544,20 @@ impl LoadBalancer for Adaptive {
             self.wait_remaining = 0;
             self.dir = 1.0;
         }
+        let kind = if healthy {
+            DecisionKind::HealthUp
+        } else {
+            DecisionKind::HealthDown
+        };
+        self.record(
+            self.last_obs_time,
+            kind,
+            self.last_tx,
+            0.0,
+            0.0,
+            0.0,
+            self.w,
+        );
     }
 
     fn offload_fraction(&self) -> f64 {
@@ -381,12 +609,22 @@ impl LoadBalancer for LatencyBounded {
             let step_due =
                 now.saturating_sub(self.inner.last_obs_time) >= self.inner.cfg.update_interval;
             if step_due && self.inner.w > 0.0 {
+                let w_before = self.inner.w;
                 self.inner.w = (self.inner.w - self.inner.cfg.delta).max(0.0);
                 self.inner.dir = -1.0;
                 self.inner.last_obs_time = now;
                 self.inner.last_tx = total_tx_packets;
                 self.violations += 1;
                 self.inner.trace.push((now, self.inner.w));
+                self.inner.record(
+                    now,
+                    DecisionKind::ViolationStep,
+                    total_tx_packets,
+                    0.0,
+                    0.0,
+                    0.0,
+                    w_before,
+                );
             }
             return;
         }
@@ -394,7 +632,46 @@ impl LoadBalancer for LatencyBounded {
     }
 
     fn observe_latency(&mut self, ewma_ns: u64) {
+        if self.inner.clock.is_some() {
+            // Clock mode: the deterministic stream never takes the
+            // violation path, and the inner walker must not record
+            // runtime-dependent latency.
+            return;
+        }
         self.latest_ns = ewma_ns;
+        // Mirror into the inner walker so records emitted on the
+        // hill-climb path carry the same latency the bound was checked
+        // against — replay needs the two views to agree.
+        self.inner.latest_latency_ns = ewma_ns;
+    }
+
+    fn enable_audit(&mut self, capacity: usize) {
+        self.inner.enable_audit(capacity);
+        if let Some(log) = self.inner.audit.as_mut() {
+            log.balancer = "latency-bounded".to_owned();
+            log.bound_ns = Some(self.bound_ns);
+        }
+    }
+
+    fn set_decision_context(&mut self, ctx: DecisionContext) {
+        self.inner.set_decision_context(ctx);
+    }
+
+    fn set_decision_clock(&mut self, clock: DecisionClock) {
+        self.inner.set_decision_clock(clock);
+        self.latest_ns = 0;
+    }
+
+    fn flush_decision_clock(&mut self, final_tx: u64) {
+        self.inner.flush_decision_clock(final_tx);
+    }
+
+    fn audit_log(&self) -> Option<&DecisionLog> {
+        self.inner.audit.as_ref()
+    }
+
+    fn take_audit_log(&mut self) -> Option<DecisionLog> {
+        self.inner.audit.take()
     }
 
     fn observe_device_health(&mut self, healthy: bool) {

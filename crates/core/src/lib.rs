@@ -22,6 +22,9 @@
 //!   (`NBA05x`) over the runtime configurations,
 //! * [`introspect`] — the live introspection plane: the per-shard flight
 //!   recorder and the in-flight stats endpoint,
+//! * [`audit`] — the decision-audit & SLO plane: replayable balancer
+//!   decision logs, offload stage decomposition, cost-model drift
+//!   detection, and SLO budget tracking,
 //! * [`offload`] — datablock gather/scatter between batches and devices,
 //! * [`fault`] — the offload degradation ladder: deterministic fault
 //!   injection plans, CPU fallback accounting, and the device circuit
@@ -37,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod batch;
 pub mod capture;
 pub mod config;
@@ -54,6 +58,11 @@ pub mod stats;
 pub mod telemetry;
 pub mod verify;
 
+pub use audit::{
+    AuditConfig, DecisionClock, DecisionContext, DecisionKind, DecisionLog, DecisionRecord,
+    DriftConfig, DriftDetector, DriftGauge, DriftReport, OffloadStage, SloConfig, SloReport,
+    SloSample, SloTracker, StageProfiles,
+};
 pub use batch::{anno, Anno, PacketBatch, PacketResult};
 pub use capture::TxRecord;
 pub use config::{build_graph, build_graph_checked, CheckedGraph, ConfigError, ElementRegistry};

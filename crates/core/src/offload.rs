@@ -23,6 +23,10 @@ pub struct OffloadTask {
     pub worker: usize,
     /// The suspended batch.
     pub batch: PacketBatch,
+    /// When the batch entered the device command queue — the anchor of the
+    /// `enqueue_wait` offload stage (device time in the DES runtime,
+    /// run-relative wall time in the live runtime).
+    pub enqueued_at: Time,
 }
 
 impl OffloadTask {

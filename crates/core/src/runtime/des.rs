@@ -14,6 +14,7 @@ use nba_gpu::Gpu;
 use nba_io::{Mempool, Packet, PacketSource, Port, PortHandle, TrafficConfig, TrafficGen};
 use nba_sim::{Ctx, Engine, Entity, EntityId, SimQueue, Time, Wake};
 
+use crate::audit::{DecisionContext, DriftDetector, OffloadStage, SloTracker, StageProfiles};
 use crate::batch::{anno, PacketBatch};
 use crate::capture::TxRecord;
 use crate::element::{ComputeMode, ElemCtx, KernelIo, OffloadSpec};
@@ -22,6 +23,7 @@ use crate::fault::{
     Admission, CircuitBreaker, FaultConfig, FaultInjector, FaultKind, FaultPlan, FaultStats,
 };
 use crate::graph::{ElementGraph, NodeId, OutEdge, RunOutcome};
+use crate::introspect::FlightRecorder;
 use crate::lb::SharedBalancer;
 use crate::nls::NodeLocalStorage;
 use crate::offload::{self, CompletedTask, OffloadTask};
@@ -185,6 +187,7 @@ impl WorkerEntity {
                 node: req.node,
                 worker: self.id,
                 batch: req.batch,
+                enqueued_at: now,
             };
             // The queue is unbounded; overload is prevented upstream by
             // gating RX on its depth, so in-chain batches (e.g. AES->HMAC)
@@ -371,6 +374,11 @@ struct InFlight {
     /// The kernel ran but its output block was injected as corrupt; the
     /// scatter-time length check is expected to reject it.
     corrupted: bool,
+    /// Measured per-stage nanoseconds, indexed by [`OffloadStage::ALL`]
+    /// (all-zero unless stage stats or drift detection is on).
+    stage_ns: [u64; 7],
+    /// Model-predicted per-stage nanoseconds for the same task.
+    pred_ns: [u64; 7],
 }
 
 /// The device thread of one NUMA node (§3.2: one per node per device).
@@ -410,6 +418,14 @@ struct DeviceEntity {
     balancer: SharedBalancer,
     /// Where the breaker's quarantine intervals go at engine teardown.
     quarantine_sink: QuarantineSink,
+    /// Per-stage offload histograms shared with the run assembly (`None`
+    /// unless [`crate::audit::AuditConfig::stage_stats`] is on).
+    stages: Option<Rc<RefCell<StageProfiles>>>,
+    /// Cost-model drift detector (`None` unless drift detection is on).
+    drift: Option<Rc<RefCell<DriftDetector>>>,
+    /// Flight recorder receiving drift-event dumps (`None` unless drift
+    /// detection is on).
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// Shared collection point for the per-device quarantine intervals,
@@ -513,15 +529,23 @@ impl DeviceEntity {
             .fuse_next
             .get(&node)
             .map(|&m| (m, self.specs.get(&m).expect("fused node spec").clone()));
+        // Stage 1 (enqueue_wait): how long the oldest constituent batch sat
+        // in the task queue plus the aggregation buffer before this launch.
+        let enqueue_wait_ns = tasks
+            .iter()
+            .map(|t| now.saturating_sub(t.enqueued_at).as_ns())
+            .max()
+            .unwrap_or(0);
         let batches: Vec<(usize, PacketBatch)> =
             tasks.into_iter().map(|t| (t.worker, t.batch)).collect();
         let refs: Vec<&PacketBatch> = batches.iter().map(|(_, b)| b).collect();
         let staged = offload::stage(&spec, &refs);
         // Preprocessing cost: gather into the page-locked datablock (paid
         // once even for fused chains — the point of the optimization).
-        *cycles += cost.device_task_fixed
+        let preproc_cycles = cost.device_task_fixed
             + cost.preproc_per_packet * staged.items as u64
             + (cost.preproc_per_byte * staged.in_bytes as f64) as u64;
+        *cycles += preproc_cycles;
         let element_passes = 1 + u64::from(fused.is_some());
 
         let submit_at = now + cost.cycles(*cycles);
@@ -646,6 +670,65 @@ impl DeviceEntity {
             );
         }
         let d2h_done = timing.map_or(detect_at, |t| t.d2h_done);
+
+        // Offload stage decomposition: measured against model-predicted
+        // time per sub-stage. Gather (and later scatter) are themselves
+        // model-derived CPU charges, so their predictions mirror the
+        // measurement and contribute no drift; the device-side stages
+        // compare engine-timeline reality — including engine queueing and
+        // retry backoff — against the per-task cost model.
+        let audit_on =
+            self.stages.is_some() || self.drift.is_some() || self.cfg.audit.decision_capacity > 0;
+        let mut stage_ns = [0u64; 7];
+        let mut pred_ns = [0u64; 7];
+        if audit_on {
+            let gather_ns = cost.cycles(preproc_cycles).as_ns();
+            stage_ns[OffloadStage::EnqueueWait.index()] = enqueue_wait_ns;
+            stage_ns[OffloadStage::Gather.index()] = gather_ns;
+            pred_ns[OffloadStage::Gather.index()] = gather_ns;
+            // Launch covers submit-to-final-attempt: retry backoff, and for
+            // failed tasks the watchdog wait until the verdict surfaces.
+            let launch_end = if failed { detect_at } else { attempt_at };
+            stage_ns[OffloadStage::Launch.index()] = launch_end.saturating_sub(submit_at).as_ns();
+            if let Some(t) = timing {
+                stage_ns[OffloadStage::CopyIn.index()] =
+                    t.h2d_done.saturating_sub(attempt_at).as_ns();
+                stage_ns[OffloadStage::Compute.index()] =
+                    t.kernel_done.saturating_sub(t.h2d_done).as_ns();
+                stage_ns[OffloadStage::CopyOut.index()] =
+                    t.d2h_done.saturating_sub(t.kernel_done).as_ns();
+            }
+            pred_ns[OffloadStage::CopyIn.index()] = cost.gpu.h2d_time(staged.input.len()).as_ns();
+            pred_ns[OffloadStage::Compute.index()] = cost.gpu.kernel_time(lane_ns).as_ns();
+            pred_ns[OffloadStage::CopyOut.index()] = cost.gpu.d2h_time(staged.out_len).as_ns();
+        }
+
+        // Publish the decision inputs the balancer cites in its next audit
+        // record (reads only; skipped entirely when auditing is off, so
+        // un-audited runs make no extra balancer calls).
+        if self.cfg.audit.decision_capacity > 0 {
+            let queue_depth = (self.tasks.len() + self.backlog()) as u64;
+            let busy = self.gpu.borrow().stats().kernel_busy;
+            let gpu_busy = if now.is_zero() {
+                0.0
+            } else {
+                busy.as_secs_f64() / now.as_secs_f64()
+            };
+            let items = staged.items.max(1) as f64;
+            self.balancer.lock().set_decision_context(DecisionContext {
+                queue_depth,
+                gpu_busy,
+                // Serial single-lane kernel time per item: the CPU-side
+                // cost proxy the GPU run amortizes away.
+                predicted_cpu_ns_per_pkt: lane_ns / items,
+                predicted_gpu_ns_per_pkt: (pred_ns[OffloadStage::CopyIn.index()]
+                    + pred_ns[OffloadStage::Compute.index()]
+                    + pred_ns[OffloadStage::CopyOut.index()])
+                    as f64
+                    / items,
+            });
+        }
+
         self.inflight.push(InFlight {
             node: NodeId(resume_node),
             entry: NodeId(node),
@@ -657,6 +740,8 @@ impl DeviceEntity {
             skipped_kernel: skip,
             failed,
             corrupted,
+            stage_ns,
+            pred_ns,
         });
     }
 }
@@ -689,8 +774,15 @@ impl Entity for DeviceEntity {
                 let mut t = self.inflight.swap_remove(i);
                 let mut fallback = t.failed;
                 if !t.failed {
-                    cycles += cost.postproc_per_packet * t.items as u64
+                    let pp_cycles = cost.postproc_per_packet * t.items as u64
                         + (cost.postproc_per_byte * t.out_bytes as f64) as u64;
+                    cycles += pp_cycles;
+                    // Stage 7 (scatter): the postprocess copy back into the
+                    // batches — like gather, a model-derived CPU charge, so
+                    // its prediction mirrors the measurement.
+                    let scatter_ns = cost.cycles(pp_cycles).as_ns();
+                    t.stage_ns[OffloadStage::Scatter.index()] = scatter_ns;
+                    t.pred_ns[OffloadStage::Scatter.index()] = scatter_ns;
                     if !t.skipped_kernel {
                         let spec = self.specs.get(&t.node.0).expect("spec").clone();
                         let mut only: Vec<PacketBatch> = t
@@ -707,6 +799,32 @@ impl Entity for DeviceEntity {
                         }
                         for ((_, slot), b) in t.batches.iter_mut().zip(only) {
                             *slot = b;
+                        }
+                    }
+                }
+                if let Some(st) = &self.stages {
+                    let mut st = st.borrow_mut();
+                    for (stage, &ns) in OffloadStage::ALL.iter().zip(&t.stage_ns) {
+                        st.record(*stage, ns);
+                    }
+                    st.tasks += 1;
+                }
+                // Feed the drift detector (successful attempts only: a
+                // failed task has no device timeline to compare against
+                // the model). The first threshold crossing snapshots the
+                // flight recorder, naming the offending stage.
+                if !t.failed {
+                    if let Some(d) = &self.drift {
+                        if let Some(stage) = d.borrow_mut().observe(&t.stage_ns, &t.pred_ns) {
+                            if let Some(fl) = &self.flight {
+                                fl.dump(
+                                    &format!("cost_drift_{}", stage.as_str()),
+                                    None,
+                                    0,
+                                    now,
+                                    self.fstats.snapshot(),
+                                );
+                            }
                         }
                     }
                 }
@@ -843,6 +961,9 @@ struct SamplerEntity {
     prev_gpu: Vec<TimelineStats>,
     last_t: Time,
     samples: Rc<RefCell<Vec<TimeSample>>>,
+    /// SLO budget tracker, shared with the run assembly for the final
+    /// verdict (`None` unless an SLO is configured).
+    slo: Option<Rc<RefCell<SloTracker>>>,
 }
 
 impl Entity for SamplerEntity {
@@ -863,18 +984,25 @@ impl Entity for SamplerEntity {
                 .zip(&self.prev_gpu)
                 .map(|(cur, prev)| cur.delta(prev).kernel_busy_fraction(win))
                 .collect();
+            let tx_mpps = w.tx_packets as f64 / secs / 1e6;
+            let latency_ewma_ns = self.inspector.worst_latency_ewma_ns();
+            let slo = self
+                .slo
+                .as_ref()
+                .map(|tr| tr.borrow_mut().observe(latency_ewma_ns, tx_mpps));
             self.samples.borrow_mut().push(TimeSample {
                 t: now,
                 tx_packets: snap.tx_packets,
-                tx_mpps: w.tx_packets as f64 / secs / 1e6,
+                tx_mpps,
                 tx_gbps: w.tx_frame_bits as f64 / secs / 1e9,
                 dropped: snap.dropped,
                 rx_dropped,
-                latency_ewma_ns: self.inspector.worst_latency_ewma_ns(),
+                latency_ewma_ns,
                 offloaded_batches: snap.offloaded_batches,
                 offload_fraction: self.balancer.lock().offload_fraction(),
                 gpu_busy,
                 shards: Vec::new(),
+                slo,
             });
         }
         self.prev = snap;
@@ -1058,6 +1186,29 @@ pub fn run_with_sources(
     let fstats: Arc<FaultStats> = Arc::new(FaultStats::default());
     let quarantine_sink: QuarantineSink = Rc::new(RefCell::new(Vec::new()));
 
+    // Decision-audit plane: shared stage/drift/flight/SLO handles. All
+    // `None` when the audit config is off, so un-audited runs leave the
+    // device and sampler paths untouched.
+    if cfg.audit.decision_capacity > 0 {
+        balancer.lock().enable_audit(cfg.audit.decision_capacity);
+    }
+    let stages: Option<Rc<RefCell<StageProfiles>>> = cfg
+        .audit
+        .stage_stats
+        .then(|| Rc::new(RefCell::new(StageProfiles::new())));
+    let drift: Option<Rc<RefCell<DriftDetector>>> = cfg
+        .audit
+        .drift
+        .clone()
+        .map(|d| Rc::new(RefCell::new(DriftDetector::new(d))));
+    let flight: Option<Arc<FlightRecorder>> = drift
+        .is_some()
+        .then(|| Arc::new(FlightRecorder::new(total_workers, cfg.flight.clone())));
+    let slo_tracker: Option<Rc<RefCell<SloTracker>>> = cfg
+        .slo
+        .clone()
+        .map(|s| Rc::new(RefCell::new(SloTracker::new(s))));
+
     // TX conformance capture (differential suite only).
     let capture_sink: Option<Rc<RefCell<Vec<TxRecord>>>> =
         cfg.capture.then(|| Rc::new(RefCell::new(Vec::new())));
@@ -1133,6 +1284,9 @@ pub fn run_with_sources(
             fstats: fstats.clone(),
             balancer: balancer.clone(),
             quarantine_sink: quarantine_sink.clone(),
+            stages: stages.clone(),
+            drift: drift.clone(),
+            flight: flight.clone(),
         };
         let id = engine.add_idle(Box::new(entity));
         debug_assert_eq!(id, device_ids[s]);
@@ -1167,6 +1321,7 @@ pub fn run_with_sources(
             prev_gpu: vec![TimelineStats::default(); sockets],
             last_t: Time::ZERO,
             samples: samples.clone(),
+            slo: slo_tracker.clone(),
         };
         engine.add(Box::new(entity), Time::ZERO);
     }
@@ -1232,6 +1387,13 @@ pub fn run_with_sources(
         })
         .unwrap_or_default();
 
+    let tx_mpps = window.tx_packets as f64 / dur.as_secs_f64() / 1e6;
+    // Each `lock()` gets its own statement: temporaries in struct-literal
+    // field initializers live until the end of the whole literal, so two
+    // guards in one literal would deadlock the non-reentrant mutex.
+    balancer.lock().flush_decision_clock(end.tx_packets);
+    let final_w = balancer.lock().offload_fraction();
+    let decisions = balancer.lock().take_audit_log();
     RunReport {
         duration: dur,
         tx_gbps: window.tx_frame_bits as f64 / dur.as_secs_f64() / 1e9,
@@ -1240,8 +1402,9 @@ pub fn run_with_sources(
         offered_gbps,
         rx_dropped,
         window,
+        slo: slo_tracker.map(|tr| tr.borrow().report(latency.percentile_ns(99.0), tx_mpps)),
         latency,
-        final_w: balancer.lock().offload_fraction(),
+        final_w,
         gpu: gpus.iter().map(|g| g.borrow().stats()).collect(),
         elements,
         samples,
@@ -1252,5 +1415,13 @@ pub fn run_with_sources(
             quarantines,
         },
         tx_capture,
+        stages: stages.map(|s| {
+            Rc::try_unwrap(s)
+                .map(RefCell::into_inner)
+                .unwrap_or_else(|_| panic!("stage profiles uniquely owned after engine teardown"))
+        }),
+        drift: drift.map(|d| d.borrow().report()),
+        decisions,
+        flight: flight.map(|f| f.dumps()).unwrap_or_default(),
     }
 }

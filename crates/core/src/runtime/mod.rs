@@ -101,6 +101,17 @@ pub struct RuntimeConfig {
     /// into [`RunReport::tx_capture`] (conformance testing only; off by
     /// default because it clones every frame).
     pub capture: bool,
+    /// The decision-audit plane: balancer decision log, per-stage offload
+    /// histograms, cost-model drift detection. Fully off by default so
+    /// un-audited runs stay bit-identical.
+    pub audit: crate::audit::AuditConfig,
+    /// Declarative latency/throughput budgets burned down sample window by
+    /// sample window (None = no SLO accounting).
+    pub slo: Option<crate::audit::SloConfig>,
+    /// Flight-recorder dump policy for drift events (the DES runtime has
+    /// no per-shard event rings; dumps carry the gauge snapshot and the
+    /// drift reason).
+    pub flight: crate::introspect::FlightConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -128,6 +139,9 @@ impl Default for RuntimeConfig {
             telemetry: TelemetryConfig::default(),
             fault: crate::fault::FaultConfig::default(),
             capture: false,
+            audit: crate::audit::AuditConfig::default(),
+            slo: None,
+            flight: crate::introspect::FlightConfig::default(),
         }
     }
 }
@@ -193,6 +207,18 @@ pub struct RunReport {
     /// Per-packet TX conformance records of the whole run (empty unless
     /// [`RuntimeConfig::capture`] was set).
     pub tx_capture: Vec<crate::capture::TxRecord>,
+    /// Per-stage offload decomposition, merged across devices (None unless
+    /// [`crate::audit::AuditConfig::stage_stats`] was on).
+    pub stages: Option<crate::audit::StageProfiles>,
+    /// Cost-model drift accounting (None unless drift detection was on).
+    pub drift: Option<crate::audit::DriftReport>,
+    /// SLO budget verdict (None unless an SLO was configured).
+    pub slo: Option<crate::audit::SloReport>,
+    /// The balancer's decision audit log (None unless enabled on the
+    /// balancer before the run).
+    pub decisions: Option<crate::audit::DecisionLog>,
+    /// Flight dumps raised during the run (drift events).
+    pub flight: Vec<crate::introspect::FlightDump>,
 }
 
 impl RunReport {

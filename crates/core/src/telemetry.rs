@@ -202,6 +202,9 @@ pub struct TimeSample {
     /// Per-shard ring/balancer gauges at `t` (live runtime only; empty in
     /// the DES runtime, whose rings are simulated).
     pub shards: Vec<ShardSample>,
+    /// SLO burn accounting for this window (`None` unless an SLO is
+    /// configured on the run).
+    pub slo: Option<crate::audit::SloSample>,
 }
 
 /// What happened to a batch at one point of its life.
@@ -414,8 +417,18 @@ pub fn samples_to_jsonl(samples: &[TimeSample]) -> String {
                 )
             })
             .collect();
+        let slo = match &s.slo {
+            None => String::from("null"),
+            Some(sl) => format!(
+                "{{\"latency_ok\":{},\"throughput_ok\":{},\"latency_burn\":{},\"throughput_burn\":{}}}",
+                sl.latency_ok,
+                sl.throughput_ok,
+                json_f64(sl.latency_burn),
+                json_f64(sl.throughput_burn),
+            ),
+        };
         out.push_str(&format!(
-            "{{\"t_us\":{},\"tx_packets\":{},\"tx_mpps\":{},\"tx_gbps\":{},\"dropped\":{},\"rx_dropped\":{},\"latency_ewma_ns\":{},\"offloaded_batches\":{},\"w\":{},\"gpu_busy\":[{}],\"shards\":[{}]}}\n",
+            "{{\"t_us\":{},\"tx_packets\":{},\"tx_mpps\":{},\"tx_gbps\":{},\"dropped\":{},\"rx_dropped\":{},\"latency_ewma_ns\":{},\"offloaded_batches\":{},\"w\":{},\"gpu_busy\":[{}],\"shards\":[{}],\"slo\":{}}}\n",
             s.t.as_ns() / 1000,
             s.tx_packets,
             json_f64(s.tx_mpps),
@@ -427,6 +440,7 @@ pub fn samples_to_jsonl(samples: &[TimeSample]) -> String {
             json_f64(s.offload_fraction),
             gpu.join(","),
             shards.join(","),
+            slo,
         ));
     }
     out
@@ -979,6 +993,106 @@ pub fn report_to_prometheus(r: &RunReport) -> String {
         "counter",
         f.quarantine_exited.to_string(),
     );
+
+    // Offload stage decomposition (absent unless stage stats were on).
+    if let Some(st) = &r.stages {
+        prom_metric(
+            &mut out,
+            "nba_offload_stage_tasks_total",
+            "Offload tasks decomposed into per-stage timings",
+            "counter",
+            st.tasks.to_string(),
+        );
+        let mut stage_metric = |name: &str, help: &str, value: &dyn Fn(usize) -> String| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+            for s in crate::audit::OffloadStage::ALL {
+                out.push_str(&format!(
+                    "{name}{{stage=\"{}\"}} {}\n",
+                    s.as_str(),
+                    value(s.index())
+                ));
+            }
+        };
+        stage_metric(
+            "nba_offload_stage_mean_ns",
+            "Mean time an offload task spent in each sub-stage",
+            &|i| json_f64(st.mean_ns(crate::audit::OffloadStage::ALL[i])),
+        );
+        stage_metric(
+            "nba_offload_stage_p99_ns",
+            "99th-percentile time an offload task spent in each sub-stage",
+            &|i| st.hist[i].percentile_ns(99.0).to_string(),
+        );
+        stage_metric(
+            "nba_offload_stage_seconds_total",
+            "Total time accumulated in each offload sub-stage",
+            &|i| json_f64(st.total_ns[i] as f64 / 1e9),
+        );
+    }
+
+    // Cost-model drift accounting (absent unless drift detection was on).
+    if let Some(d) = &r.drift {
+        prom_metric(
+            &mut out,
+            "nba_cost_drift_events_total",
+            "Cost-model drift events raised (the detector latches at 1)",
+            "counter",
+            d.events.to_string(),
+        );
+        prom_metric(
+            &mut out,
+            "nba_cost_drift_rel_err",
+            "Smoothed relative error between predicted and measured offload cost",
+            "gauge",
+            json_f64(d.rel_err),
+        );
+    }
+
+    // SLO budget verdict (absent unless an SLO was configured).
+    if let Some(s) = &r.slo {
+        prom_metric(
+            &mut out,
+            "nba_slo_latency_burn",
+            "Fraction of the latency error budget burned (>1 = budget blown)",
+            "gauge",
+            json_f64(s.latency_burn),
+        );
+        prom_metric(
+            &mut out,
+            "nba_slo_throughput_burn",
+            "Fraction of the throughput error budget burned (>1 = budget blown)",
+            "gauge",
+            json_f64(s.throughput_burn),
+        );
+        prom_metric(
+            &mut out,
+            "nba_slo_windows_total",
+            "Sample windows scored against the SLO budgets",
+            "counter",
+            s.windows.to_string(),
+        );
+        prom_metric(
+            &mut out,
+            "nba_slo_latency_violations_total",
+            "Sample windows that violated the latency budget",
+            "counter",
+            s.latency_violations.to_string(),
+        );
+        prom_metric(
+            &mut out,
+            "nba_slo_throughput_violations_total",
+            "Sample windows that violated the throughput floor",
+            "counter",
+            s.throughput_violations.to_string(),
+        );
+        prom_metric(
+            &mut out,
+            "nba_slo_met",
+            "1 when every SLO budget held over the run, else 0",
+            "gauge",
+            u64::from(s.met).to_string(),
+        );
+    }
     out
 }
 
@@ -1115,9 +1229,16 @@ mod tests {
                 enqueue_failed: 3,
                 w: 0.75,
             }],
+            slo: Some(crate::audit::SloSample {
+                latency_ok: true,
+                throughput_ok: false,
+                latency_burn: 0.5,
+                throughput_burn: 2.0,
+            }),
         }];
         let s = samples_to_jsonl(&samples);
         assert!(!s.contains("NaN"));
+        assert!(s.contains("\"slo\":{\"latency_ok\":true,\"throughput_ok\":false,"));
         assert!(s.contains("\"gpu_busy\":[0.25]"));
         assert!(s.contains("\"shards\":[{\"shard\":2,\"ring_occupancy\":17,"));
         assert!(s.contains("\"enqueue_failed\":3,\"w\":0.75}"));

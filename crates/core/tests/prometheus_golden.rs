@@ -49,7 +49,17 @@ fn fixture() -> RunReport {
         offload_fraction: 0.5,
         gpu_busy: Vec::new(),
         shards,
+        slo: None,
     };
+    let mut stages = nba_core::audit::StageProfiles::new();
+    for (stage, ns) in nba_core::audit::OffloadStage::ALL
+        .iter()
+        .zip([2_000u64, 1_500, 3_000, 500, 20_000, 2_500, 1_200])
+    {
+        stages.record(*stage, ns);
+        stages.record(*stage, ns * 2);
+    }
+    stages.tasks = 2;
     RunReport {
         duration: Time::from_ms(50),
         tx_gbps: 9.5,
@@ -84,6 +94,31 @@ fn fixture() -> RunReport {
         totals: Snapshot::default(),
         faults: FaultReport::default(),
         tx_capture: Vec::new(),
+        stages: Some(stages),
+        drift: Some(nba_core::audit::DriftReport {
+            tasks: 2,
+            rel_err: 0.125,
+            events: 1,
+            worst_stage: Some("launch".into()),
+            worst_excess_ns: 40_000.0,
+        }),
+        slo: Some(nba_core::audit::SloReport {
+            cfg: nba_core::audit::SloConfig {
+                latency_ns: Some(1_000_000),
+                min_mpps: Some(0.5),
+                error_budget: 0.05,
+            },
+            windows: 10,
+            latency_violations: 0,
+            throughput_violations: 1,
+            latency_burn: 0.0,
+            throughput_burn: 2.0,
+            final_p99_ns: 40_000,
+            final_mpps: 20.0,
+            met: false,
+        }),
+        decisions: None,
+        flight: Vec::new(),
     }
 }
 
@@ -137,4 +172,13 @@ fn every_metric_has_help_and_type_headers() {
         out.contains("nba_shard_offload_fraction{shard=\"1\"} 0.75"),
         "{out}"
     );
+    // The audit-plane families introduced with the decision-audit work.
+    assert!(
+        out.contains("nba_offload_stage_mean_ns{stage=\"compute\"} 30000"),
+        "{out}"
+    );
+    assert!(out.contains("nba_offload_stage_tasks_total 2"), "{out}");
+    assert!(out.contains("nba_cost_drift_events_total 1"), "{out}");
+    assert!(out.contains("nba_slo_throughput_burn 2"), "{out}");
+    assert!(out.contains("nba_slo_met 0"), "{out}");
 }

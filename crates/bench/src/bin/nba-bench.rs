@@ -10,8 +10,11 @@
 //!   measurement windows for CI smoke runs. The default `alb` mode runs
 //!   the adaptive balancer so the artifact captures convergence stats.
 //!   `--faults` takes a seeded fault plan (see `FaultPlan::parse`, e.g.
-//!   `seed=7,transient=0.2,die_at_ms=30,revive_at_ms=60`) for fault
-//!   drills; the artifact's `faults` section records what happened.
+//!   `seed=7,transient=0.2,die_at_ms=30,revive_at_ms=60`, or the worker
+//!   drills `worker_kill=1@50000` / `worker_stall=1@50000+20`); the
+//!   artifact's `faults` section records what happened. `--shed` sets the
+//!   live runtime's overload policy
+//!   (`policy=drop_tail|priority|probabilistic,occupancy=R,slo=on|off`).
 //! * `nba-bench compare <baseline.json> <current.json>
 //!   [--tol-throughput R] [--tol-latency R] [--tol-w A]`
 //!   Diffs two reports under per-metric tolerances, prints the verdict
@@ -55,7 +58,7 @@ use nba_sim::{Time, Topology};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live] [--trace N] [--stats-addr HOST:PORT] [--flight-dir DIR] [--audit N] [--audit-out PATH] [--slo SPEC]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]\n  nba-bench top <addr> [--interval MS] [--count N]\n  nba-bench explain <decisions.jsonl>"
+        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live] [--trace N] [--stats-addr HOST:PORT] [--flight-dir DIR] [--audit N] [--audit-out PATH] [--slo SPEC] [--shed SPEC]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]\n  nba-bench top <addr> [--interval MS] [--count N]\n  nba-bench explain <decisions.jsonl>"
     );
     std::process::exit(2);
 }
@@ -223,6 +226,8 @@ struct ObsOpts {
     /// Declared SLO budgets, burned down by live sweeps too (the DES
     /// artifact run reads them from `RuntimeConfig`).
     slo: Option<nba_core::audit::SloConfig>,
+    /// Overload-shedding policy for live runs (off by default).
+    shed: nba_core::ShedConfig,
 }
 
 /// Runs the sweep on the live runtime: real threads, one RSS-sharded
@@ -255,6 +260,7 @@ fn live_sweep(
                 },
                 stats_addr: obs.stats_addr.clone(),
                 slo: obs.slo.clone(),
+                shed: obs.shed,
                 ..LiveConfig::default()
             };
             let factory = balancer_factory_for(mode)?;
@@ -263,6 +269,22 @@ fn live_sweep(
                 "  live workers={n}: {:.2} Gbps ({:.2} Mpps)",
                 r.gbps, r.mpps
             );
+            // The self-healing ledger, when anything happened: worker
+            // drills, re-steers, sheds, and what the recovery cost.
+            let h = &r.health;
+            if !h.is_clean() {
+                println!(
+                    "    health: {} transitions, respawns {}, resteers {} ({} buckets), \
+                     shed {}, lost in-ring {} in-flight {}",
+                    h.log.events.len(),
+                    h.stats.respawns,
+                    h.stats.resteers,
+                    h.stats.buckets_moved,
+                    h.stats.shed_total(),
+                    h.stats.lost_in_ring,
+                    h.stats.lost_in_flight,
+                );
+            }
             Some(ScalePoint {
                 workers: n as u64,
                 tx_mpps: r.mpps,
@@ -343,10 +365,20 @@ fn cmd_run(args: &[String]) -> i32 {
     // excludes telemetry, so traced and untraced artifacts stay diffable.
     cfg.telemetry.trace_capacity = obs.trace;
     if let Some(spec) = opt("--faults") {
-        match nba_core::FaultPlan::parse(&spec) {
+        // The spanned parser points at the exact offending byte range.
+        match nba_core::parse_faults_flag(&spec) {
             Ok(plan) => cfg.fault.plan = plan,
             Err(e) => {
-                eprintln!("--faults: {e}");
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    }
+    if let Some(spec) = opt("--shed") {
+        match nba_core::ShedConfig::parse(&spec) {
+            Ok(shed) => obs.shed = shed,
+            Err(e) => {
+                eprintln!("--shed: {e}");
                 return 2;
             }
         }
@@ -684,15 +716,18 @@ fn render_top(doc: &nba_core::json::Value) -> String {
             ));
         }
     }
-    out.push_str("shard      ring   high-water   enq-fail   rx-drop        w\n");
+    out.push_str("shard  state          ring   high-water   enq-fail   rx-drop        w\n");
     for s in doc
         .get("shards")
         .and_then(nba_core::json::Value::as_arr)
         .unwrap_or(&[])
     {
         out.push_str(&format!(
-            "{:>5} {:>9} {:>12} {:>10} {:>9} {:>8.3}\n",
+            "{:>5}  {:<10} {:>9} {:>12} {:>10} {:>9} {:>8.3}\n",
             u(s.get("shard")).unwrap_or(0),
+            s.get("state")
+                .and_then(nba_core::json::Value::as_str)
+                .unwrap_or("healthy"),
             u(s.get("ring_occupancy")).unwrap_or(0),
             u(s.get("ring_high_water")).unwrap_or(0),
             u(s.get("enqueue_failed")).unwrap_or(0),

@@ -144,10 +144,11 @@ fn main() {
         ..RuntimeConfig::default()
     };
     if let Some(spec) = args.iter().find_map(|a| a.strip_prefix("--faults=")) {
-        match nba_core::FaultPlan::parse(spec) {
+        // Spanned parse: the error names the offending byte range.
+        match nba_core::parse_faults_flag(spec) {
             Ok(plan) => cfg.fault.plan = plan,
             Err(e) => {
-                eprintln!("--faults: {e}");
+                eprintln!("{e}");
                 std::process::exit(2);
             }
         }

@@ -564,8 +564,20 @@ pub fn replay(log: &DecisionLog) -> Result<DecisionLog, String> {
     lb.enable_audit(log.records.len().max(1));
     for rec in &log.records {
         match rec.kind {
-            DecisionKind::HealthDown => lb.observe_device_health(false),
-            DecisionKind::HealthUp => lb.observe_device_health(true),
+            // A health edge is injected asynchronously (the device breaker
+            // or the worker supervisor), so the observation fields it
+            // snapshots did not come from a prior recorded tick — restore
+            // them from the record itself before replaying the edge.
+            DecisionKind::HealthDown | DecisionKind::HealthUp => {
+                lb.set_decision_context(DecisionContext {
+                    queue_depth: rec.queue_depth,
+                    gpu_busy: rec.gpu_busy,
+                    predicted_cpu_ns_per_pkt: rec.predicted_cpu_ns_per_pkt,
+                    predicted_gpu_ns_per_pkt: rec.predicted_gpu_ns_per_pkt,
+                });
+                lb.observe_latency(rec.latency_ewma_ns);
+                lb.observe_device_health(rec.kind == DecisionKind::HealthUp);
+            }
             _ => {
                 lb.set_decision_context(DecisionContext {
                     queue_depth: rec.queue_depth,

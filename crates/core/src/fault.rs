@@ -23,7 +23,32 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use nba_sim::Time;
 
-pub use nba_gpu::fault::{FaultInjector, FaultKind, FaultPlan};
+pub use nba_gpu::fault::{
+    FaultInjector, FaultKind, FaultPlan, PlanParseError, WorkerKill, WorkerStall,
+};
+
+use crate::config::ConfigError;
+use crate::supervise::SupervisorConfig;
+
+/// Parses a `--faults` flag value into a [`FaultPlan`], converting the
+/// spanned [`PlanParseError`] into the repo's [`ConfigError`] convention:
+/// the message embeds the exact offending token (byte span into the flag
+/// value) so the CLI error points at what to fix.
+pub fn parse_faults_flag(spec: &str) -> Result<FaultPlan, ConfigError> {
+    FaultPlan::parse_spanned(spec).map_err(|e| {
+        let token = spec.get(e.offset..e.offset + e.len).unwrap_or("");
+        ConfigError {
+            msg: format!(
+                "--faults: {} (at byte {}..{}: `{}`)",
+                e.msg,
+                e.offset,
+                e.offset + e.len,
+                token
+            ),
+            line: 1,
+        }
+    })
+}
 
 /// Knobs of the degradation ladder, grouped under
 /// [`crate::runtime::RuntimeConfig`].
@@ -31,6 +56,9 @@ pub use nba_gpu::fault::{FaultInjector, FaultKind, FaultPlan};
 pub struct FaultConfig {
     /// What to inject (inactive by default — a clean run).
     pub plan: FaultPlan,
+    /// Worker-plane supervision knobs (watchdog tick, stall budget,
+    /// respawn policy) — the worker analogue of the breaker fields below.
+    pub supervisor: SupervisorConfig,
     /// Watchdog deadline per in-flight device task: a task whose
     /// completion has not landed this long after submission is declared
     /// failed and its batches fall back to the CPU path.
@@ -49,6 +77,7 @@ impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig {
             plan: FaultPlan::default(),
+            supervisor: SupervisorConfig::default(),
             watchdog: Time::from_ms(2),
             max_retries: 2,
             retry_backoff: Time::from_us(50),

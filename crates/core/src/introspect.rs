@@ -32,6 +32,7 @@ use nba_sim::Time;
 use crate::fault::{FaultSnapshot, FaultStats};
 use crate::lb::SharedBalancer;
 use crate::stats::{LatencyHistogram, SystemInspector};
+use crate::supervise::{HealthStats, WorkerHealth};
 use crate::telemetry::TraceEvent;
 use crate::telemetry::{json_escape, json_f64, merge_histograms, trace_event_json, TimeSample};
 
@@ -331,8 +332,10 @@ pub struct StatsState {
     pub flight: Arc<FlightRecorder>,
     /// Per-worker balancer handles (`w`, balancer self-description).
     pub balancers: Vec<SharedBalancer>,
-    /// RX-ring gauges, `[worker][io_thread]`.
-    pub rx_gauges: Vec<Vec<RingGauges>>,
+    /// RX-ring gauges, `[worker][io_thread]`. Each slot is swappable: the
+    /// supervisor replaces a gauge when it respawns a crashed worker with a
+    /// fresh ring.
+    pub rx_gauges: Arc<Vec<Vec<Mutex<RingGauges>>>>,
     /// Ring-full drop counters, per worker.
     pub rx_drops: Arc<Vec<AtomicU64>>,
     /// The reporter's samples so far (the `w` trajectory).
@@ -342,6 +345,13 @@ pub struct StatsState {
     /// Cost-model drift gauges published by the device thread (all-zero
     /// when drift detection is off).
     pub drift: Arc<crate::audit::DriftGauge>,
+    /// Per-worker supervisor health slots (live observed state).
+    pub health: Arc<Vec<WorkerHealth>>,
+    /// The shared self-healing ledger: sheds, strandings, re-steers,
+    /// respawns. All atomics, sampled per request.
+    pub hstats: Arc<HealthStats>,
+    /// Packets shed toward each worker by the IO overload policy.
+    pub shed: Arc<Vec<AtomicU64>>,
 }
 
 impl StatsState {
@@ -350,9 +360,9 @@ impl StatsState {
             Some(r) => r,
             None => return (0, 0, 0),
         };
-        let occ = rings.iter().map(|g| g.occupancy() as u64).sum();
-        let hw = rings.iter().map(|g| g.high_water() as u64).sum();
-        let failed = rings.iter().map(RingGauges::enqueue_failed).sum();
+        let occ = rings.iter().map(|g| g.lock().occupancy() as u64).sum();
+        let hw = rings.iter().map(|g| g.lock().high_water() as u64).sum();
+        let failed = rings.iter().map(|g| g.lock().enqueue_failed()).sum();
         (occ, hw, failed)
     }
 
@@ -367,11 +377,15 @@ impl StatsState {
                     .rx_drops
                     .get(w)
                     .map_or(0, |d| d.load(Ordering::Relaxed));
+                let state = self
+                    .health
+                    .get(w)
+                    .map_or("healthy", |slot| slot.observed_state().as_str());
                 let b = self.balancers[w].lock();
                 format!(
-                    "{{\"shard\":{w},\"ring_occupancy\":{occ},\"ring_high_water\":{hw},\
-                     \"enqueue_failed\":{failed},\"rx_dropped\":{dropped},\"w\":{},\
-                     \"balancer\":{}}}",
+                    "{{\"shard\":{w},\"state\":\"{state}\",\"ring_occupancy\":{occ},\
+                     \"ring_high_water\":{hw},\"enqueue_failed\":{failed},\
+                     \"rx_dropped\":{dropped},\"w\":{},\"balancer\":{}}}",
                     json_f64(b.offload_fraction()),
                     b.status_json()
                 )
@@ -553,6 +567,80 @@ impl StatsState {
             "A worker balancer's current offload fraction w.",
             &|w| json_f64(self.balancers[w].lock().offload_fraction()),
         );
+        per_shard(
+            "nba_shed_total",
+            "counter",
+            "Packets shed toward the shard by the IO overload policy.",
+            &|w| {
+                self.shed
+                    .get(w)
+                    .map_or(0, |c| c.load(Ordering::Relaxed))
+                    .to_string()
+            },
+        );
+        // Self-healing plane: live supervisor state per shard plus the
+        // shared loss/recovery ledger (same families the post-run
+        // Prometheus export renders, so dashboards work on both).
+        out.push_str(
+            "# HELP nba_worker_state Supervisor state per shard \
+             (0=healthy 1=suspect 2=dead 3=recovering)\n# TYPE nba_worker_state gauge\n",
+        );
+        for (w, slot) in self.health.iter().enumerate() {
+            let st = slot.observed_state();
+            out.push_str(&format!(
+                "nba_worker_state{{shard=\"{w}\",state=\"{}\"}} {}\n",
+                st.as_str(),
+                st.as_u8()
+            ));
+        }
+        let h = self.hstats.snapshot();
+        out.push_str("# HELP nba_shed_packets_total Packets shed by the IO overload policy\n");
+        out.push_str("# TYPE nba_shed_packets_total counter\n");
+        for (policy, n) in [
+            ("drop_tail", h.shed_drop_tail),
+            ("priority", h.shed_priority),
+            ("probabilistic", h.shed_probabilistic),
+        ] {
+            out.push_str(&format!(
+                "nba_shed_packets_total{{policy=\"{policy}\"}} {n}\n"
+            ));
+        }
+        for (name, help, v) in [
+            (
+                "nba_lost_in_ring_packets_total",
+                "Packets stranded in RX rings of dead workers",
+                h.lost_in_ring,
+            ),
+            (
+                "nba_lost_in_flight_packets_total",
+                "Offload completions stranded when their worker died",
+                h.lost_in_flight,
+            ),
+            (
+                "nba_resteers_total",
+                "RSS re-steer operations performed by the supervisor",
+                h.resteers,
+            ),
+            (
+                "nba_resteer_buckets_moved_total",
+                "RSS indirection buckets moved across all re-steers",
+                h.buckets_moved,
+            ),
+            (
+                "nba_worker_respawns_total",
+                "Crashed workers respawned by the supervisor",
+                h.respawns,
+            ),
+            (
+                "nba_ring_disconnects_total",
+                "Dead worker rings observed by IO threads",
+                h.ring_disconnects,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        }
         out
     }
 }
@@ -796,11 +884,14 @@ mod tests {
             fstats: Arc::new(FaultStats::default()),
             flight,
             balancers: vec![lb::shared(Box::new(FixedFraction::new(0.25)))],
-            rx_gauges: vec![vec![rx.gauges()]],
+            rx_gauges: Arc::new(vec![vec![Mutex::new(rx.gauges())]]),
             rx_drops: Arc::new(vec![AtomicU64::new(7)]),
             samples,
             latency: Arc::new(vec![Mutex::new(hist)]),
             drift: Arc::new(crate::audit::DriftGauge::default()),
+            health: Arc::new(vec![WorkerHealth::new()]),
+            hstats: Arc::new(HealthStats::default()),
+            shed: Arc::new(vec![AtomicU64::new(5)]),
         };
         (state, tx)
     }
@@ -831,6 +922,10 @@ mod tests {
                 .get("rx_dropped")
                 .and_then(crate::json::Value::as_u64),
             Some(7)
+        );
+        assert_eq!(
+            shards[0].get("state").and_then(crate::json::Value::as_str),
+            Some("healthy")
         );
         assert_eq!(
             shards[0].get("w").and_then(crate::json::Value::as_f64),
@@ -877,6 +972,9 @@ mod tests {
         assert!(metrics.contains("nba_cost_drift_events_total 0"));
         assert!(metrics.contains("nba_slo_throughput_burn 2.5"));
         assert!(metrics.contains("nba_slo_latency_ok 1"));
+        assert!(metrics.contains("nba_worker_state{shard=\"0\",state=\"healthy\"} 0"));
+        assert!(metrics.contains("nba_shed_total{shard=\"0\"} 5"));
+        assert!(metrics.contains("nba_worker_respawns_total 0"));
         assert!(fetch("/nope").starts_with("HTTP/1.1 404"));
     }
 

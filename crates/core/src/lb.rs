@@ -40,6 +40,13 @@ pub trait LoadBalancer: Send {
     /// (the device thread falls their batches back regardless).
     fn observe_device_health(&mut self, _healthy: bool) {}
 
+    /// Tells the balancer its shard just inherited `gained_buckets` RSS
+    /// buckets from a dead peer (worker-plane re-steer). The offered load
+    /// regime changed discontinuously, so adaptive balancers discard their
+    /// observation window instead of comparing across the step; fixed
+    /// policies ignore it.
+    fn on_resteer(&mut self, _gained_buckets: usize) {}
+
     /// Enables the bounded decision audit log, keeping the first
     /// `capacity` records. Call **before** the first tick so the log's
     /// recorded `initial_w` anchors the replayed trajectory; stateless
@@ -560,6 +567,16 @@ impl LoadBalancer for Adaptive {
         );
     }
 
+    fn on_resteer(&mut self, _gained_buckets: usize) {
+        // Inherited buckets shift the throughput regime discontinuously;
+        // comparing a pre-re-steer average against post-re-steer samples
+        // would read as a phantom improvement (or regression) and steer
+        // the hill-climb off a cliff. Start a fresh observation window.
+        self.window.clear();
+        self.last_avg = None;
+        self.wait_remaining = 0;
+    }
+
     fn offload_fraction(&self) -> f64 {
         self.w
     }
@@ -672,6 +689,10 @@ impl LoadBalancer for LatencyBounded {
 
     fn take_audit_log(&mut self) -> Option<DecisionLog> {
         self.inner.audit.take()
+    }
+
+    fn on_resteer(&mut self, gained_buckets: usize) {
+        self.inner.on_resteer(gained_buckets);
     }
 
     fn observe_device_health(&mut self, healthy: bool) {

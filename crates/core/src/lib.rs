@@ -55,6 +55,7 @@ pub mod nls;
 pub mod offload;
 pub mod runtime;
 pub mod stats;
+pub mod supervise;
 pub mod telemetry;
 pub mod verify;
 
@@ -70,7 +71,10 @@ pub use element::{
     ComputeMode, DbInput, DbOutput, Disposition, ElemCtx, Element, ElementEffects, ElementKind,
     HeaderFact, Kernel, KernelIo, OffloadSpec, Postprocess, SlotAccess, SlotClaim, SlotScope,
 };
-pub use fault::{CircuitBreaker, FaultConfig, FaultPlan, FaultReport, FaultSnapshot, FaultStats};
+pub use fault::{
+    parse_faults_flag, CircuitBreaker, FaultConfig, FaultPlan, FaultReport, FaultSnapshot,
+    FaultStats,
+};
 pub use graph::{BranchPolicy, ElementGraph, GraphBuilder, NodeId, OutEdge, RunOutcome};
 pub use introspect::{FlightConfig, FlightDump, FlightRecorder, StatsServer, StatsState};
 pub use lb::{
@@ -81,6 +85,10 @@ pub use lint::{Code, Diagnostic, LintReport, Severity, SourceMap, SCHEMA_VERSION
 pub use nls::NodeLocalStorage;
 pub use runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
 pub use stats::{Counters, LatencyHistogram, Snapshot, SystemInspector};
+pub use supervise::{
+    HealthReport, HealthSnapshot, HealthStats, ShardMonitor, ShedConfig, ShedPolicy, Shedder,
+    SupervisionEvent, SupervisorConfig, SupervisorLog, WorkerHealth, WorkerState,
+};
 pub use telemetry::{
     ElementProfile, TelemetryConfig, TimeSample, TraceBuffer, TraceEvent, TraceEventKind,
 };

@@ -11,7 +11,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use nba_gpu::Gpu;
-use nba_io::{Mempool, Packet, PacketSource, Port, PortHandle, TrafficConfig, TrafficGen};
+use nba_io::{
+    Mempool, Packet, PacketSource, Port, PortHandle, RssTable, TrafficConfig, TrafficGen,
+};
 use nba_sim::{Ctx, Engine, Entity, EntityId, SimQueue, Time, Wake};
 
 use crate::audit::{DecisionContext, DriftDetector, OffloadStage, SloTracker, StageProfiles};
@@ -21,6 +23,7 @@ use crate::element::{ComputeMode, ElemCtx, KernelIo, OffloadSpec};
 use crate::element::{DbInput, DbOutput, Postprocess};
 use crate::fault::{
     Admission, CircuitBreaker, FaultConfig, FaultInjector, FaultKind, FaultPlan, FaultStats,
+    WorkerKill, WorkerStall,
 };
 use crate::graph::{ElementGraph, NodeId, OutEdge, RunOutcome};
 use crate::introspect::FlightRecorder;
@@ -29,6 +32,9 @@ use crate::nls::NodeLocalStorage;
 use crate::offload::{self, CompletedTask, OffloadTask};
 use crate::runtime::{BuildCtx, PipelineBuilder, RunReport, RuntimeConfig};
 use crate::stats::{Counters, LatencyHistogram, Snapshot, SystemInspector};
+use crate::supervise::{
+    HealthReport, HealthStats, Observation, ShardMonitor, SupervisorLog, WorkerHealth, WorkerState,
+};
 use crate::telemetry::{
     merge_profiles, ElementProfile, SpanAlloc, TimeSample, TraceBuffer, TraceEvent, TraceEventKind,
 };
@@ -104,6 +110,17 @@ struct WorkerEntity {
     /// Conformance capture: every transmitted packet's record goes here
     /// (None unless [`RuntimeConfig::capture`]).
     capture: Option<Rc<RefCell<Vec<TxRecord>>>>,
+    /// Shared heartbeat slots the supervisor entity watches (same struct
+    /// the live runtime uses; single-threaded here, but the atomics are
+    /// free).
+    health: Arc<Vec<WorkerHealth>>,
+    /// Deterministic worker-fault drills from the [`FaultPlan`].
+    kill: Option<WorkerKill>,
+    stall: Option<WorkerStall>,
+    /// Packets pulled from RX so far — the drills' trigger clock, counted
+    /// identically to the live runtime's.
+    rx_pulled: u64,
+    stalled_done: bool,
 }
 
 impl Drop for WorkerEntity {
@@ -206,6 +223,22 @@ impl Entity for WorkerEntity {
         if now < self.busy_until {
             return Wake::At(self.busy_until);
         }
+        // Deterministic worker drills, checked at the same point as the
+        // live runtime (top of the scheduling iteration, so the batch that
+        // crossed the threshold was still fully processed).
+        if let Some(k) = self.kill {
+            if self.rx_pulled >= k.at_packet {
+                self.health[self.id].crash();
+                return Wake::Done;
+            }
+        }
+        if let Some(s) = self.stall {
+            if !self.stalled_done && self.rx_pulled >= s.at_packet {
+                self.stalled_done = true;
+                self.busy_until = now + Time::from_secs_f64(s.millis / 1e3);
+                return Wake::At(self.busy_until);
+            }
+        }
         let cost = self.cfg.cost.clone();
         let mut cycles = cost.sched_iteration;
         let mut did_work = false;
@@ -213,6 +246,7 @@ impl Entity for WorkerEntity {
         // 1. Reap offload completions (the IO loop checks these first).
         while let Some(mut done) = self.completions.pop() {
             did_work = true;
+            self.health[self.id].advance(done.batch.len() as u64);
             cycles += cost.completion_check;
             let trace_batch = done.batch.banno().get(anno::TRACE_ID);
             let mut trace_span = 0;
@@ -292,6 +326,8 @@ impl Entity for WorkerEntity {
 
         cycles += cost.rx_burst_fixed + cost.rx_per_packet * pkts.len() as u64;
         Counters::add(&self.counters.rx_packets, pkts.len() as u64);
+        self.health[self.id].advance(pkts.len() as u64);
+        self.rx_pulled += pkts.len() as u64;
 
         // 3. Wrap into computation batches and run the pipeline.
         let mut iter = pkts.into_iter().peekable();
@@ -1020,6 +1056,107 @@ impl Entity for SamplerEntity {
     }
 }
 
+/// Shared state between the supervisor entity and the run assembly: the
+/// transition log plus each shard's state machine, read out at teardown.
+struct SupState {
+    monitors: Vec<ShardMonitor>,
+    log: SupervisorLog,
+}
+
+/// The DES mirror of the live runtime's supervisor thread: ticks the same
+/// [`ShardMonitor`] watchdog over the same heartbeat slots and re-steers
+/// the shared per-socket RSS tables away from dead shards. The DES never
+/// respawns (an engine entity that returned `Done` stays gone) — a crashed
+/// shard stays quarantined, which is exactly the bounded-loss half of the
+/// drill the differential suite compares against the live runtime.
+struct SupervisorEntity {
+    interval: Time,
+    horizon: Time,
+    wps: usize,
+    health: Arc<Vec<WorkerHealth>>,
+    /// RX queues per worker, for the backlog half of the stall heuristic.
+    rx: Vec<Vec<SimQueue<Packet>>>,
+    /// One shared indirection table per socket (all its ports steer
+    /// through it).
+    tables: Vec<Arc<RssTable>>,
+    balancer: SharedBalancer,
+    hstats: Arc<HealthStats>,
+    state: Rc<RefCell<SupState>>,
+}
+
+impl Entity for SupervisorEntity {
+    fn step(&mut self, now: Time, _ctx: &mut Ctx) -> Wake {
+        let mut st = self.state.borrow_mut();
+        let workers = self.health.len();
+        for w in 0..workers {
+            let h = &self.health[w];
+            h.epoch.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if h.done.load(std::sync::atomic::Ordering::Acquire) {
+                continue;
+            }
+            let backlog: u64 = self.rx[w].iter().map(|q| q.len() as u64).sum();
+            let obs = Observation {
+                progress: h.progress.load(std::sync::atomic::Ordering::Relaxed),
+                alive: h.alive.load(std::sync::atomic::Ordering::Acquire),
+                backlog,
+            };
+            let Some(t) = st.monitors[w].observe(obs) else {
+                continue;
+            };
+            let socket = w / self.wps;
+            let local = (w % self.wps) as u16;
+            let mut moved = 0usize;
+            match t.to {
+                WorkerState::Dead => {
+                    let survivors: Vec<u16> = (0..self.wps)
+                        .filter(|&l| {
+                            let g = socket * self.wps + l;
+                            g != w && st.monitors[g].state() != WorkerState::Dead
+                        })
+                        .map(|l| l as u16)
+                        .collect();
+                    moved = self.tables[socket].remap_dead(local, &survivors);
+                    if moved > 0 {
+                        HealthStats::add(&self.hstats.resteers, 1);
+                        HealthStats::add(&self.hstats.buckets_moved, moved as u64);
+                    }
+                    // The quarantine lands in the decision-audit log, the
+                    // same replayable trail the device breaker leaves.
+                    self.balancer.lock().observe_device_health(false);
+                }
+                WorkerState::Recovering => {
+                    moved = self.tables[socket].restore(local);
+                    if moved > 0 {
+                        HealthStats::add(&self.hstats.resteers, 1);
+                        HealthStats::add(&self.hstats.buckets_moved, moved as u64);
+                    }
+                    self.balancer.lock().observe_device_health(true);
+                }
+                WorkerState::Healthy | WorkerState::Suspect => {}
+            }
+            h.state
+                .store(t.to.as_u8(), std::sync::atomic::Ordering::Relaxed);
+            st.log.record(
+                now.as_ns(),
+                w as u32,
+                t,
+                obs.progress,
+                obs.backlog,
+                moved as u32,
+            );
+        }
+        if now >= self.horizon {
+            Wake::Done
+        } else {
+            Wake::At((now + self.interval).min(self.horizon))
+        }
+    }
+
+    fn name(&self) -> &str {
+        "worker-supervisor"
+    }
+}
+
 /// Runs one experiment end to end and reports the measurement window.
 ///
 /// `traffic` holds one configuration per port (see
@@ -1083,12 +1220,31 @@ pub fn run_with_sources(
         .map(|_| Arc::new(Counters::default()))
         .collect();
     let inspector = SystemInspector::new(counters.clone());
+    // Per-socket RSS indirection tables, shared by every port on the
+    // socket. Boot state is identical to the static demux, so a clean run
+    // is bit-for-bit the same; only a supervisor re-steer changes it.
+    let rss_tables: Vec<Arc<RssTable>> = (0..sockets)
+        .map(|_| Arc::new(RssTable::new(wps as u16)))
+        .collect();
     let ports: Vec<PortHandle> = topo
         .ports
         .iter()
         .enumerate()
-        .map(|(i, p)| Port::new(i as u16, p.speed_gbps, wps as u16, cfg.rxq_depth).into_handle())
+        .map(|(i, p)| {
+            let mut port = Port::new(i as u16, p.speed_gbps, wps as u16, cfg.rxq_depth);
+            port.set_rss_table(rss_tables[p.socket].clone());
+            port.into_handle()
+        })
         .collect();
+
+    // Worker heartbeats + shed/loss accounting (the live runtime's exact
+    // structs; the atomics are free in a single-threaded simulation).
+    let health: Arc<Vec<WorkerHealth>> = Arc::new(
+        (0..total_workers)
+            .map(|_| WorkerHealth::new())
+            .collect::<Vec<_>>(),
+    );
+    let hstats: Arc<HealthStats> = Arc::new(HealthStats::default());
 
     // Queues between workers and device threads.
     let offload_qs: Vec<SimQueue<OffloadTask>> =
@@ -1214,6 +1370,7 @@ pub fn run_with_sources(
         cfg.capture.then(|| Rc::new(RefCell::new(Vec::new())));
 
     // Workers.
+    let mut rx_handles: Vec<Vec<SimQueue<Packet>>> = Vec::with_capacity(total_workers);
     for w in 0..total_workers {
         let socket = w / wps;
         let local = w % wps;
@@ -1222,6 +1379,7 @@ pub fn run_with_sources(
             .into_iter()
             .map(|p| ports[p].borrow().rx_queue(local as u16))
             .collect();
+        rx_handles.push(rx.clone());
         let graph = graphs.remove(0);
         let entity = WorkerEntity {
             id: w,
@@ -1242,6 +1400,11 @@ pub fn run_with_sources(
             sink: sink.clone(),
             trace_seq: 0,
             capture: capture_sink.clone(),
+            health: health.clone(),
+            kill: cfg.fault.plan.kill_for(w as u32),
+            stall: cfg.fault.plan.stall_for(w as u32),
+            rx_pulled: 0,
+            stalled_done: false,
         };
         let id = engine.add(Box::new(entity), Time::ZERO);
         debug_assert_eq!(id.0, w);
@@ -1254,7 +1417,10 @@ pub fn run_with_sources(
             .collect();
         // Each device draws from its own deterministic stream, derived
         // from the one user-facing seed.
-        let injector = cfg.fault.plan.is_active().then(|| {
+        // Worker-only fault plans leave the device injector off, so the
+        // offload path of a kill/stall drill stays bit-identical to a
+        // clean run.
+        let injector = cfg.fault.plan.device_active().then(|| {
             let seed = cfg
                 .fault
                 .plan
@@ -1303,6 +1469,31 @@ pub fn run_with_sources(
             pool: pools[socket].clone(),
             window: cfg.gen_window,
             horizon,
+        };
+        engine.add(Box::new(entity), Time::ZERO);
+    }
+
+    // The supervisor: same watchdog machine as the live runtime's
+    // supervisor thread, always on (a clean run just produces an empty
+    // log).
+    let scfg = cfg.fault.supervisor.clone();
+    let sup_state = Rc::new(RefCell::new(SupState {
+        monitors: (0..total_workers)
+            .map(|_| ShardMonitor::new(scfg.stall_windows))
+            .collect(),
+        log: SupervisorLog::new(),
+    }));
+    {
+        let entity = SupervisorEntity {
+            interval: Time::from_ns(scfg.check_interval.as_ns().max(1)),
+            horizon,
+            wps,
+            health: health.clone(),
+            rx: rx_handles.clone(),
+            tables: rss_tables.clone(),
+            balancer: balancer.clone(),
+            hstats: hstats.clone(),
+            state: sup_state.clone(),
         };
         engine.add(Box::new(entity), Time::ZERO);
     }
@@ -1387,6 +1578,36 @@ pub fn run_with_sources(
         })
         .unwrap_or_default();
 
+    // Self-healing loss accounting: whatever a dead shard left behind —
+    // packets still queued in its RX rings and completions it never
+    // reaped — is attributed loss, mirroring the live teardown.
+    let sup_state = Rc::try_unwrap(sup_state)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|_| panic!("supervisor state uniquely owned after engine teardown"));
+    let states: Vec<WorkerState> = sup_state.monitors.iter().map(ShardMonitor::state).collect();
+    let mut lost_ring: u64 = 0;
+    let mut lost_flight: u64 = 0;
+    for (w, st) in states.iter().enumerate() {
+        if *st != WorkerState::Dead {
+            continue;
+        }
+        lost_ring += rx_handles[w].iter().map(|q| q.len() as u64).sum::<u64>();
+        while let Some(done) = completion_qs[w].pop() {
+            lost_flight += done.batch.len() as u64;
+        }
+    }
+    if lost_ring > 0 {
+        HealthStats::add(&hstats.lost_in_ring, lost_ring);
+    }
+    if lost_flight > 0 {
+        HealthStats::add(&hstats.lost_in_flight, lost_flight);
+    }
+    let health = HealthReport {
+        states,
+        log: sup_state.log,
+        stats: hstats.snapshot(),
+    };
+
     let tx_mpps = window.tx_packets as f64 / dur.as_secs_f64() / 1e6;
     // Each `lock()` gets its own statement: temporaries in struct-literal
     // field initializers live until the end of the whole literal, so two
@@ -1423,5 +1644,6 @@ pub fn run_with_sources(
         drift: drift.map(|d| d.borrow().report()),
         decisions,
         flight: flight.map(|f| f.dumps()).unwrap_or_default(),
+        health,
     }
 }

@@ -219,6 +219,10 @@ pub struct RunReport {
     pub decisions: Option<crate::audit::DecisionLog>,
     /// Flight dumps raised during the run (drift events).
     pub flight: Vec<crate::introspect::FlightDump>,
+    /// Self-healing plane: final worker states, the supervisor's replayable
+    /// transition log, and shed/loss accounting (all-clean on a fault-free
+    /// run; the DES mirrors the live supervisor's report).
+    pub health: crate::supervise::HealthReport,
 }
 
 impl RunReport {

@@ -170,6 +170,9 @@ pub struct ShardSample {
     /// Cumulative enqueue failures (full-ring refusals) on the shard's RX
     /// rings.
     pub enqueue_failed: u64,
+    /// Cumulative packets shed toward this shard by the IO threads'
+    /// overload policy (drop-tail / priority / probabilistic).
+    pub shed: u64,
     /// The shard balancer's offloading fraction `w` at the sample instant
     /// (equals the shared `w` under `lb::shared`).
     pub w: f64,
@@ -408,11 +411,12 @@ pub fn samples_to_jsonl(samples: &[TimeSample]) -> String {
             .iter()
             .map(|sh| {
                 format!(
-                    "{{\"shard\":{},\"ring_occupancy\":{},\"ring_high_water\":{},\"enqueue_failed\":{},\"w\":{}}}",
+                    "{{\"shard\":{},\"ring_occupancy\":{},\"ring_high_water\":{},\"enqueue_failed\":{},\"shed\":{},\"w\":{}}}",
                     sh.shard,
                     sh.ring_occupancy,
                     sh.ring_high_water,
                     sh.enqueue_failed,
+                    sh.shed,
                     json_f64(sh.w),
                 )
             })
@@ -930,12 +934,88 @@ pub fn report_to_prometheus(r: &RunReport) -> String {
             &|sh| sh.enqueue_failed.to_string(),
         );
         shard_metric(
+            "nba_shed_total",
+            "Packets shed toward the shard by the IO overload policy",
+            "counter",
+            &|sh| sh.shed.to_string(),
+        );
+        shard_metric(
             "nba_shard_offload_fraction",
             "The shard balancer's offloading fraction w at the last sample",
             "gauge",
             &|sh| json_f64(sh.w),
         );
     }
+
+    // Self-healing plane: final worker states and shed/loss accounting
+    // from the supervisor (live runtime; the DES mirrors the same report).
+    if !r.health.states.is_empty() {
+        out.push_str(
+            "# HELP nba_worker_state Final supervisor state per shard \
+             (0=healthy 1=suspect 2=dead 3=recovering)\n# TYPE nba_worker_state gauge\n",
+        );
+        for (w, st) in r.health.states.iter().enumerate() {
+            out.push_str(&format!(
+                "nba_worker_state{{shard=\"{w}\",state=\"{}\"}} {}\n",
+                st.as_str(),
+                st.as_u8()
+            ));
+        }
+    }
+    let h = &r.health.stats;
+    out.push_str("# HELP nba_shed_packets_total Packets shed by the IO overload policy\n");
+    out.push_str("# TYPE nba_shed_packets_total counter\n");
+    for (policy, n) in [
+        ("drop_tail", h.shed_drop_tail),
+        ("priority", h.shed_priority),
+        ("probabilistic", h.shed_probabilistic),
+    ] {
+        out.push_str(&format!(
+            "nba_shed_packets_total{{policy=\"{policy}\"}} {n}\n"
+        ));
+    }
+    prom_metric(
+        &mut out,
+        "nba_lost_in_ring_packets_total",
+        "Packets stranded in RX rings of dead workers",
+        "counter",
+        h.lost_in_ring.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_lost_in_flight_packets_total",
+        "Offload completions stranded when their worker died",
+        "counter",
+        h.lost_in_flight.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_resteers_total",
+        "RSS re-steer operations performed by the supervisor",
+        "counter",
+        h.resteers.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_resteer_buckets_moved_total",
+        "RSS indirection buckets moved across all re-steers",
+        "counter",
+        h.buckets_moved.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_worker_respawns_total",
+        "Crashed workers respawned by the supervisor",
+        "counter",
+        h.respawns.to_string(),
+    );
+    prom_metric(
+        &mut out,
+        "nba_ring_disconnects_total",
+        "Dead worker rings observed by IO threads",
+        "counter",
+        h.ring_disconnects.to_string(),
+    );
 
     // Fault-tolerance accounting (all zero on a clean run).
     let f = &r.faults.snapshot;
@@ -1227,6 +1307,7 @@ mod tests {
                 ring_occupancy: 17,
                 ring_high_water: 64,
                 enqueue_failed: 3,
+                shed: 5,
                 w: 0.75,
             }],
             slo: Some(crate::audit::SloSample {
@@ -1241,7 +1322,7 @@ mod tests {
         assert!(s.contains("\"slo\":{\"latency_ok\":true,\"throughput_ok\":false,"));
         assert!(s.contains("\"gpu_busy\":[0.25]"));
         assert!(s.contains("\"shards\":[{\"shard\":2,\"ring_occupancy\":17,"));
-        assert!(s.contains("\"enqueue_failed\":3,\"w\":0.75}"));
+        assert!(s.contains("\"enqueue_failed\":3,\"shed\":5,\"w\":0.75}"));
 
         let s = trace_to_jsonl(&[ev(1000, 42)]);
         assert!(s.contains("\"kind\":\"rx\""));

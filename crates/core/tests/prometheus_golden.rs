@@ -35,6 +35,7 @@ fn fixture() -> RunReport {
         ring_occupancy: occ,
         ring_high_water: occ * 3,
         enqueue_failed: u64::from(shard) * 2,
+        shed: u64::from(shard) * 9,
         w,
     };
     let sample = |t_ms: u64, shards: Vec<ShardSample>| TimeSample {
@@ -119,6 +120,20 @@ fn fixture() -> RunReport {
         }),
         decisions: None,
         flight: Vec::new(),
+        health: {
+            let mut h = nba_core::supervise::HealthReport {
+                states: vec![
+                    nba_core::supervise::WorkerState::Healthy,
+                    nba_core::supervise::WorkerState::Dead,
+                ],
+                ..Default::default()
+            };
+            h.stats.shed_drop_tail = 9;
+            h.stats.lost_in_ring = 5;
+            h.stats.resteers = 1;
+            h.stats.buckets_moved = 64;
+            h
+        },
     }
 }
 

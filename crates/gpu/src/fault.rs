@@ -23,6 +23,32 @@ pub enum FaultKind {
     DeviceDeath,
 }
 
+/// A scheduled worker-thread kill, keyed on that worker's own processed
+/// packet counter (not wall clock), so the trigger point is deterministic
+/// under flow-affine steering: `worker_kill=2@300` kills worker 2 once it
+/// has pulled its 300th packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerKill {
+    /// Worker (shard) index to kill.
+    pub worker: u32,
+    /// Trigger once the worker has processed this many packets.
+    pub at_packet: u64,
+}
+
+/// A scheduled worker stall: the worker stops consuming for a wall-clock
+/// window, then resumes (`worker_stall=1@300+5` = worker 1 sleeps 5 ms at
+/// its 300th packet). Output-preserving in drain mode — the supervisor may
+/// still presume it dead and re-steer its buckets meanwhile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStall {
+    /// Worker (shard) index to stall.
+    pub worker: u32,
+    /// Trigger once the worker has processed this many packets.
+    pub at_packet: u64,
+    /// Stall duration in milliseconds.
+    pub millis: f64,
+}
+
 /// A seeded, declarative fault schedule for one device.
 ///
 /// Probabilities apply independently to every kernel *attempt* (retries
@@ -42,6 +68,10 @@ pub struct FaultPlan {
     pub die_at: Option<Time>,
     /// …and revives at this time (`None` = stays dead).
     pub revive_at: Option<Time>,
+    /// Scheduled worker-thread kills (supervision drills).
+    pub worker_kill: Vec<WorkerKill>,
+    /// Scheduled worker-thread stalls (supervision drills).
+    pub worker_stall: Vec<WorkerStall>,
 }
 
 impl Default for FaultPlan {
@@ -53,14 +83,72 @@ impl Default for FaultPlan {
             corrupt: 0.0,
             die_at: None,
             revive_at: None,
+            worker_kill: Vec::new(),
+            worker_stall: Vec::new(),
         }
     }
 }
 
+/// A [`FaultPlan::parse_spanned`] error carrying the byte span of the
+/// offending token inside the (single-line) spec string, so CLI surfaces
+/// can point at the exact character instead of the whole flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// Byte offset of the offending token within the spec.
+    pub offset: usize,
+    /// Byte length of the offending token.
+    pub len: usize,
+    /// What is wrong with it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "at {}..{}: {}",
+            self.offset,
+            self.offset + self.len,
+            self.msg
+        )
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
 impl FaultPlan {
     /// `true` if the plan can ever inject anything.
     pub fn is_active(&self) -> bool {
+        self.device_active() || self.worker_faults_active()
+    }
+
+    /// `true` if the *device* path can ever see a fault. The injector and
+    /// circuit breaker stay out of the data path entirely when this is
+    /// false, even if worker drills are scheduled — a worker-only plan
+    /// keeps the offload path bit-identical to a clean run.
+    pub fn device_active(&self) -> bool {
         self.timeout > 0.0 || self.transient > 0.0 || self.corrupt > 0.0 || self.die_at.is_some()
+    }
+
+    /// `true` if any worker kill/stall drill is scheduled.
+    pub fn worker_faults_active(&self) -> bool {
+        !self.worker_kill.is_empty() || !self.worker_stall.is_empty()
+    }
+
+    /// The scheduled kill for `worker`, if any (first match wins).
+    pub fn kill_for(&self, worker: u32) -> Option<WorkerKill> {
+        self.worker_kill
+            .iter()
+            .copied()
+            .find(|k| k.worker == worker)
+    }
+
+    /// The scheduled stall for `worker`, if any (first match wins).
+    pub fn stall_for(&self, worker: u32) -> Option<WorkerStall> {
+        self.worker_stall
+            .iter()
+            .copied()
+            .find(|k| k.worker == worker)
     }
 
     /// `true` while the device is inside the death window at `now`.
@@ -72,40 +160,129 @@ impl FaultPlan {
     }
 
     /// Parses the flag/config syntax:
-    /// `seed=7,transient=0.2,timeout=0.1,corrupt=0.05,die_at_ms=25,revive_at_ms=40`.
-    /// Keys may appear in any order; unknown keys are errors so typos in a
-    /// chaos-CI matrix fail loudly instead of silently running clean.
+    /// `seed=7,transient=0.2,timeout=0.1,corrupt=0.05,die_at_ms=25,revive_at_ms=40,worker_kill=2@300,worker_stall=1@300+5`.
+    /// Keys may appear in any order; `worker_kill`/`worker_stall` may repeat
+    /// (one event each); unknown keys are errors so typos in a chaos-CI
+    /// matrix fail loudly instead of silently running clean.
     pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        FaultPlan::parse_spanned(s).map_err(|e| format!("fault plan: {e}"))
+    }
+
+    /// [`FaultPlan::parse`] with a token-accurate error span: the returned
+    /// error names the exact byte range of the bad key or value.
+    pub fn parse_spanned(s: &str) -> Result<FaultPlan, PlanParseError> {
+        let err = |offset: usize, len: usize, msg: String| PlanParseError { offset, len, msg };
         let mut plan = FaultPlan::default();
-        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-            let (key, val) = part
-                .split_once('=')
-                .ok_or_else(|| format!("fault plan: expected key=value, got `{part}`"))?;
-            let fval = || -> Result<f64, String> {
-                val.parse::<f64>()
-                    .map_err(|e| format!("fault plan: bad value for `{key}`: {e}"))
+        let mut pos = 0usize;
+        for part in s.split(',') {
+            let part_off = pos;
+            pos += part.len() + 1;
+            let trimmed = part.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let tok_off = part_off + (part.len() - part.trim_start().len());
+            let Some((key, val)) = trimmed.split_once('=') else {
+                return Err(err(
+                    tok_off,
+                    trimmed.len(),
+                    format!("expected key=value, got `{trimmed}`"),
+                ));
             };
-            let prob = || -> Result<f64, String> {
+            let key_t = key.trim_end();
+            let val_t = val.trim();
+            let key_span = (tok_off, key_t.len().max(1));
+            let val_off = tok_off + key.len() + 1 + (val.len() - val.trim_start().len());
+            let val_span = (val_off, val_t.len().max(1));
+            let fval = || -> Result<f64, PlanParseError> {
+                val_t.parse::<f64>().map_err(|e| {
+                    err(
+                        val_span.0,
+                        val_span.1,
+                        format!("bad value for `{key_t}`: {e}"),
+                    )
+                })
+            };
+            let prob = || -> Result<f64, PlanParseError> {
                 let v = fval()?;
                 if (0.0..=1.0).contains(&v) {
                     Ok(v)
                 } else {
-                    Err(format!("fault plan: `{key}` must be in [0, 1], got {v}"))
+                    Err(err(
+                        val_span.0,
+                        val_span.1,
+                        format!("`{key_t}` must be in [0, 1], got {v}"),
+                    ))
                 }
             };
-            let ms = || -> Result<Time, String> { Ok(Time::from_secs_f64(fval()? / 1e3)) };
-            match key.trim() {
+            let ms = || -> Result<Time, PlanParseError> { Ok(Time::from_secs_f64(fval()? / 1e3)) };
+            // `W@N[+MS]`: worker index, trigger packet, optional stall window.
+            let worker_at = |with_ms: bool| -> Result<(u32, u64, f64), PlanParseError> {
+                let bad = |msg: String| err(val_span.0, val_span.1, msg);
+                let (w, rest) = val_t.split_once('@').ok_or_else(|| {
+                    bad(format!(
+                        "`{key_t}` wants worker@packet{}, got `{val_t}`",
+                        if with_ms { "+ms" } else { "" }
+                    ))
+                })?;
+                let worker: u32 = w
+                    .parse()
+                    .map_err(|e| bad(format!("bad worker index `{w}`: {e}")))?;
+                let (at, millis) = match (rest.split_once('+'), with_ms) {
+                    (Some((at, ms)), true) => {
+                        let millis: f64 = ms
+                            .parse()
+                            .map_err(|e| bad(format!("bad stall millis `{ms}`: {e}")))?;
+                        if !millis.is_finite() || millis <= 0.0 {
+                            return Err(bad(format!("stall window must be positive, got {ms}")));
+                        }
+                        (at, millis)
+                    }
+                    (Some(_), false) => {
+                        return Err(bad(format!("`{key_t}` takes no `+ms` suffix")));
+                    }
+                    (None, true) => {
+                        return Err(bad(format!(
+                            "`{key_t}` wants worker@packet+ms, got `{val_t}`"
+                        )));
+                    }
+                    (None, false) => (rest, 0.0),
+                };
+                let at_packet: u64 = at
+                    .parse()
+                    .map_err(|e| bad(format!("bad trigger packet `{at}`: {e}")))?;
+                Ok((worker, at_packet, millis))
+            };
+            match key_t {
                 "seed" => {
-                    plan.seed = val
+                    plan.seed = val_t
                         .parse()
-                        .map_err(|e| format!("fault plan: bad seed: {e}"))?;
+                        .map_err(|e| err(val_span.0, val_span.1, format!("bad seed: {e}")))?;
                 }
                 "timeout" => plan.timeout = prob()?,
                 "transient" => plan.transient = prob()?,
                 "corrupt" => plan.corrupt = prob()?,
                 "die_at_ms" => plan.die_at = Some(ms()?),
                 "revive_at_ms" => plan.revive_at = Some(ms()?),
-                other => return Err(format!("fault plan: unknown key `{other}`")),
+                "worker_kill" => {
+                    let (worker, at_packet, _) = worker_at(false)?;
+                    plan.worker_kill.push(WorkerKill { worker, at_packet });
+                }
+                "worker_stall" => {
+                    let (worker, at_packet, millis) = worker_at(true)?;
+                    plan.worker_stall.push(WorkerStall {
+                        worker,
+                        at_packet,
+                        millis,
+                    });
+                }
+                other => {
+                    return Err(err(
+                        key_span.0,
+                        key_span.1,
+                        format!("unknown key `{other}`"),
+                    ));
+                }
             }
         }
         Ok(plan)
@@ -123,6 +300,15 @@ impl FaultPlan {
         }
         if let Some(t) = self.revive_at {
             s.push_str(&format!(",revive_at_ms={}", t.as_secs_f64() * 1e3));
+        }
+        for k in &self.worker_kill {
+            s.push_str(&format!(",worker_kill={}@{}", k.worker, k.at_packet));
+        }
+        for k in &self.worker_stall {
+            s.push_str(&format!(
+                ",worker_stall={}@{}+{}",
+                k.worker, k.at_packet, k.millis
+            ));
         }
         s
     }
@@ -223,6 +409,71 @@ mod tests {
         assert!(FaultPlan::parse("seed").is_err());
         // The empty plan parses to the inactive default.
         assert!(!FaultPlan::parse("").unwrap().is_active());
+    }
+
+    #[test]
+    fn parse_worker_drills_round_trip_and_classify() {
+        let plan =
+            FaultPlan::parse("worker_kill=2@300,worker_stall=1@150+5,worker_kill=3@900").unwrap();
+        assert_eq!(
+            plan.worker_kill,
+            vec![
+                WorkerKill {
+                    worker: 2,
+                    at_packet: 300
+                },
+                WorkerKill {
+                    worker: 3,
+                    at_packet: 900
+                },
+            ]
+        );
+        assert_eq!(
+            plan.worker_stall,
+            vec![WorkerStall {
+                worker: 1,
+                at_packet: 150,
+                millis: 5.0
+            }]
+        );
+        assert_eq!(plan.kill_for(2).unwrap().at_packet, 300);
+        assert_eq!(plan.kill_for(0), None);
+        assert_eq!(plan.stall_for(1).unwrap().millis, 5.0);
+        // Worker-only plans never arm the device injector.
+        assert!(plan.is_active());
+        assert!(!plan.device_active());
+        assert!(plan.worker_faults_active());
+        assert_eq!(FaultPlan::parse(&plan.render()).unwrap(), plan);
+    }
+
+    #[test]
+    fn spanned_errors_point_at_the_offending_token() {
+        // Unknown key: the span covers exactly `worker_kil`.
+        let spec = "seed=7,worker_kil=2@300";
+        let e = FaultPlan::parse_spanned(spec).unwrap_err();
+        assert_eq!(&spec[e.offset..e.offset + e.len], "worker_kil");
+        assert!(e.msg.contains("unknown key"), "{e}");
+
+        // Bad value: the span covers exactly the malformed value token,
+        // even with surrounding whitespace.
+        let spec = "seed=7, worker_kill = 2#300 ,transient=0.1";
+        let e = FaultPlan::parse_spanned(spec).unwrap_err();
+        assert_eq!(&spec[e.offset..e.offset + e.len], "2#300");
+        assert!(e.msg.contains("worker@packet"), "{e}");
+
+        // A stall without its window names the missing piece.
+        let e = FaultPlan::parse_spanned("worker_stall=1@300").unwrap_err();
+        assert!(e.msg.contains("worker@packet+ms"), "{e}");
+        // A kill must not carry one.
+        let e = FaultPlan::parse_spanned("worker_kill=1@300+5").unwrap_err();
+        assert!(e.msg.contains("no `+ms`"), "{e}");
+        // Zero/negative stall windows are rejected.
+        assert!(FaultPlan::parse_spanned("worker_stall=1@300+0").is_err());
+
+        // The legacy keys keep their spans too.
+        let spec = "transient=1.5";
+        let e = FaultPlan::parse_spanned(spec).unwrap_err();
+        assert_eq!(&spec[e.offset..e.offset + e.len], "1.5");
     }
 
     #[test]

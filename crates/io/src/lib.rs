@@ -40,5 +40,5 @@ pub use gen::{IpVersion, PayloadFill, SizeDist, TrafficConfig, TrafficGen};
 pub use packet::Packet;
 pub use pcap::{Limited, PacketSource, PcapWriter, Replay, TraceRecord};
 pub use port::{Port, PortHandle, TxOutcome};
-pub use rss::RssFanout;
+pub use rss::{RssFanout, RssTable, SteerPlan, RSS_BUCKETS};
 pub use toeplitz::Toeplitz;

@@ -10,11 +10,13 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use nba_sim::{SimQueue, Time};
 
 use crate::packet::Packet;
 use crate::proto::{self, ether::EtherView, ipv4::Ipv4View, ipv6::Ipv6View, l4::UdpView};
+use crate::rss::RssTable;
 use crate::toeplitz::{queue_for_hash, Toeplitz};
 
 /// Counters of one port.
@@ -57,6 +59,9 @@ pub struct Port {
     /// Longest TX backlog (in wire time) the hardware ring may hold.
     tx_ring_horizon: Time,
     counters: PortCounters,
+    /// Optional swappable RSS indirection (the self-healing runtime's
+    /// re-steer plane). `None` keeps the static `queue_for_hash` demux.
+    rss: Option<Arc<RssTable>>,
 }
 
 /// A shared handle to a port (the engine is single-threaded).
@@ -85,7 +90,25 @@ impl Port {
             // 512 descriptors of full-size frames at line rate.
             tx_ring_horizon: Time::from_secs_f64(512.0 * 1538.0 * 8.0 / (speed_gbps * 1e9)),
             counters: PortCounters::default(),
+            rss: None,
         }
+    }
+
+    /// Installs a shared RSS indirection table. The table's boot state maps
+    /// bucket `i` to queue `i % workers`, identical to [`queue_for_hash`],
+    /// so installing a fresh table never changes packet placement — only a
+    /// supervisor's `remap_dead`/`restore` does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built for a different queue count.
+    pub fn set_rss_table(&mut self, table: Arc<RssTable>) {
+        assert_eq!(
+            table.worker_count(),
+            self.rx_queue_count(),
+            "RSS table queue count must match the port"
+        );
+        self.rss = Some(table);
     }
 
     /// Wraps the port into a shared handle.
@@ -116,7 +139,10 @@ impl Port {
     /// selects an RX queue, and enqueues (or drops on overflow).
     pub fn deliver(&mut self, mut pkt: Packet) {
         let hash = rss_hash(&self.hasher, pkt.data());
-        let q = queue_for_hash(hash, self.rx_queue_count());
+        let q = match &self.rss {
+            Some(t) => t.worker_for(hash),
+            None => queue_for_hash(hash, self.rx_queue_count()),
+        };
         pkt.rss_hash = hash;
         pkt.port_in = self.id;
         pkt.queue_in = q;

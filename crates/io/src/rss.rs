@@ -8,10 +8,143 @@
 //! indirection table, stamp the packet's RSS metadata, enqueue — so a flow's
 //! packets always land on the same worker, in order.
 
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::packet::Packet;
 use crate::port::rss_hash;
 use crate::spsc;
-use crate::toeplitz::{queue_for_hash, Toeplitz};
+use crate::toeplitz::Toeplitz;
+
+/// Entries in the RSS indirection table. Hardware RSS units use a 128-entry
+/// table ([`crate::toeplitz::queue_for_hash`] keys on `hash & 0x7f`); making
+/// the table a real, swappable structure (instead of a modulo) is what lets
+/// the live runtime re-steer a dead worker's buckets at runtime.
+pub const RSS_BUCKETS: usize = 128;
+
+/// The RSS bucket→worker indirection table, shared by every IO thread of a
+/// run.
+///
+/// The boot-time assignment `entry[i] = i % workers` reduces to exactly the
+/// modulo steering of [`queue_for_hash`], so a run where nothing fails is
+/// bit-identical to the fixed-function path. When a worker dies, the
+/// supervisor atomically reassigns *only that worker's buckets* onto
+/// survivors ([`RssTable::remap_dead`]) — flows hashing to untouched buckets
+/// keep their affinity — and a recovered worker re-acquires its home buckets
+/// ([`RssTable::restore`]). Lookups are single relaxed loads; rewrites are
+/// per-entry atomic stores, so IO threads never lock and never observe a
+/// torn table.
+#[derive(Debug)]
+pub struct RssTable {
+    entries: Vec<AtomicU16>,
+    workers: u16,
+    epoch: AtomicU64,
+}
+
+impl RssTable {
+    /// Builds the boot table for `workers` queues: `entry[i] = i % workers`,
+    /// the same mapping [`queue_for_hash`] computes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: u16) -> RssTable {
+        assert!(workers > 0, "an RSS table needs at least one worker");
+        RssTable {
+            entries: (0..RSS_BUCKETS as u16)
+                .map(|i| AtomicU16::new(i % workers))
+                .collect(),
+            workers,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of workers the table was built for.
+    pub fn worker_count(&self) -> u16 {
+        self.workers
+    }
+
+    /// The bucket a hash indexes (low 7 bits, as in hardware).
+    pub fn bucket_of(hash: u32) -> usize {
+        (hash & (RSS_BUCKETS as u32 - 1)) as usize
+    }
+
+    /// The worker currently owning the bucket `hash` indexes.
+    pub fn worker_for(&self, hash: u32) -> u16 {
+        self.entries[Self::bucket_of(hash)].load(Ordering::Relaxed)
+    }
+
+    /// The boot-time ("home") owner of a bucket.
+    pub fn home(&self, bucket: usize) -> u16 {
+        bucket as u16 % self.workers
+    }
+
+    /// Reassigns every bucket currently owned by `dead` round-robin onto
+    /// `survivors`, leaving all other buckets untouched (flow affinity is
+    /// preserved for every live worker). Returns the number of buckets
+    /// moved. A no-op when `survivors` is empty.
+    pub fn remap_dead(&self, dead: u16, survivors: &[u16]) -> usize {
+        if survivors.is_empty() {
+            return 0;
+        }
+        let mut moved = 0usize;
+        for e in &self.entries {
+            if e.load(Ordering::Relaxed) == dead {
+                e.store(survivors[moved % survivors.len()], Ordering::Relaxed);
+                moved += 1;
+            }
+        }
+        if moved > 0 {
+            self.epoch.fetch_add(1, Ordering::Release);
+        }
+        moved
+    }
+
+    /// Hands every *home* bucket of `worker` back to it (recovery path).
+    /// Buckets whose home is another worker are never touched. Returns the
+    /// number of buckets re-acquired.
+    pub fn restore(&self, worker: u16) -> usize {
+        let mut moved = 0usize;
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.home(i) == worker && e.load(Ordering::Relaxed) != worker {
+                e.store(worker, Ordering::Relaxed);
+                moved += 1;
+            }
+        }
+        if moved > 0 {
+            self.epoch.fetch_add(1, Ordering::Release);
+        }
+        moved
+    }
+
+    /// Number of remap/restore rewrites so far (observers cheaply detect
+    /// re-steering without diffing the table).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A copy of the current bucket→worker assignment.
+    pub fn snapshot(&self) -> Vec<u16> {
+        self.entries
+            .iter()
+            .map(|e| e.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Where a frame would be steered and how loaded that ring is right now
+/// (see [`RssFanout::steer_plan`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SteerPlan {
+    /// The queue (worker) the indirection table currently selects.
+    pub queue: u16,
+    /// The frame's Toeplitz RSS hash.
+    pub hash: u32,
+    /// Items queued on the target ring.
+    pub occupancy: usize,
+    /// The target ring's capacity.
+    pub capacity: usize,
+}
 
 /// Per-queue delivery counters of one fanout.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,22 +162,47 @@ pub struct RssFanout {
     hasher: Toeplitz,
     queues: Vec<spsc::Producer<Packet>>,
     counters: Vec<QueueCounters>,
+    table: Arc<RssTable>,
 }
 
 impl RssFanout {
-    /// Creates a fanout for `port_id` over the given per-queue rings.
+    /// Creates a fanout for `port_id` over the given per-queue rings, with
+    /// its own private boot-state indirection table (steering identical to
+    /// [`queue_for_hash`]).
     ///
     /// # Panics
     ///
     /// Panics if `queues` is empty.
     pub fn new(port_id: u16, queues: Vec<spsc::Producer<Packet>>) -> RssFanout {
+        let table = Arc::new(RssTable::new(queues.len() as u16));
+        RssFanout::with_table(port_id, queues, table)
+    }
+
+    /// Creates a fanout steering through a shared, externally rewritable
+    /// indirection table (the self-healing runtime hands the same table to
+    /// every IO thread so a supervisor can re-steer all of them at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is empty or its length disagrees with the table.
+    pub fn with_table(
+        port_id: u16,
+        queues: Vec<spsc::Producer<Packet>>,
+        table: Arc<RssTable>,
+    ) -> RssFanout {
         assert!(!queues.is_empty(), "a fanout needs at least one queue");
+        assert_eq!(
+            usize::from(table.worker_count()),
+            queues.len(),
+            "indirection table and queue set disagree on worker count"
+        );
         let counters = vec![QueueCounters::default(); queues.len()];
         RssFanout {
             port_id,
             hasher: Toeplitz::default(),
             queues,
             counters,
+            table,
         }
     }
 
@@ -53,18 +211,38 @@ impl RssFanout {
         self.queues.len() as u16
     }
 
-    /// The queue a frame with these bytes would be steered to.
+    /// The routing decision for a frame plus the target ring's load,
+    /// computed without stamping or enqueueing — the inputs an overload
+    /// shedder consults before committing the packet to a ring.
+    pub fn steer_plan(&self, frame: &[u8]) -> SteerPlan {
+        let hash = rss_hash(&self.hasher, frame);
+        let q = self.table.worker_for(hash);
+        let ring = &self.queues[usize::from(q)];
+        SteerPlan {
+            queue: q,
+            hash,
+            occupancy: ring.len(),
+            capacity: ring.capacity(),
+        }
+    }
+
+    /// The queue a frame with these bytes would be steered to right now.
     pub fn queue_for(&self, frame: &[u8]) -> u16 {
-        queue_for_hash(rss_hash(&self.hasher, frame), self.queue_count())
+        self.table.worker_for(rss_hash(&self.hasher, frame))
+    }
+
+    /// The shared indirection table this fanout steers through.
+    pub fn table(&self) -> &Arc<RssTable> {
+        &self.table
     }
 
     /// Steers one packet: stamps its RSS hash / ingress metadata and pushes
-    /// it onto the selected queue's ring. On a full ring the packet comes
-    /// back via `Err` so the caller chooses NIC semantics (count a drop) or
-    /// lossless semantics (back off and retry).
+    /// it onto the ring the indirection table currently selects. On a full
+    /// ring the packet comes back via `Err` so the caller chooses NIC
+    /// semantics (count a drop) or lossless semantics (back off and retry).
     pub fn deliver(&mut self, mut pkt: Packet) -> Result<u16, Packet> {
         let hash = rss_hash(&self.hasher, pkt.data());
-        let q = queue_for_hash(hash, self.queue_count());
+        let q = self.table.worker_for(hash);
         pkt.rss_hash = hash;
         pkt.port_in = self.port_id;
         pkt.queue_in = q;
@@ -75,6 +253,23 @@ impl RssFanout {
             }
             Err(pkt) => Err(pkt),
         }
+    }
+
+    /// True once queue `q`'s consumer (its worker thread) is gone: items
+    /// pushed there will never be drained. IO threads use this to raise the
+    /// ring-disconnect post-mortem.
+    pub fn receiver_gone(&self, q: u16) -> bool {
+        self.queues[usize::from(q)].is_receiver_gone()
+    }
+
+    /// Swaps in a fresh ring for queue `q` (worker respawn) and returns the
+    /// abandoned producer so the caller controls when the old ring closes.
+    pub fn replace_queue(
+        &mut self,
+        q: u16,
+        producer: spsc::Producer<Packet>,
+    ) -> spsc::Producer<Packet> {
+        std::mem::replace(&mut self.queues[usize::from(q)], producer)
     }
 
     /// Records a drop against queue `q` (the caller gave up on a full ring).
@@ -98,6 +293,7 @@ mod tests {
     use super::*;
     use crate::buf::Mempool;
     use crate::gen::{TrafficConfig, TrafficGen};
+    use crate::toeplitz::queue_for_hash;
     use nba_sim::Time;
 
     fn fanout(queues: usize, depth: usize) -> (RssFanout, Vec<spsc::Consumer<Packet>>) {
@@ -121,6 +317,134 @@ mod tests {
             // Same steering decision as the DES NIC model.
             assert_eq!(q, queue_for_hash(got.rss_hash, 4));
         }
+    }
+
+    #[test]
+    fn boot_table_matches_fixed_function_steering() {
+        // The swappable table must reduce to queue_for_hash before any
+        // remap, for every bucket and several worker counts — this is what
+        // keeps a clean live run bit-identical to the DES NIC model.
+        for workers in [1u16, 2, 3, 4, 7, 16] {
+            let t = RssTable::new(workers);
+            for h in (0..4096u32).map(|i| i.wrapping_mul(0x9e37_79b9)) {
+                assert_eq!(t.worker_for(h), queue_for_hash(h, workers));
+            }
+        }
+    }
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn remap_never_moves_a_live_workers_buckets() {
+        // Property: across random kill sequences, remapping a dead shard's
+        // buckets (a) empties the dead shard, (b) leaves every bucket owned
+        // by a survivor exactly where it was, and (c) keeps every bucket on
+        // some survivor.
+        let mut seed = 0x5eed_u64;
+        for trial in 0..200 {
+            let workers = 2 + (splitmix(&mut seed) % 7) as u16; // 2..=8
+            let t = RssTable::new(workers);
+            let mut alive: Vec<u16> = (0..workers).collect();
+            let kills = 1 + (splitmix(&mut seed) % u64::from(workers - 1)) as usize;
+            for _ in 0..kills {
+                let dead = alive.remove((splitmix(&mut seed) as usize) % alive.len());
+                let before = t.snapshot();
+                let moved = t.remap_dead(dead, &alive);
+                let after = t.snapshot();
+                assert_eq!(
+                    moved,
+                    before.iter().filter(|&&o| o == dead).count(),
+                    "trial {trial}: every dead-owned bucket moves, none twice"
+                );
+                for (b, (&was, &now)) in before.iter().zip(&after).enumerate() {
+                    if was == dead {
+                        assert!(
+                            alive.contains(&now),
+                            "trial {trial}: bucket {b} must land on a survivor"
+                        );
+                    } else {
+                        assert_eq!(
+                            was, now,
+                            "trial {trial}: bucket {b} of live worker {was} moved"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_reacquires_only_home_buckets() {
+        let t = RssTable::new(4);
+        let survivors: Vec<u16> = vec![0, 1, 3];
+        t.remap_dead(2, &survivors);
+        assert!(t.snapshot().iter().all(|&o| o != 2));
+        let before = t.snapshot();
+        let restored = t.restore(2);
+        let after = t.snapshot();
+        assert_eq!(restored, RSS_BUCKETS / 4);
+        for (b, (&was, &now)) in before.iter().zip(&after).enumerate() {
+            if t.home(b) == 2 {
+                assert_eq!(now, 2, "home bucket {b} returns to its owner");
+            } else {
+                assert_eq!(was, now, "foreign bucket {b} must not move");
+            }
+        }
+        // The table is back to boot state; epoch recorded both rewrites.
+        assert_eq!(after, RssTable::new(4).snapshot());
+        assert_eq!(t.epoch(), 2);
+    }
+
+    #[test]
+    fn remap_with_no_survivors_is_a_noop() {
+        let t = RssTable::new(1);
+        assert_eq!(t.remap_dead(0, &[]), 0);
+        assert_eq!(t.epoch(), 0);
+        assert!(t.snapshot().iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn fanout_steers_through_shared_table_after_remap() {
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..4).map(|_| spsc::channel(256)).unzip();
+        let table = Arc::new(RssTable::new(4));
+        let mut f = RssFanout::with_table(1, txs, Arc::clone(&table));
+        let pool = Mempool::new(1024);
+        let mut gen = TrafficGen::new(TrafficConfig::default());
+        let mut pkts = Vec::new();
+        gen.generate(Time::from_us(50), &pool, &mut |p| pkts.push(p));
+        let half = pkts.len() / 2;
+        let tail: Vec<_> = pkts.drain(half..).collect();
+        for pkt in pkts {
+            f.deliver(pkt).expect("ring has room");
+        }
+        let before_q2 = rxs[2].len();
+        table.remap_dead(2, &[0, 1, 3]);
+        for pkt in tail {
+            let q = f.deliver(pkt).expect("ring has room");
+            assert_ne!(q, 2, "no packet may steer to the dead worker");
+        }
+        assert_eq!(rxs[2].len(), before_q2, "dead ring stopped growing");
+    }
+
+    #[test]
+    fn replace_queue_swaps_ring_and_reports_dead_consumer() {
+        let (mut f, rxs) = fanout(2, 8);
+        assert!(!f.receiver_gone(0));
+        drop(rxs);
+        assert!(f.receiver_gone(0));
+        assert!(f.receiver_gone(1));
+        let (ntx, nrx) = spsc::channel(8);
+        let old = f.replace_queue(0, ntx);
+        assert!(old.is_receiver_gone());
+        assert!(!f.receiver_gone(0), "fresh ring has a live consumer");
+        drop(nrx);
+        assert!(f.receiver_gone(0));
     }
 
     #[test]

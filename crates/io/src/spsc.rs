@@ -39,6 +39,10 @@ struct Control {
     /// Set when the producer is dropped; the consumer drains then reports
     /// disconnection.
     closed: AtomicBool,
+    /// Set when the consumer is dropped: nobody will ever drain this ring
+    /// again. Producers probe this to detect a crashed worker instead of
+    /// silently accumulating `enqueue_failed` against a dead ring.
+    consumer_gone: AtomicBool,
     /// Highest occupancy ever observed at push time (relaxed; a gauge, not
     /// a synchronization point).
     high_water: AtomicUsize,
@@ -91,6 +95,12 @@ impl RingGauges {
         self.ctl.enqueue_failed.load(Ordering::Relaxed)
     }
 
+    /// True once the consumer has been dropped (post-mortem observers use
+    /// this to attribute whatever occupancy remains as lost-in-ring).
+    pub fn consumer_gone(&self) -> bool {
+        self.ctl.consumer_gone.load(Ordering::Acquire)
+    }
+
     /// Total slot count.
     pub fn capacity(&self) -> usize {
         self.ctl.capacity
@@ -110,6 +120,7 @@ pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
+            consumer_gone: AtomicBool::new(false),
             high_water: AtomicUsize::new(0),
             enqueue_failed: AtomicU64::new(0),
             capacity,
@@ -162,6 +173,13 @@ impl<T> Producer<T> {
     /// Total slot count.
     pub fn capacity(&self) -> usize {
         self.inner.slots.len()
+    }
+
+    /// True once the consumer has been dropped: every item already queued
+    /// (and any pushed from now on) will never be drained. The producer's
+    /// signal that the thread on the other end died.
+    pub fn is_receiver_gone(&self) -> bool {
+        self.inner.ctl.consumer_gone.load(Ordering::Acquire)
     }
 
     /// A `Clone`-able observer over this ring's occupancy statistics.
@@ -221,6 +239,12 @@ impl<T> Consumer<T> {
         RingGauges {
             ctl: Arc::clone(&self.inner.ctl),
         }
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.inner.ctl.consumer_gone.store(true, Ordering::Release);
     }
 }
 
@@ -297,6 +321,22 @@ mod tests {
         let g2 = rx.gauges();
         assert_eq!(g2.enqueue_failed(), 2);
         assert_eq!(g2.occupancy(), g.occupancy());
+    }
+
+    #[test]
+    fn producer_observes_consumer_death() {
+        let (tx, rx) = channel::<u32>(4);
+        let g = tx.gauges();
+        tx.push(1).unwrap();
+        assert!(!tx.is_receiver_gone());
+        assert!(!g.consumer_gone());
+        drop(rx);
+        assert!(tx.is_receiver_gone(), "drop of the consumer must be seen");
+        assert!(g.consumer_gone());
+        // Pushes into a dead ring still succeed while there is space — the
+        // caller decides what to do with the signal.
+        tx.push(2).unwrap();
+        assert_eq!(g.occupancy(), 2, "undrained items remain attributable");
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod ipsec;
 pub mod ipv4;
 pub mod ipv6;
 pub mod pipelines;
+pub mod stateful;
 
 #[cfg(test)]
 pub(crate) mod test_util;

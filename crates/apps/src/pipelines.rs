@@ -25,6 +25,9 @@ use crate::ipsec::{
 };
 use crate::ipv4::{IPLookup, RoutingTableV4};
 use crate::ipv6::{LookupIP6, RoutingTableV6};
+use crate::stateful::{
+    ConnTrackFirewall, FirewallConfig, MaglevConfig, MaglevLb, Nat44, NatConfig,
+};
 
 /// Sizing knobs of the sample applications.
 #[derive(Debug, Clone)]
@@ -233,6 +236,58 @@ pub fn ids(app: &AppConfig) -> (PipelineBuilder, Arc<AlertCounters>) {
         gb.build().expect("ids pipeline")
     });
     (builder, counters)
+}
+
+/// NAT44: `CheckIPHeader -> Nat44` — stateful source translation over the
+/// per-worker flow shards.
+pub fn nat44(cfg: &NatConfig) -> PipelineBuilder {
+    let cfg = cfg.clone();
+    Arc::new(move |ctx: &BuildCtx| {
+        let mut gb = GraphBuilder::new();
+        gb.branch_policy(ctx.policy);
+        let chk = gb.add(Box::new(CheckIPHeader));
+        let nat = gb.add(Box::new(Nat44::new(cfg.clone())));
+        gb.connect(chk, 0, nat);
+        gb.connect_discard(chk, 1);
+        gb.connect_exit(nat, 0);
+        gb.entry(chk);
+        gb.build().expect("nat44 pipeline")
+    })
+}
+
+/// Stateful firewall: `CheckIPHeader -> ConnTrackFirewall`, out-of-state
+/// segments discarded on port 1.
+pub fn conntrack_fw(cfg: &FirewallConfig) -> PipelineBuilder {
+    let cfg = cfg.clone();
+    Arc::new(move |ctx: &BuildCtx| {
+        let mut gb = GraphBuilder::new();
+        gb.branch_policy(ctx.policy);
+        let chk = gb.add(Box::new(CheckIPHeader));
+        let fw = gb.add(Box::new(ConnTrackFirewall::new(cfg.clone())));
+        gb.connect(chk, 0, fw);
+        gb.connect_discard(chk, 1);
+        gb.connect_exit(fw, 0);
+        gb.connect_discard(fw, 1);
+        gb.entry(chk);
+        gb.build().expect("conntrack pipeline")
+    })
+}
+
+/// Maglev L4 balancer: `CheckIPHeader -> MaglevLb` with connection
+/// pinning in the flow shards.
+pub fn maglev_lb(cfg: &MaglevConfig) -> PipelineBuilder {
+    let cfg = cfg.clone();
+    Arc::new(move |ctx: &BuildCtx| {
+        let mut gb = GraphBuilder::new();
+        gb.branch_policy(ctx.policy);
+        let chk = gb.add(Box::new(CheckIPHeader));
+        let lb = gb.add(Box::new(MaglevLb::new(cfg.clone())));
+        gb.connect(chk, 0, lb);
+        gb.connect_discard(chk, 1);
+        gb.connect_exit(lb, 0);
+        gb.entry(chk);
+        gb.build().expect("maglev pipeline")
+    })
 }
 
 /// Minimal L2 forwarder (the §4.6 latency baseline).
@@ -464,6 +519,49 @@ pub fn registry(ctx: &BuildCtx, app: &AppConfig) -> ElementRegistry {
             let lits = num(p, "literals", app.ids_literals as u64)? as usize;
             let res = num(p, "regexes", app.ids_regexes as u64)? as usize;
             Ok(Box::new(RegexMatch::new(rule_set(seed, lits, res))))
+        });
+    }
+    {
+        // Shared flow-table knobs: `capacity=`, `ttl=`, `embryonic_ttl=`,
+        // `epoch=` (packets per bucket epoch).
+        fn flow_table(p: &[String]) -> Result<nba_core::flow::FlowTableConfig, String> {
+            let d = nba_core::flow::FlowTableConfig::default();
+            Ok(nba_core::flow::FlowTableConfig {
+                capacity: num(p, "capacity", d.capacity)?,
+                ttl_epochs: num(p, "ttl", d.ttl_epochs)?,
+                embryonic_ttl_epochs: num(p, "embryonic_ttl", d.embryonic_ttl_epochs)?,
+                epoch_pkts: num(p, "epoch", d.epoch_pkts)?,
+            })
+        }
+        reg.register("Nat44", move |p| {
+            let d = NatConfig::default();
+            Ok(Box::new(Nat44::new(NatConfig {
+                ext_ip_base: num(p, "ext_ip_base", u64::from(d.ext_ip_base))? as u32,
+                ext_ips: num(p, "ext_ips", u64::from(d.ext_ips))? as u32,
+                ports_per_ip: num(p, "ports_per_ip", u64::from(d.ports_per_ip))? as u32,
+                table: flow_table(p)?,
+            })))
+        });
+        reg.register("ConnTrackFirewall", move |p| {
+            Ok(Box::new(ConnTrackFirewall::new(FirewallConfig {
+                table: flow_table(p)?,
+            })))
+        });
+        let app = app_c.clone();
+        reg.register("MaglevLb", move |p| {
+            let d = MaglevConfig::default();
+            // The clamps bound table construction (O(table × backends)
+            // rendezvous hashes, twice) so no configuration can stall
+            // graph assembly.
+            Ok(Box::new(MaglevLb::new(MaglevConfig {
+                backends: num(p, "backends", u64::from(d.backends))?.clamp(1, 512) as u32,
+                table_size: num(p, "table", u64::from(d.table_size))?.clamp(1, 1 << 17) as u32,
+                ports: num(p, "ports", u64::from(app.ports))?.clamp(1, u64::from(u16::MAX)) as u16,
+                seed: num(p, "seed", d.seed)?,
+                flip_epoch: num(p, "flip_epoch", d.flip_epoch)?,
+                flip_remove: num(p, "flip_remove", u64::from(d.flip_remove))? as u32,
+                table: flow_table(p)?,
+            })))
         });
     }
     {

@@ -8,6 +8,7 @@ use proptest::prelude::*;
 use nba_apps::ipsec::{open_esp, IPsecAES, IPsecAuthHMAC, IPsecESPEncap, SaTable};
 use nba_apps::ipv4::{RouteV4, RoutingTableV4};
 use nba_apps::ipv6::{RouteV6, RoutingTableV6};
+use nba_apps::stateful::BackendTable;
 use nba_core::batch::{Anno, PacketResult};
 use nba_core::element::{ComputeMode, ElemCtx, Element};
 use nba_core::nls::NodeLocalStorage;
@@ -115,5 +116,86 @@ proptest! {
         let (proto, recovered) = open_esp(pkt.data(), &sa).expect("open");
         prop_assert_eq!(proto, nba_io::proto::IPPROTO_UDP);
         prop_assert_eq!(recovered, original_ip_payload);
+    }
+}
+
+fn backend_set(bits: u16) -> Vec<u32> {
+    (0..16u32).filter(|b| bits & (1 << b) != 0).collect()
+}
+
+proptest! {
+    /// Rendezvous slot assignment is minimally disruptive: removing one
+    /// backend reassigns exactly the slots that backend owned, and every
+    /// untouched slot keeps its owner bit-for-bit.
+    #[test]
+    fn maglev_removal_remaps_only_the_removed_backends_slots(
+        bits in 3u16..u16::MAX,
+        victim_pick in 0usize..16,
+        seed in any::<u64>(),
+        table_size in proptest::sample::select(vec![13u32, 251, 509]),
+    ) {
+        let backends = backend_set(bits);
+        prop_assume!(backends.len() >= 2);
+        let victim = backends[victim_pick % backends.len()];
+        let survivors: Vec<u32> =
+            backends.iter().copied().filter(|&b| b != victim).collect();
+
+        let before = BackendTable::build(seed, table_size, &backends);
+        let after = BackendTable::build(seed, table_size, &survivors);
+        prop_assert_eq!(before.slots().len(), after.slots().len());
+        for (slot, (&b, &a)) in before.slots().iter().zip(after.slots()).enumerate() {
+            prop_assert_ne!(a, victim, "slot {} still routed to the removed backend", slot);
+            if b != victim {
+                prop_assert_eq!(a, b, "slot {} moved although its owner survived", slot);
+            }
+        }
+    }
+
+    /// Adding a backend only steals slots for the newcomer: every slot
+    /// either keeps its previous owner or switches to the added backend,
+    /// never to a third party.
+    #[test]
+    fn maglev_addition_only_steals_for_the_newcomer(
+        bits in 1u16..u16::MAX,
+        newcomer_pick in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut backends = backend_set(bits);
+        let absent: Vec<u32> =
+            (0..16u32).filter(|b| !backends.contains(b)).collect();
+        prop_assume!(!absent.is_empty());
+        let newcomer = absent[newcomer_pick % absent.len()];
+
+        let before = BackendTable::build(seed, 251, &backends);
+        backends.push(newcomer);
+        let after = BackendTable::build(seed, 251, &backends);
+        for (&b, &a) in before.slots().iter().zip(after.slots()) {
+            prop_assert!(a == b || a == newcomer,
+                "slot moved from {} to {} when only {} was added", b, a, newcomer);
+        }
+    }
+
+    /// Every pick lands on a live backend, and the slot distribution is
+    /// roughly balanced: no backend is starved and none owns more than a
+    /// small multiple of its fair share.
+    #[test]
+    fn maglev_picks_live_backends_and_balances(
+        bits in 1u16..u16::MAX,
+        seed in any::<u64>(),
+        hashes in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let backends = backend_set(bits);
+        prop_assume!(!backends.is_empty());
+        let table = BackendTable::build(seed, 251, &backends);
+        for h in hashes {
+            prop_assert!(backends.contains(&table.pick(h)));
+        }
+        let fair = table.slots().len() / backends.len();
+        for &b in &backends {
+            let owned = table.slots().iter().filter(|&&s| s == b).count();
+            prop_assert!(owned >= 1, "backend {} owns no slots", b);
+            prop_assert!(owned <= fair * 4 + 8,
+                "backend {} owns {} of {} slots", b, owned, table.slots().len());
+        }
     }
 }

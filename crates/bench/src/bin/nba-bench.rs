@@ -4,8 +4,8 @@
 //! Usage:
 //!
 //! * `nba-bench run <app> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC]`
-//!   Runs one app (`ipv4` | `ipv6` | `ipsec` | `ids`) on the simulated
-//!   paper testbed and writes a versioned [`BenchReport`] to
+//!   Runs one app (`ipv4` | `ipv6` | `ipsec` | `ids` | `nat`) on the
+//!   simulated paper testbed and writes a versioned [`BenchReport`] to
 //!   `BENCH_<app>.json` (or `--out`). `NBA_QUICK=1` shortens the
 //!   measurement windows for CI smoke runs. The default `alb` mode runs
 //!   the adaptive balancer so the artifact captures convergence stats.
@@ -47,18 +47,19 @@
 //! config produce identical reports — baselines under `bench/baselines/`
 //! are machine-independent.
 
+use nba_apps::stateful::NatConfig;
 use nba_apps::{pipelines, AppConfig};
 use nba_bench::report::{compare, BenchReport, ScalePoint, Tolerances};
 use nba_core::lb::{self, AlbConfig, BalancerFactory, LoadBalancer, SharedBalancer};
 use nba_core::runtime::live::{self, LiveConfig};
 use nba_core::runtime::{des, traffic_per_port, PipelineBuilder, RuntimeConfig};
-use nba_io::{IpVersion, SizeDist, TrafficConfig};
+use nba_io::{IpVersion, L4Proto, SizeDist, TrafficConfig};
 use nba_sim::topology::{GpuSpec, PortSpec, SocketSpec};
 use nba_sim::{Time, Topology};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live] [--trace N] [--stats-addr HOST:PORT] [--flight-dir DIR] [--audit N] [--audit-out PATH] [--slo SPEC] [--shed SPEC]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]\n  nba-bench top <addr> [--interval MS] [--count N]\n  nba-bench explain <decisions.jsonl>"
+        "usage:\n  nba-bench run <ipv4|ipv6|ipsec|ids|nat> [--out PATH] [--mode alb|cpu|gpu|<w>] [--faults SPEC] [--workers N,M,..] [--runtime des|live] [--trace N] [--stats-addr HOST:PORT] [--flight-dir DIR] [--audit N] [--audit-out PATH] [--slo SPEC] [--shed SPEC]\n  nba-bench compare <baseline.json> <current.json> [--tol-throughput R] [--tol-latency R] [--tol-w A]\n  nba-bench top <addr> [--interval MS] [--count N]\n  nba-bench explain <decisions.jsonl>"
     );
     std::process::exit(2);
 }
@@ -109,6 +110,10 @@ fn pipeline_for(app: &str, a: &AppConfig) -> Option<(PipelineBuilder, bool)> {
         "ipv6" | "v6" => (pipelines::ipv6_router(a), true),
         "ipsec" => (pipelines::ipsec_gateway(a), false),
         "ids" => (pipelines::ids(a).0, false),
+        // The stateful NAT44 app: per-worker flow shards behind the
+        // default table geometry. Its artifact carries the schema-v5
+        // `flows` section (live occupancy, evictions, hygiene drops).
+        "nat" => (pipelines::nat44(&NatConfig::default()), false),
         _ => return None,
     })
 }
@@ -414,7 +419,7 @@ fn cmd_run(args: &[String]) -> i32 {
         ..AppConfig::default()
     };
     let Some((pipeline, v6)) = pipeline_for(app, &appcfg) else {
-        eprintln!("unknown app '{app}' (expected ipv4|ipv6|ipsec|ids)");
+        eprintln!("unknown app '{app}' (expected ipv4|ipv6|ipsec|ids|nat)");
         return 2;
     };
     let Some(balancer) = balancer_for(&mode) else {
@@ -427,6 +432,14 @@ fn cmd_run(args: &[String]) -> i32 {
             offered_gbps: 10.0,
             size: SizeDist::Fixed(64),
             ip_version: if v6 { IpVersion::V6 } else { IpVersion::V4 },
+            // The stateful app needs real connections: TCP so the
+            // generator emits SYNs and the tables see handshakes, not an
+            // undifferentiated packet stream.
+            l4: if app == "nat" {
+                L4Proto::Tcp
+            } else {
+                TrafficConfig::default().l4
+            },
             ..TrafficConfig::default()
         },
     );
@@ -501,6 +514,19 @@ fn cmd_run(args: &[String]) -> i32 {
             f.fell_back_packets,
             f.dropped_packets,
             f.quarantines.len(),
+        );
+    }
+    if let Some(fl) = &report.flows {
+        println!(
+            "{app}: flows live {} (inserts {}, evictions {}, migrated {}), \
+             drops full {} out-of-state {}, nat ports {}",
+            fl.live,
+            fl.inserts,
+            fl.evictions_total(),
+            fl.migrated_in,
+            fl.table_full_drops,
+            fl.out_of_state_drops,
+            fl.nat_ports_in_use,
         );
     }
     if let Some(d) = &report.drift {

@@ -27,10 +27,11 @@ use crate::table::Table;
 /// Version of the `BENCH_*.json` schema this code writes. Version 2 added
 /// the `faults` section; version 3 added the optional `scaling` section
 /// (throughput-vs-workers series); version 4 added the optional audit
-/// sections (`offload_stages`, `drift`, `slo`). Earlier artifacts still
-/// parse (with the missing sections defaulted) so existing baselines stay
-/// valid.
-pub const SCHEMA_VERSION: u64 = 4;
+/// sections (`offload_stages`, `drift`, `slo`); version 5 added the
+/// optional `flows` section (stateful flow-table accounting). Earlier
+/// artifacts still parse (with the missing sections defaulted) so
+/// existing baselines stay valid.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Oldest schema version [`BenchReport::parse`] accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
@@ -230,6 +231,45 @@ pub struct SloSection {
     pub met: bool,
 }
 
+/// Stateful flow-table accounting (schema v5): run-wide totals across
+/// every worker shard, straight from the [`nba_core::flow::FlowRegistry`]
+/// report. Present only when the app carries stateful elements (NAT,
+/// conntrack, Maglev) — plain forwarding apps have no flow plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowsSection {
+    /// Flows resident in the tables at the end of the run.
+    pub live: u64,
+    /// New flow entries created.
+    pub inserts: u64,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries reaped after the idle TTL.
+    pub evict_idle: u64,
+    /// Embryonic (half-open) entries reaped early.
+    pub evict_embryonic: u64,
+    /// Entries removed by protocol close (FIN/RST).
+    pub evict_closed: u64,
+    /// Entries invalidated by worker death.
+    pub evict_death: u64,
+    /// Foreign-bucket entries adopted after a re-steer.
+    pub migrated_in: u64,
+    /// Packets dropped because a table was full.
+    pub table_full_drops: u64,
+    /// Packets dropped for lacking a conntrack entry.
+    pub out_of_state_drops: u64,
+    /// NAT ports held at the end of the run.
+    pub nat_ports_in_use: u64,
+}
+
+impl FlowsSection {
+    /// Evictions across every reason.
+    pub fn evictions_total(&self) -> u64 {
+        self.evict_idle + self.evict_embryonic + self.evict_closed + self.evict_death
+    }
+}
+
 /// Band half-width around `final_w` used for settle-time detection.
 const SETTLE_BAND: f64 = 0.05;
 
@@ -296,6 +336,9 @@ pub struct BenchReport {
     pub drift: Option<DriftSection>,
     /// SLO budget verdict (`None` unless an SLO was configured).
     pub slo: Option<SloSection>,
+    /// Stateful flow-table totals (`None` for stateless apps and pre-v5
+    /// artifacts).
+    pub flows: Option<FlowsSection>,
 }
 
 /// FNV-1a over the configuration knobs that define the experiment. Not a
@@ -449,6 +492,23 @@ impl BenchReport {
                 latency_burn: s.latency_burn,
                 throughput_burn: s.throughput_burn,
                 met: s.met,
+            }),
+            flows: run.flows.as_ref().map(|f| {
+                let t = f.totals();
+                FlowsSection {
+                    live: t.live,
+                    inserts: t.inserts,
+                    hits: t.hits,
+                    misses: t.misses,
+                    evict_idle: t.evict_idle,
+                    evict_embryonic: t.evict_embryonic,
+                    evict_closed: t.evict_closed,
+                    evict_death: t.evict_death,
+                    migrated_in: t.migrated_in,
+                    table_full_drops: t.table_full_drops,
+                    out_of_state_drops: t.out_of_state_drops,
+                    nat_ports_in_use: t.nat_ports_in_use,
+                }
             }),
         }
     }
@@ -615,6 +675,22 @@ impl BenchReport {
                 json_f64(sl.latency_burn),
                 json_f64(sl.throughput_burn),
                 sl.met
+            ));
+            s.push_str("  },\n");
+        }
+        if let Some(fl) = &self.flows {
+            s.push_str("  \"flows\": {\n");
+            s.push_str(&format!(
+                "    \"live\": {}, \"inserts\": {}, \"hits\": {}, \"misses\": {},\n",
+                fl.live, fl.inserts, fl.hits, fl.misses
+            ));
+            s.push_str(&format!(
+                "    \"evict_idle\": {}, \"evict_embryonic\": {}, \"evict_closed\": {}, \"evict_death\": {},\n",
+                fl.evict_idle, fl.evict_embryonic, fl.evict_closed, fl.evict_death
+            ));
+            s.push_str(&format!(
+                "    \"migrated_in\": {}, \"table_full_drops\": {}, \"out_of_state_drops\": {}, \"nat_ports_in_use\": {}\n",
+                fl.migrated_in, fl.table_full_drops, fl.out_of_state_drops, fl.nat_ports_in_use
             ));
             s.push_str("  },\n");
         }
@@ -857,6 +933,28 @@ impl BenchReport {
                 met: matches!(sl.get("met"), Some(Value::Bool(true))),
             });
         }
+        let mut flows = None;
+        if let Some(fl) = obj.get("flows") {
+            let flu = |k: &str| -> Result<u64, String> {
+                fl.get(k)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("flows.{k} missing or not an integer"))
+            };
+            flows = Some(FlowsSection {
+                live: flu("live")?,
+                inserts: flu("inserts")?,
+                hits: flu("hits")?,
+                misses: flu("misses")?,
+                evict_idle: flu("evict_idle")?,
+                evict_embryonic: flu("evict_embryonic")?,
+                evict_closed: flu("evict_closed")?,
+                evict_death: flu("evict_death")?,
+                migrated_in: flu("migrated_in")?,
+                table_full_drops: flu("table_full_drops")?,
+                out_of_state_drops: flu("out_of_state_drops")?,
+                nat_ports_in_use: flu("nat_ports_in_use")?,
+            });
+        }
         let mut elements = Vec::new();
         for e in need("elements")?
             .as_arr()
@@ -914,6 +1012,7 @@ impl BenchReport {
             offload_stages,
             drift,
             slo,
+            flows,
         })
     }
 }
@@ -1242,6 +1341,64 @@ pub fn compare(base: &BenchReport, cur: &BenchReport, tol: &Tolerances) -> Compa
         (None, None) => {}
     }
 
+    // Stateful flow plane: live-flow occupancy is a capacity claim, so it
+    // gates like throughput (floor). The hygiene counters gate like fault
+    // counters: against a clean baseline (zero), any table-full drop,
+    // death eviction, or out-of-state drop is a regression; when the
+    // baseline itself had them they were experiment parameters and only
+    // inform. Everything else is context.
+    match (&base.flows, &cur.flows) {
+        (Some(b), Some(cu)) => {
+            gate_floor(
+                &mut c.rows,
+                "flows_live",
+                b.live as f64,
+                cu.live as f64,
+                tol.throughput_rel,
+            );
+            fault_gate(
+                &mut c.rows,
+                "flow_table_full_drops",
+                b.table_full_drops,
+                cu.table_full_drops,
+            );
+            fault_gate(
+                &mut c.rows,
+                "flow_evict_death",
+                b.evict_death,
+                cu.evict_death,
+            );
+            fault_gate(
+                &mut c.rows,
+                "flow_out_of_state_drops",
+                b.out_of_state_drops,
+                cu.out_of_state_drops,
+            );
+            for (metric, bv, cv) in [
+                ("flow_inserts", b.inserts, cu.inserts),
+                ("flow_evictions", b.evictions_total(), cu.evictions_total()),
+                ("flow_migrated_in", b.migrated_in, cu.migrated_in),
+                ("nat_ports_in_use", b.nat_ports_in_use, cu.nat_ports_in_use),
+            ] {
+                c.rows.push(CompareRow {
+                    metric: metric.to_string(),
+                    baseline: bv.to_string(),
+                    current: cv.to_string(),
+                    delta: format!("{:+}", cv as i128 - bv as i128),
+                    allowed: "-".to_string(),
+                    verdict: Verdict::Info,
+                });
+            }
+        }
+        (Some(_), None) => c
+            .warnings
+            .push("baseline has a flows section but current report does not".to_string()),
+        (None, Some(_)) => c
+            .warnings
+            .push("current report has a flows section but baseline does not".to_string()),
+        (None, None) => {}
+    }
+
     // Audit-plane context: SLO burn rates and drift events inform but
     // never gate — they describe budgets and model fit, not regressions
     // the throughput/latency gates wouldn't already catch.
@@ -1373,6 +1530,7 @@ mod tests {
             offload_stages: None,
             drift: None,
             slo: None,
+            flows: None,
         }
     }
 
@@ -1473,6 +1631,81 @@ mod tests {
         assert!(rendered.contains("drift_events"), "{rendered}");
     }
 
+    fn sample_flows() -> FlowsSection {
+        FlowsSection {
+            live: 4096,
+            inserts: 4096,
+            hits: 1_000_000,
+            misses: 4096,
+            evict_idle: 0,
+            evict_embryonic: 0,
+            evict_closed: 0,
+            evict_death: 0,
+            migrated_in: 0,
+            table_full_drops: 0,
+            out_of_state_drops: 0,
+            nat_ports_in_use: 4096,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_with_flows() {
+        let mut r = sample();
+        r.flows = Some(sample_flows());
+        let parsed = BenchReport::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+        // The flow rows show up in a comparison of identical reports
+        // without gating.
+        let c = compare(&r, &r, &Tolerances::default());
+        assert!(!c.regressed(), "{}", c.render());
+        assert!(c.render().contains("flows_live"), "{}", c.render());
+    }
+
+    #[test]
+    fn flow_occupancy_cliff_fails() {
+        let mut base = sample();
+        base.flows = Some(sample_flows());
+        let mut cur = base.clone();
+        // Losing a quarter of the live flows is past the 10 % floor.
+        cur.flows.as_mut().unwrap().live = 3072;
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(c.regressed(), "{}", c.render());
+    }
+
+    #[test]
+    fn flow_hygiene_against_clean_baseline_regresses() {
+        let mut base = sample();
+        base.flows = Some(sample_flows());
+        for tweak in [
+            |f: &mut FlowsSection| f.table_full_drops = 1,
+            |f: &mut FlowsSection| f.evict_death = 7,
+            |f: &mut FlowsSection| f.out_of_state_drops = 3,
+        ] {
+            let mut cur = base.clone();
+            tweak(cur.flows.as_mut().unwrap());
+            let c = compare(&base, &cur, &Tolerances::default());
+            assert!(c.regressed(), "{}", c.render());
+        }
+        // A baseline that itself ran a kill drill makes the counts
+        // informational, like the fault counters.
+        let mut drilled = base.clone();
+        drilled.flows.as_mut().unwrap().evict_death = 100;
+        let mut cur = drilled.clone();
+        cur.flows.as_mut().unwrap().evict_death = 250;
+        let c = compare(&drilled, &cur, &Tolerances::default());
+        assert!(!c.regressed(), "{}", c.render());
+    }
+
+    #[test]
+    fn missing_flows_section_only_warns() {
+        let mut base = sample();
+        base.flows = Some(sample_flows());
+        let cur = sample();
+        let c = compare(&base, &cur, &Tolerances::default());
+        assert!(!c.regressed(), "{}", c.render());
+        assert!(!c.warnings.is_empty());
+    }
+
     #[test]
     fn scaling_point_cliff_fails() {
         let pts = |m1: f64, m4: f64| {
@@ -1512,9 +1745,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_wrong_schema_version() {
-        let text = sample()
-            .to_json()
-            .replace("\"schema_version\": 4", "\"schema_version\": 999");
+        let text = sample().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 999",
+        );
         assert!(BenchReport::parse(&text)
             .unwrap_err()
             .contains("schema_version"));
@@ -1523,9 +1757,10 @@ mod tests {
     #[test]
     fn parse_accepts_v1_artifacts_with_zero_fault_defaults() {
         // A version-1 artifact: no `faults` section at all.
-        let mut text = sample()
-            .to_json()
-            .replace("\"schema_version\": 4", "\"schema_version\": 1");
+        let mut text = sample().to_json().replace(
+            &format!("\"schema_version\": {SCHEMA_VERSION}"),
+            "\"schema_version\": 1",
+        );
         let start = text.find("  \"faults\": {").unwrap();
         let end = text[start..].find("},\n").unwrap() + start + 3;
         text.replace_range(start..end, "");

@@ -622,7 +622,7 @@ impl ElementGraph {
             node.last_counts.clone_from(&counts);
             node.predicted = port as u8;
             let edge = node.outs[port];
-            self.continue_on(edge, batch, work, cost, outcome);
+            self.continue_on(edge, batch, work, cost, counters, outcome);
             return;
         }
 
@@ -666,7 +666,7 @@ impl ElementGraph {
                 let edges = node.outs.clone();
                 for (p, b) in per_port.into_iter().enumerate() {
                     if !b.is_empty() {
-                        self.continue_on(edges[p], b, work, cost, outcome);
+                        self.continue_on(edges[p], b, work, cost, counters, outcome);
                     }
                 }
             }
@@ -721,12 +721,19 @@ impl ElementGraph {
                     // Complete misprediction: nothing stayed.
                     outcome.cycles += cost.batch_free;
                 } else {
-                    self.continue_on(edges[usize::from(predicted)], batch, work, cost, outcome);
+                    self.continue_on(
+                        edges[usize::from(predicted)],
+                        batch,
+                        work,
+                        cost,
+                        counters,
+                        outcome,
+                    );
                 }
                 for (p, b) in per_port.into_iter().enumerate() {
                     if let Some(b) = b {
                         if !b.is_empty() {
-                            self.continue_on(edges[p], b, work, cost, outcome);
+                            self.continue_on(edges[p], b, work, cost, counters, outcome);
                         }
                     }
                 }
@@ -740,6 +747,7 @@ impl ElementGraph {
         mut batch: PacketBatch,
         work: &mut Vec<(NodeId, PacketBatch)>,
         cost: &CostModel,
+        counters: &Counters,
         outcome: &mut RunOutcome,
     ) {
         match edge {
@@ -751,6 +759,10 @@ impl ElementGraph {
             OutEdge::Discard => {
                 let n = batch.len() as u64;
                 outcome.drops += n;
+                // Discard edges are element drops as far as accounting is
+                // concerned: without this the packets vanish from the
+                // rx = tx + dropped conservation ledger.
+                Counters::add(&counters.dropped, n);
                 outcome.cycles += cost.drop_per_packet * n + cost.batch_free;
                 // Dropping the batch frees the packets into their pools.
             }

@@ -352,6 +352,10 @@ pub struct StatsState {
     pub hstats: Arc<HealthStats>,
     /// Packets shed toward each worker by the IO overload policy.
     pub shed: Arc<Vec<AtomicU64>>,
+    /// The stateful flow plane's registry; its report is `None` (and no
+    /// flow metrics are emitted) unless a stateful element registered a
+    /// shard.
+    pub flows: crate::flow::FlowRegistry,
 }
 
 impl StatsState {
@@ -641,6 +645,34 @@ impl StatsState {
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
             ));
         }
+        // Stateful flow plane: live per-shard occupancy and the eviction
+        // breakdown, sampled from the registry per request. Absent on
+        // flow-free runs so their exposition stays byte-identical.
+        if let Some(fl) = self.flows.report() {
+            out.push_str("# HELP nba_flows_live Live flow-table entries per worker shard\n");
+            out.push_str("# TYPE nba_flows_live gauge\n");
+            for (w, s) in &fl.shards {
+                out.push_str(&format!("nba_flows_live{{shard=\"{w}\"}} {}\n", s.live));
+            }
+            let t = fl.totals();
+            out.push_str("# HELP nba_flow_evictions_total Flow-table evictions by reason\n");
+            out.push_str("# TYPE nba_flow_evictions_total counter\n");
+            for (reason, n) in [
+                ("idle", t.evict_idle),
+                ("embryonic", t.evict_embryonic),
+                ("closed", t.evict_closed),
+                ("worker_death", t.evict_death),
+            ] {
+                out.push_str(&format!(
+                    "nba_flow_evictions_total{{reason=\"{reason}\"}} {n}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "# HELP nba_nat_ports_in_use NAT external ports currently bound\n\
+                 # TYPE nba_nat_ports_in_use gauge\nnba_nat_ports_in_use {}\n",
+                t.nat_ports_in_use
+            ));
+        }
         out
     }
 }
@@ -892,6 +924,7 @@ mod tests {
             health: Arc::new(vec![WorkerHealth::new()]),
             hstats: Arc::new(HealthStats::default()),
             shed: Arc::new(vec![AtomicU64::new(5)]),
+            flows: crate::flow::FlowRegistry::new(),
         };
         (state, tx)
     }

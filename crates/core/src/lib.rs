@@ -46,6 +46,7 @@ pub mod capture;
 pub mod config;
 pub mod element;
 pub mod fault;
+pub mod flow;
 pub mod graph;
 pub mod introspect;
 pub mod json;

@@ -1082,6 +1082,9 @@ struct SupervisorEntity {
     balancer: SharedBalancer,
     hstats: Arc<HealthStats>,
     state: Rc<RefCell<SupState>>,
+    /// The flow plane: a dead worker's shard is invalidated (the
+    /// documented half of the invalidate-on-death policy).
+    flow_registry: crate::flow::FlowRegistry,
 }
 
 impl Entity for SupervisorEntity {
@@ -1123,6 +1126,14 @@ impl Entity for SupervisorEntity {
                     // The quarantine lands in the decision-audit log, the
                     // same replayable trail the device breaker leaves.
                     self.balancer.lock().observe_device_health(false);
+                    // Invalidate-on-death: every flow a crashed shard held
+                    // is accounted as lost (`evict_death`) — survivors see
+                    // re-steered flows as fresh foreign inserts. Stalled
+                    // (but alive) shards keep their tables: their thread
+                    // still owns the state and may recover.
+                    if t.reason == crate::supervise::TransitionReason::Crash {
+                        self.flow_registry.invalidate_shard(w);
+                    }
                 }
                 WorkerState::Recovering => {
                     moved = self.tables[socket].restore(local);
@@ -1216,6 +1227,17 @@ pub fn run_with_sources(
     // Shared infrastructure.
     let pools: Vec<Mempool> = (0..sockets).map(|_| Mempool::new(cfg.pool_size)).collect();
     let nls: Vec<NodeLocalStorage> = (0..sockets).map(|_| NodeLocalStorage::new()).collect();
+    // One flow registry spans every socket (workers are numbered globally,
+    // so shard ownership is unambiguous); stateful elements attach to it
+    // through their socket's node-local storage.
+    let flow_registry = crate::flow::FlowRegistry::new();
+    flow_registry.set_workers(total_workers);
+    if cfg.flow_journal {
+        flow_registry.enable_journal();
+    }
+    for n in &nls {
+        flow_registry.publish(n);
+    }
     let counters: Vec<Arc<Counters>> = (0..total_workers)
         .map(|_| Arc::new(Counters::default()))
         .collect();
@@ -1494,6 +1516,7 @@ pub fn run_with_sources(
             balancer: balancer.clone(),
             hstats: hstats.clone(),
             state: sup_state.clone(),
+            flow_registry: flow_registry.clone(),
         };
         engine.add(Box::new(entity), Time::ZERO);
     }
@@ -1645,5 +1668,6 @@ pub fn run_with_sources(
         decisions,
         flight: flight.map(|f| f.dumps()).unwrap_or_default(),
         health,
+        flows: flow_registry.report(),
     }
 }

@@ -112,6 +112,10 @@ pub struct RuntimeConfig {
     /// no per-shard event rings; dumps carry the gauge snapshot and the
     /// drift reason).
     pub flight: crate::introspect::FlightConfig,
+    /// Record every flow-table operation into the run's
+    /// [`crate::flow::FlowOpsLog`] (conformance testing only; off by
+    /// default because stateful apps journal per packet).
+    pub flow_journal: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -142,6 +146,7 @@ impl Default for RuntimeConfig {
             audit: crate::audit::AuditConfig::default(),
             slo: None,
             flight: crate::introspect::FlightConfig::default(),
+            flow_journal: false,
         }
     }
 }
@@ -223,6 +228,10 @@ pub struct RunReport {
     /// transition log, and shed/loss accounting (all-clean on a fault-free
     /// run; the DES mirrors the live supervisor's report).
     pub health: crate::supervise::HealthReport,
+    /// Stateful-app flow plane: per-shard flow-table counters and (when
+    /// [`RuntimeConfig::flow_journal`] was on) the merged op journal.
+    /// `None` when no stateful element ran.
+    pub flows: Option<crate::flow::FlowReport>,
 }
 
 impl RunReport {

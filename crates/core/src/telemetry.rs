@@ -1017,6 +1017,57 @@ pub fn report_to_prometheus(r: &RunReport) -> String {
         h.ring_disconnects.to_string(),
     );
 
+    // Stateful flow plane (absent unless a stateful element ran, so
+    // flow-free runs keep their exact exposition bytes).
+    if let Some(fl) = &r.flows {
+        out.push_str("# HELP nba_flows_live Live flow-table entries per worker shard\n");
+        out.push_str("# TYPE nba_flows_live gauge\n");
+        for (w, s) in &fl.shards {
+            out.push_str(&format!("nba_flows_live{{shard=\"{w}\"}} {}\n", s.live));
+        }
+        let t = fl.totals();
+        out.push_str("# HELP nba_flow_evictions_total Flow-table evictions by reason\n");
+        out.push_str("# TYPE nba_flow_evictions_total counter\n");
+        for (reason, n) in [
+            ("idle", t.evict_idle),
+            ("embryonic", t.evict_embryonic),
+            ("closed", t.evict_closed),
+            ("worker_death", t.evict_death),
+        ] {
+            out.push_str(&format!(
+                "nba_flow_evictions_total{{reason=\"{reason}\"}} {n}\n"
+            ));
+        }
+        prom_metric(
+            &mut out,
+            "nba_flow_inserts_total",
+            "Flow-table insertions across all shards",
+            "counter",
+            t.inserts.to_string(),
+        );
+        prom_metric(
+            &mut out,
+            "nba_flow_table_full_drops_total",
+            "Packets dropped because a flow-table shard was full",
+            "counter",
+            t.table_full_drops.to_string(),
+        );
+        prom_metric(
+            &mut out,
+            "nba_flow_migrations_total",
+            "Foreign-bucket flows adopted by survivors after a re-steer",
+            "counter",
+            t.migrated_in.to_string(),
+        );
+        prom_metric(
+            &mut out,
+            "nba_nat_ports_in_use",
+            "NAT external ports currently bound",
+            "gauge",
+            t.nat_ports_in_use.to_string(),
+        );
+    }
+
     // Fault-tolerance accounting (all zero on a clean run).
     let f = &r.faults.snapshot;
     out.push_str("# HELP nba_fault_injected_total Device faults injected, by kind\n");

@@ -134,6 +134,7 @@ fn fixture() -> RunReport {
             h.stats.buckets_moved = 64;
             h
         },
+        flows: None,
     }
 }
 

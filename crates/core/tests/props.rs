@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use nba_core::batch::PacketBatch;
 use nba_core::config::{build_graph, ElementRegistry};
 use nba_core::element::KernelIo;
+use nba_core::flow::{bucket_of, EvictReason, FlowKey, FlowRegistry, FlowTable, FlowTableConfig};
 use nba_core::graph::BranchPolicy;
 use nba_core::stats::LatencyHistogram;
 use nba_io::Packet;
@@ -144,6 +145,139 @@ proptest! {
         for &p in &ps {
             prop_assert_eq!(one.percentile_ns(p), samples[0]);
         }
+    }
+}
+
+/// One scripted flow-table operation: tick the bucket clock, insert,
+/// look up, or close. Keys are drawn from a small space so hits,
+/// collisions, and probe-chain compaction all actually happen.
+type FlowOp = (u8, u16, u16);
+
+fn flow_key(seed: u16) -> FlowKey {
+    FlowKey {
+        proto: 6,
+        src_ip: 0x0a00_0000 | u32::from(seed),
+        dst_ip: 0xc0a8_0001,
+        src_port: 1024 + seed,
+        dst_port: 80,
+    }
+}
+
+/// Drives one table through the op script, returning the number of
+/// eviction records handed back.
+fn drive_flow_table(table: &mut FlowTable, ops: &[FlowOp]) -> u64 {
+    let mut evicted = Vec::new();
+    for &(op, seed, value) in ops {
+        let key = flow_key(seed % 24);
+        let bucket = bucket_of(key.digest());
+        match op % 4 {
+            0 => table.tick(bucket, &mut evicted),
+            1 => {
+                let _ = table.insert(
+                    bucket,
+                    key,
+                    u64::from(value),
+                    value % 2 == 0,
+                    false,
+                    &mut evicted,
+                );
+            }
+            2 => {
+                let _ = table.lookup(bucket, &key, &mut evicted);
+            }
+            _ => {
+                let _ = table.remove(bucket, &key, EvictReason::Closed, &mut evicted);
+            }
+        }
+    }
+    evicted.len() as u64
+}
+
+proptest! {
+    /// Flow-table bookkeeping under arbitrary op scripts: occupancy never
+    /// exceeds capacity, the table's live count matches the shard gauge,
+    /// and every inserted entry is conserved — still live or accounted to
+    /// exactly one eviction reason.
+    #[test]
+    fn flow_table_occupancy_and_conservation(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..400),
+        capacity in proptest::sample::select(vec![0u64, 1, 8, 64, 4096]),
+        ttl in 1u64..5,
+        embryonic_ttl in 0u64..3,
+        epoch_pkts in proptest::sample::select(vec![0u64, 1, 4, 16]),
+    ) {
+        let cfg = FlowTableConfig { capacity, ttl_epochs: ttl, embryonic_ttl_epochs: embryonic_ttl, epoch_pkts };
+        let registry = FlowRegistry::new();
+        registry.set_workers(1);
+        let mut table = FlowTable::new(0, cfg, &registry);
+        let handed_back = drive_flow_table(&mut table, &ops);
+
+        prop_assert!(table.live() <= table.capacity());
+        let report = registry.report().expect("shard registered");
+        let snap = report.totals();
+        prop_assert_eq!(table.live(), snap.live);
+        prop_assert_eq!(snap.inserts, snap.live + snap.evictions_total());
+        // Every eviction the stats counted was also handed back to the
+        // caller (NAT port release depends on this).
+        prop_assert_eq!(handed_back, snap.evictions_total());
+        if capacity == 0 {
+            prop_assert_eq!(snap.inserts, 0);
+        }
+    }
+
+    /// Expiry is a pure function of the per-bucket packet sequence: the
+    /// same op script replayed into a fresh table yields a bit-identical
+    /// journal and identical counters — the invariant the cross-runtime
+    /// differential suite leans on.
+    #[test]
+    fn flow_table_expiry_deterministic(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..300),
+        epoch_pkts in proptest::sample::select(vec![1u64, 3, 8]),
+    ) {
+        let cfg = FlowTableConfig {
+            capacity: 64,
+            ttl_epochs: 2,
+            embryonic_ttl_epochs: 1,
+            epoch_pkts,
+        };
+        let run = || {
+            let registry = FlowRegistry::new();
+            registry.set_workers(1);
+            registry.enable_journal();
+            let mut table = FlowTable::new(0, cfg, &registry);
+            drive_flow_table(&mut table, &ops);
+            (table.live(), registry.report().expect("shard registered"))
+        };
+        let (live_a, rep_a) = run();
+        let (live_b, rep_b) = run();
+        prop_assert_eq!(live_a, live_b);
+        prop_assert!(rep_a.journal.bit_eq(&rep_b.journal));
+        prop_assert_eq!(rep_a.totals(), rep_b.totals());
+        rep_a.journal.replay().expect("journal replays");
+    }
+
+    /// Adversarial sizing never panics and the per-bucket rounding only
+    /// ever rounds capacity up (until the anti-pathology clamp).
+    #[test]
+    fn flow_table_adversarial_sizing_total(
+        capacity in proptest::sample::select(
+            vec![0u64, 1, 2, 127, 128, 129, u64::from(u32::MAX), u64::MAX]),
+        ttl in proptest::sample::select(vec![0u64, 1, u64::MAX]),
+        epoch_pkts in proptest::sample::select(vec![0u64, 1, u64::MAX]),
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 0..60),
+    ) {
+        let cfg = FlowTableConfig {
+            capacity,
+            ttl_epochs: ttl,
+            embryonic_ttl_epochs: 0,
+            epoch_pkts,
+        };
+        let registry = FlowRegistry::new();
+        registry.set_workers(1);
+        let mut table = FlowTable::new(0, cfg, &registry);
+        drive_flow_table(&mut table, &ops);
+        prop_assert!(capacity == 0 || table.capacity() >= capacity.min(1 << 27));
+        prop_assert!(table.live() <= table.capacity());
     }
 }
 

@@ -17,7 +17,7 @@ use nba_sim::Time;
 
 use crate::buf::{Mempool, DEFAULT_HEADROOM};
 use crate::packet::{Packet, WIRE_OVERHEAD_BYTES};
-use crate::proto::FrameBuilder;
+use crate::proto::{self, FrameBuilder};
 
 /// Frame-size distribution of a generated stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -98,6 +98,18 @@ pub enum PayloadFill {
     },
 }
 
+/// L4 protocol of the generated traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum L4Proto {
+    /// UDP datagrams (the paper's workload).
+    #[default]
+    Udp,
+    /// TCP segments with per-flow SYN / data / FIN sequencing, for
+    /// stateful elements (conntrack, NAT bindings with connection
+    /// lifecycle).
+    Tcp,
+}
+
 /// Configuration of one traffic source (typically one per port).
 #[derive(Debug, Clone)]
 pub struct TrafficConfig {
@@ -115,6 +127,21 @@ pub struct TrafficConfig {
     pub payload: PayloadFill,
     /// RNG seed (generators are fully deterministic).
     pub seed: u64,
+    /// L4 protocol. TCP is IPv4-only and emits SYN on a flow's first
+    /// packet, FIN on its last (when `flow_lifetime_pkts` is set).
+    pub l4: L4Proto,
+    /// Flow churn: after this many packets a flow ends (TCP flows emit a
+    /// FIN) and is replaced by a freshly drawn identity — a long-lived
+    /// arrival/expiration mix. 0 = flows live forever.
+    pub flow_lifetime_pkts: u64,
+    /// SYN-flood injection (TCP only): this many slots per thousand are
+    /// one-shot SYNs from never-repeated random sources.
+    pub syn_flood_per_mille: u32,
+    /// Round-robin flow selection instead of random draws: packet `i`
+    /// belongs to flow `i % flows`. Guarantees full flow coverage in one
+    /// cycle (million-flow occupancy runs need every flow touched without
+    /// a coupon-collector tail).
+    pub sequential: bool,
 }
 
 impl Default for TrafficConfig {
@@ -127,6 +154,10 @@ impl Default for TrafficConfig {
             zipf_alpha: 0.0,
             payload: PayloadFill::Zeros,
             seed: 0x6e62_615f_7267, // "nba_rg"
+            l4: L4Proto::Udp,
+            flow_lifetime_pkts: 0,
+            syn_flood_per_mille: 0,
+            sequential: false,
         }
     }
 }
@@ -153,11 +184,20 @@ pub struct GenStats {
     pub alloc_failures: u64,
 }
 
+/// Per-flow connection state (TCP sequencing and lifetime churn).
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowState {
+    /// Packets emitted for the current flow identity.
+    pkts: u64,
+}
+
 /// A deterministic offered-load packet source.
 pub struct TrafficGen {
     cfg: TrafficConfig,
     rng: SmallRng,
     flows: Vec<Flow>,
+    /// Per-flow lifecycle state (TCP flags, lifetime churn).
+    state: Vec<FlowState>,
     /// Cumulative Zipf weights (empty when uniform).
     zipf_cdf: Vec<f64>,
     builder: FrameBuilder,
@@ -171,10 +211,15 @@ impl TrafficGen {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has no flows or a non-positive rate.
+    /// Panics if the configuration has no flows, a non-positive rate, or
+    /// asks for TCP over IPv6 (unsupported).
     pub fn new(cfg: TrafficConfig) -> TrafficGen {
         assert!(cfg.flows > 0, "traffic needs at least one flow");
         assert!(cfg.offered_gbps > 0.0, "offered load must be positive");
+        assert!(
+            cfg.l4 == L4Proto::Udp || cfg.ip_version == IpVersion::V4,
+            "TCP generation is IPv4-only"
+        );
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let flows = (0..cfg.flows)
             .map(|_| Flow {
@@ -202,10 +247,12 @@ impl TrafficGen {
         } else {
             Vec::new()
         };
+        let state = vec![FlowState::default(); cfg.flows];
         TrafficGen {
             cfg,
             rng,
             flows,
+            state,
             zipf_cdf,
             builder: FrameBuilder::default(),
             next_ts: Time::ZERO,
@@ -221,22 +268,37 @@ impl TrafficGen {
 
     /// Minimum frame length this configuration can produce.
     fn min_len(&self) -> usize {
-        match self.cfg.ip_version {
-            IpVersion::V4 => FrameBuilder::MIN_V4_LEN,
-            IpVersion::V6 => FrameBuilder::MIN_V6_LEN,
+        match (self.cfg.ip_version, self.cfg.l4) {
+            (IpVersion::V4, L4Proto::Udp) => FrameBuilder::MIN_V4_LEN,
+            (IpVersion::V4, L4Proto::Tcp) => FrameBuilder::MIN_V4_TCP_LEN,
+            (IpVersion::V6, _) => FrameBuilder::MIN_V6_LEN,
         }
     }
 
-    fn pick_flow(&mut self) -> Flow {
-        let idx = if self.zipf_cdf.is_empty() {
+    fn pick_flow(&mut self) -> usize {
+        if self.cfg.sequential {
+            // `seq` was already advanced for this packet.
+            ((self.seq - 1) % self.flows.len() as u64) as usize
+        } else if self.zipf_cdf.is_empty() {
             self.rng.gen_range(0..self.flows.len())
         } else {
             let u: f64 = self.rng.gen();
             self.zipf_cdf
                 .partition_point(|&c| c < u)
                 .min(self.flows.len() - 1)
-        };
-        self.flows[idx]
+        }
+    }
+
+    /// Draws a fresh flow identity (lifetime churn replacement).
+    fn fresh_flow(&mut self) -> Flow {
+        Flow {
+            src_v4: self.rng.gen(),
+            dst_v4: self.rng.gen(),
+            src_v6: 0x2001_0db8 << 96 | (self.rng.gen::<u128>() >> 32),
+            dst_v6: 0x2001_0db8 << 96 | (self.rng.gen::<u128>() >> 32),
+            src_port: self.rng.gen_range(1024..u16::MAX),
+            dst_port: self.rng.gen_range(1..1024),
+        }
     }
 
     /// Emits every packet due strictly before `until` into `sink`.
@@ -258,17 +320,60 @@ impl TrafficGen {
                 self.stats.alloc_failures += 1;
                 continue;
             };
-            let flow = self.pick_flow();
+            // SYN-flood slots come from one-shot random sources that are
+            // never drawn again (no state to complete a handshake with).
+            let flood = self.cfg.l4 == L4Proto::Tcp
+                && self.cfg.syn_flood_per_mille > 0
+                && self.rng.gen_range(0..1000) < self.cfg.syn_flood_per_mille;
+            let (flow, flags, tcp_seq) = if flood {
+                (self.fresh_flow(), proto::TCP_SYN, 0)
+            } else {
+                let idx = self.pick_flow();
+                let pkts = self.state[idx].pkts;
+                let last =
+                    self.cfg.flow_lifetime_pkts > 0 && pkts + 1 >= self.cfg.flow_lifetime_pkts;
+                let flags = if pkts == 0 {
+                    proto::TCP_SYN
+                } else if last {
+                    proto::TCP_FIN | proto::TCP_ACK
+                } else {
+                    proto::TCP_ACK | proto::TCP_PSH
+                };
+                let flow = self.flows[idx];
+                if last {
+                    // Lifetime churn: the flow expires; a fresh identity
+                    // arrives in its slot.
+                    self.flows[idx] = self.fresh_flow();
+                    self.state[idx] = FlowState::default();
+                } else {
+                    self.state[idx].pkts = pkts + 1;
+                }
+                (flow, flags, pkts as u32)
+            };
             let frame = buf.set_region(DEFAULT_HEADROOM, len);
-            match self.cfg.ip_version {
-                IpVersion::V4 => {
+            match (self.cfg.ip_version, self.cfg.l4) {
+                (IpVersion::V4, L4Proto::Udp) => {
                     self.builder.src_port = flow.src_port;
                     self.builder.dst_port = flow.dst_port;
                     self.builder
                         .build_ipv4(frame, len, flow.src_v4, flow.dst_v4);
                     self.fill_payload(frame, FrameBuilder::MIN_V4_LEN);
                 }
-                IpVersion::V6 => {
+                (IpVersion::V4, L4Proto::Tcp) => {
+                    self.builder.src_port = flow.src_port;
+                    self.builder.dst_port = flow.dst_port;
+                    self.builder.build_ipv4_tcp(
+                        frame,
+                        len,
+                        flow.src_v4,
+                        flow.dst_v4,
+                        flags,
+                        tcp_seq,
+                    );
+                    // Payload untouched: TCP checksums cover the body, and
+                    // the stateful suites verify them end to end.
+                }
+                (IpVersion::V6, _) => {
                     self.builder.src_port = flow.src_port;
                     self.builder.dst_port = flow.dst_port;
                     self.builder
@@ -323,7 +428,10 @@ impl TrafficGen {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::{ether::EtherView, ipv4::Ipv4View, ipv6::Ipv6View};
+    use crate::proto::{
+        ether::EtherView, ipv4::Ipv4View, ipv6::Ipv6View, l4::TcpView, IPPROTO_TCP, TCP_ACK,
+        TCP_FIN, TCP_PSH, TCP_SYN,
+    };
 
     fn run_gen(cfg: TrafficConfig, until: Time) -> (Vec<Packet>, GenStats) {
         let pool = Mempool::new(1 << 20);
@@ -439,6 +547,119 @@ mod tests {
             .count();
         assert!(hits >= pkts.len() / 5, "{hits} of {}", pkts.len());
         assert!(hits <= pkts.len() / 3);
+    }
+
+    #[test]
+    fn tcp_flows_carry_handshake_then_data_then_fin() {
+        let cfg = TrafficConfig {
+            l4: L4Proto::Tcp,
+            flows: 4,
+            flow_lifetime_pkts: 8,
+            size: SizeDist::Fixed(128),
+            ..TrafficConfig::default()
+        };
+        let (pkts, _) = run_gen(cfg, Time::from_us(200));
+        assert!(!pkts.is_empty());
+        let mut per_flow: std::collections::HashMap<(u32, u16), Vec<(u8, u32)>> =
+            std::collections::HashMap::new();
+        for p in &pkts {
+            let eth = EtherView::parse(p.data()).unwrap();
+            let ip = Ipv4View::parse(eth.payload()).unwrap();
+            assert!(ip.checksum_ok());
+            assert_eq!(ip.protocol(), IPPROTO_TCP);
+            let tcp = TcpView::parse(ip.payload()).unwrap();
+            per_flow
+                .entry((ip.src(), tcp.src_port()))
+                .or_default()
+                .push((tcp.flags(), tcp.seq()));
+        }
+        // Flow-lifetime churn keeps replacing identities, so there should be
+        // more distinct 5-tuples than configured slots.
+        assert!(per_flow.len() > 4, "{} flows", per_flow.len());
+        for segs in per_flow.values() {
+            // Each identity starts with a SYN at seq 0 and never exceeds
+            // its lifetime; a completed identity ends with FIN|ACK.
+            assert_eq!(segs[0], (TCP_SYN, 0));
+            assert!(segs.len() <= 8, "{} pkts in one identity", segs.len());
+            for (i, (flags, seq)) in segs.iter().enumerate() {
+                assert_eq!(*seq, i as u32);
+                if i > 0 && i + 1 < 8 {
+                    assert_eq!(*flags, TCP_ACK | TCP_PSH);
+                }
+            }
+            if segs.len() == 8 {
+                assert_eq!(segs[7].0, TCP_FIN | TCP_ACK);
+            }
+        }
+    }
+
+    #[test]
+    fn syn_flood_injects_one_shot_syns() {
+        let cfg = TrafficConfig {
+            l4: L4Proto::Tcp,
+            flows: 4,
+            syn_flood_per_mille: 500,
+            size: SizeDist::Fixed(128),
+            ..TrafficConfig::default()
+        };
+        let (pkts, _) = run_gen(cfg, Time::from_us(500));
+        let mut syn_sources = std::collections::HashMap::new();
+        let mut data = 0usize;
+        for p in &pkts {
+            let eth = EtherView::parse(p.data()).unwrap();
+            let ip = Ipv4View::parse(eth.payload()).unwrap();
+            let tcp = TcpView::parse(ip.payload()).unwrap();
+            if tcp.flags() == TCP_SYN {
+                *syn_sources
+                    .entry((ip.src(), tcp.src_port()))
+                    .or_insert(0u32) += 1;
+            } else {
+                data += 1;
+            }
+        }
+        // Roughly half the stream is SYNs, from sources that (with
+        // overwhelming probability) never repeat; legitimate flows keep
+        // sending data between them.
+        assert!(syn_sources.len() > pkts.len() / 4);
+        assert!(data > pkts.len() / 4);
+        let repeats = syn_sources.values().filter(|&&c| c > 1).count();
+        assert!(repeats <= 1, "{repeats} repeated flood sources");
+    }
+
+    #[test]
+    fn sequential_mode_touches_every_flow_once_per_round() {
+        let cfg = TrafficConfig {
+            flows: 32,
+            sequential: true,
+            ..TrafficConfig::default()
+        };
+        let (pkts, _) = run_gen(cfg, Time::from_us(30));
+        assert!(pkts.len() >= 64, "{} pkts", pkts.len());
+        let mut seen = std::collections::HashSet::new();
+        for p in pkts.iter().take(32) {
+            let eth = EtherView::parse(p.data()).unwrap();
+            let ip = Ipv4View::parse(eth.payload()).unwrap();
+            seen.insert(ip.src());
+        }
+        // The first N packets cover all N flow slots exactly once.
+        assert_eq!(seen.len(), 32);
+    }
+
+    #[test]
+    fn tcp_stream_is_deterministic_for_same_seed() {
+        let cfg = TrafficConfig {
+            l4: L4Proto::Tcp,
+            flows: 8,
+            flow_lifetime_pkts: 5,
+            syn_flood_per_mille: 100,
+            ..TrafficConfig::default()
+        };
+        let (a, _) = run_gen(cfg.clone(), Time::from_us(100));
+        let (b, _) = run_gen(cfg, Time::from_us(100));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.data(), y.data());
+        }
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod spsc;
 pub mod toeplitz;
 
 pub use buf::{Mempool, PacketBuf};
-pub use gen::{IpVersion, PayloadFill, SizeDist, TrafficConfig, TrafficGen};
+pub use gen::{IpVersion, L4Proto, PayloadFill, SizeDist, TrafficConfig, TrafficGen};
 pub use packet::Packet;
 pub use pcap::{Limited, PacketSource, PcapWriter, Replay, TraceRecord};
 pub use port::{Port, PortHandle, TxOutcome};

@@ -91,6 +91,11 @@ impl<'a> TcpView<'a> {
         usize::from(self.bytes[12] >> 4) * 4
     }
 
+    /// The flags byte (CWR/ECE/URG/ACK/PSH/RST/SYN/FIN).
+    pub fn flags(&self) -> u8 {
+        self.bytes[13]
+    }
+
     /// Payload bytes after the header.
     pub fn payload(&self) -> &'a [u8] {
         &self.bytes[self.hdr_len()..]

@@ -44,6 +44,17 @@ pub const IPPROTO_UDP: u8 = 17;
 /// IP protocol number of ESP.
 pub const IPPROTO_ESP: u8 = 50;
 
+/// TCP FIN flag.
+pub const TCP_FIN: u8 = 0x01;
+/// TCP SYN flag.
+pub const TCP_SYN: u8 = 0x02;
+/// TCP RST flag.
+pub const TCP_RST: u8 = 0x04;
+/// TCP PSH flag.
+pub const TCP_PSH: u8 = 0x08;
+/// TCP ACK flag.
+pub const TCP_ACK: u8 = 0x10;
+
 /// Composes a complete UDP-in-IP-in-Ethernet frame of exactly `frame_len`
 /// bytes (the UDP payload is sized to fit, zero-filled).
 ///
@@ -80,6 +91,8 @@ impl FrameBuilder {
     pub const MIN_V4_LEN: usize = 42;
     /// Minimum IPv6/UDP frame: 14 (eth) + 40 (ip6) + 8 (udp).
     pub const MIN_V6_LEN: usize = 62;
+    /// Minimum IPv4/TCP frame: 14 (eth) + 20 (ip) + 20 (tcp).
+    pub const MIN_V4_TCP_LEN: usize = 54;
 
     /// Builds an IPv4/UDP frame of `frame_len` bytes into `out`.
     ///
@@ -115,6 +128,59 @@ impl FrameBuilder {
         udp[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
         udp[4..6].copy_from_slice(&(udp_len as u16).to_be_bytes());
         // UDP checksum left zero (legal for IPv4); generators favour speed.
+    }
+
+    /// Builds an IPv4/TCP frame of `frame_len` bytes into `out`, with the
+    /// given TCP `flags` byte and sequence number, and a valid TCP
+    /// checksum (stateful elements rewrite headers and must keep it
+    /// consistent, so the generator emits real checksums to verify
+    /// against).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len < Self::MIN_V4_TCP_LEN` or `out` is shorter
+    /// than `frame_len`.
+    pub fn build_ipv4_tcp(
+        &self,
+        out: &mut [u8],
+        frame_len: usize,
+        src: u32,
+        dst: u32,
+        flags: u8,
+        seq: u32,
+    ) {
+        assert!(
+            frame_len >= Self::MIN_V4_TCP_LEN,
+            "frame too short for IPv4/TCP"
+        );
+        let out = &mut out[..frame_len];
+        out.fill(0);
+        out[0..6].copy_from_slice(&self.dst_mac);
+        out[6..12].copy_from_slice(&self.src_mac);
+        out[12..14].copy_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+
+        let ip_len = frame_len - 14;
+        let ip = &mut out[14..];
+        ip[0] = 0x45; // Version 4, IHL 5.
+        ip[2..4].copy_from_slice(&(ip_len as u16).to_be_bytes());
+        ip[8] = self.ttl;
+        ip[9] = IPPROTO_TCP;
+        ip[12..16].copy_from_slice(&src.to_be_bytes());
+        ip[16..20].copy_from_slice(&dst.to_be_bytes());
+        let csum = checksum::internet_checksum(&ip[..20]);
+        ip[10..12].copy_from_slice(&csum.to_be_bytes());
+
+        let seg_len = ip_len - 20;
+        let (ip_hdr, tcp) = ip.split_at_mut(20);
+        tcp[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        tcp[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        tcp[4..8].copy_from_slice(&seq.to_be_bytes());
+        tcp[12] = 5 << 4; // Data offset 5 words, no options.
+        tcp[13] = flags;
+        tcp[14..16].copy_from_slice(&4096u16.to_be_bytes()); // Window.
+        let pseudo = ipv4_pseudo_header(ip_hdr, seg_len as u16, IPPROTO_TCP);
+        let tsum = checksum::internet_checksum_parts(&[&pseudo, tcp]);
+        tcp[16..18].copy_from_slice(&tsum.to_be_bytes());
     }
 
     /// Builds an IPv6/UDP frame of `frame_len` bytes into `out`.
@@ -158,6 +224,17 @@ impl FrameBuilder {
     }
 }
 
+/// The IPv4 TCP/UDP checksum pseudo-header (src, dst, zero, proto,
+/// segment length) over a 20-byte IPv4 header.
+pub fn ipv4_pseudo_header(ip_hdr: &[u8], seg_len: u16, proto: u8) -> [u8; 12] {
+    let mut pseudo = [0u8; 12];
+    pseudo[0..4].copy_from_slice(&ip_hdr[12..16]);
+    pseudo[4..8].copy_from_slice(&ip_hdr[16..20]);
+    pseudo[9] = proto;
+    pseudo[10..12].copy_from_slice(&seg_len.to_be_bytes());
+    pseudo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +274,25 @@ mod tests {
         let pseudo = ipv6::pseudo_header(eth.payload(), ip.payload_len() as u32, IPPROTO_UDP);
         let ok = checksum::internet_checksum_parts(&[&pseudo, ip.payload()]);
         assert_eq!(ok, 0);
+    }
+
+    #[test]
+    fn built_ipv4_tcp_frame_parses_back_with_valid_checksum() {
+        let b = FrameBuilder::default();
+        let mut frame = [0u8; 80];
+        b.build_ipv4_tcp(&mut frame, 80, 0x0a000001, 0xc0a80001, TCP_SYN, 1234);
+        let eth = ether::EtherView::parse(&frame).unwrap();
+        let ip = ipv4::Ipv4View::parse(eth.payload()).unwrap();
+        assert_eq!(ip.protocol(), IPPROTO_TCP);
+        assert!(ip.checksum_ok());
+        let tcp = l4::TcpView::parse(ip.payload()).unwrap();
+        assert_eq!(tcp.src_port(), 12345);
+        assert_eq!(tcp.seq(), 1234);
+        assert_eq!(tcp.flags(), TCP_SYN);
+        // Folding the pseudo-header with the stored checksum yields 0.
+        let seg = ip.payload();
+        let pseudo = ipv4_pseudo_header(eth.payload(), seg.len() as u16, IPPROTO_TCP);
+        assert_eq!(checksum::internet_checksum_parts(&[&pseudo, seg]), 0);
     }
 
     #[test]

@@ -1,0 +1,14 @@
+// Stateful firewall: TCP connections tracked SYN -> ESTABLISHED ->
+// FIN/RST in the flow shards; out-of-state segments leave on port 1.
+// Embryonic entries expire on the short TTL, so a SYN flood cannot
+// displace established connections. Matches `pipelines::conntrack_fw`.
+src :: FromInput();
+chk :: CheckIPHeader();
+fw  :: ConnTrackFirewall("capacity=1048576", "embryonic_ttl=2");
+out :: ToOutput();
+
+src -> chk;
+chk [0] -> fw;
+chk [1] -> Discard;
+fw [0] -> out;
+fw [1] -> Discard;

@@ -1,0 +1,12 @@
+// Maglev-style L4 load balancer: consistent hashing picks a backend per
+// flow, the flow shards pin established connections across lookup-table
+// rebuilds (flip_epoch > 0 removes backend `flip_remove` mid-run with
+// minimal disruption). Matches `pipelines::maglev_lb`.
+src :: FromInput();
+chk :: CheckIPHeader();
+lb  :: MaglevLb("backends=8", "table=251", "capacity=1048576");
+out :: ToOutput();
+
+src -> chk;
+chk [0] -> lb -> out;
+chk [1] -> Discard;

@@ -1,0 +1,11 @@
+// NAT44: endpoint-independent source translation over the per-worker
+// flow shards — external mappings allocated from per-bucket port slices,
+// idle bindings expired by the logical clock. Matches `pipelines::nat44`.
+src :: FromInput();
+chk :: CheckIPHeader();
+nat :: Nat44("ext_ips=4", "ports_per_ip=16384", "capacity=1048576");
+out :: ToOutput();
+
+src -> chk;
+chk [0] -> nat -> out;
+chk [1] -> Discard;

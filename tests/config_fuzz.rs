@@ -96,6 +96,11 @@ fn mutate(base: &str, ops: &[(u8, u16)]) -> String {
     String::from_utf8_lossy(&bytes).into_owned()
 }
 
+/// The shipped stateful-app configurations (also lint fixtures).
+const NAT44_SRC: &str = include_str!("../examples/click/nat44.click");
+const FW_SRC: &str = include_str!("../examples/click/fw.click");
+const MAGLEV_SRC: &str = include_str!("../examples/click/maglev.click");
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
@@ -135,6 +140,53 @@ proptest! {
         prop_assert!(check_never_panics(&src).is_ok(), "{:?}", check_never_panics(&src));
     }
 
+    /// Mutations of the stateful-app configs never panic. These exercise
+    /// quoted `key=value` parameters and the two-output firewall, which
+    /// the older shipped configs don't have.
+    #[test]
+    fn mutated_stateful_configs_never_panic(
+        which in 0usize..3,
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 0..24),
+    ) {
+        let base = [NAT44_SRC, FW_SRC, MAGLEV_SRC][which];
+        let src = mutate(base, &ops);
+        prop_assert!(check_never_panics(&src).is_ok(), "{:?}", check_never_panics(&src));
+    }
+
+    /// Adversarial knob values for the stateful elements never panic the
+    /// assembler or the element constructors it runs: zero capacities,
+    /// one-port pools, frozen epoch clocks, and `u64::MAX` TTLs must all
+    /// come back as a built graph or a diagnostic.
+    #[test]
+    fn stateful_knob_soup_never_panics(
+        capacity in proptest::sample::select(vec![0u64, 1, 127, 1 << 20, u64::MAX]),
+        ttl in proptest::sample::select(vec![0u64, 1, u64::MAX]),
+        epoch in proptest::sample::select(vec![0u64, 1, u64::MAX]),
+        ext_ips in proptest::sample::select(vec![0u64, 1, u64::MAX]),
+        ports_per_ip in proptest::sample::select(vec![0u64, 1, 64512, u64::MAX]),
+        backends in proptest::sample::select(vec![0u64, 1, 7, u64::MAX]),
+        table in proptest::sample::select(vec![0u64, 1, 251, u64::MAX]),
+        flip in proptest::sample::select(vec![0u64, 1, u64::MAX]),
+    ) {
+        let src = format!(
+            r#"
+            src :: FromInput();
+            nat :: Nat44("capacity={capacity}", "ttl={ttl}", "epoch={epoch}",
+                         "ext_ips={ext_ips}", "ports_per_ip={ports_per_ip}");
+            fw  :: ConnTrackFirewall("capacity={capacity}", "embryonic_ttl={ttl}",
+                                     "epoch={epoch}");
+            lb  :: MaglevLb("backends={backends}", "table={table}",
+                            "flip_epoch={flip}", "flip_remove={backends}",
+                            "capacity={capacity}");
+            out :: ToOutput();
+            src -> nat -> fw;
+            fw [0] -> lb -> out;
+            fw [1] -> Discard;
+            "#
+        );
+        prop_assert!(check_never_panics(&src).is_ok(), "{:?}", check_never_panics(&src));
+    }
+
     /// The static queue-law checks (`NBA05x`) never panic — or overflow —
     /// on arbitrary runtime dimensions, including zeros and extremes.
     #[test]
@@ -168,7 +220,13 @@ proptest! {
 /// findings — guards the fuzz baseline itself.
 #[test]
 fn shipped_configs_are_clean() {
-    for src in [pipelines::IPV4_CONFIG, pipelines::IPSEC_CONFIG] {
+    for src in [
+        pipelines::IPV4_CONFIG,
+        pipelines::IPSEC_CONFIG,
+        NAT44_SRC,
+        FW_SRC,
+        MAGLEV_SRC,
+    ] {
         let checked =
             build_graph_checked(src, &registry(), Default::default()).expect("shipped config");
         assert!(checked.report.first_error().is_none());

@@ -57,6 +57,7 @@ fn traffic() -> TrafficConfig {
         zipf_alpha: 0.0,
         payload: PayloadFill::Zeros,
         seed: 7,
+        ..TrafficConfig::default()
     }
 }
 

@@ -34,6 +34,7 @@ fn traffic() -> TrafficConfig {
         zipf_alpha: 0.0,
         payload: PayloadFill::Zeros,
         seed: 7,
+        ..TrafficConfig::default()
     }
 }
 
@@ -215,6 +216,83 @@ fn kill_drill_records_replayable_quarantine_audit() {
     for (w, s) in &states {
         assert_eq!(rep.health.states[*w as usize], *s);
     }
+}
+
+/// SYN-flood robustness: a conntrack firewall under a 40% one-shot SYN
+/// flood with the priority shedder armed. Best-effort classes shed at
+/// the IO threads before enqueue, the short embryonic TTL reaps every
+/// flood entry that gets in, and no ESTABLISHED connection ever loses
+/// its table entry — overload is absorbed by shedding and embryonic
+/// expiry, never by displacing tracked state.
+#[test]
+fn syn_flood_sheds_without_evicting_established() {
+    use nba::apps::stateful::FirewallConfig;
+    use nba::core::flow::FlowTableConfig;
+    use nba::io::gen::L4Proto;
+
+    let mut cfg = base_cfg(2);
+    cfg.traffic = TrafficConfig {
+        l4: L4Proto::Tcp,
+        flows: 48,
+        syn_flood_per_mille: 400,
+        ..traffic()
+    };
+    cfg.shed = ShedConfig {
+        policy: ShedPolicy::Priority,
+        occupancy: 0.0,
+        slo_coupled: false,
+    };
+    let fw = FirewallConfig {
+        table: FlowTableConfig {
+            capacity: 4096,
+            // Established entries effectively never idle out; embryonic
+            // ones go after two short epochs — long enough for a legit
+            // handshake's second packet, far too short for flood slots.
+            ttl_epochs: 1 << 20,
+            embryonic_ttl_epochs: 2,
+            epoch_pkts: 4,
+        },
+    };
+    let rep = live::run_sharded(
+        &cfg,
+        &pipelines::conntrack_fw(&fw),
+        &lb::replicated(|| Box::new(lb::FixedFraction::new(0.5))),
+    );
+    let shed = rep.health.stats.shed_priority;
+    assert!(shed > 0, "the shedder never engaged under flood");
+    assert!(
+        !rep.tx_capture.is_empty(),
+        "established traffic shed along with the flood"
+    );
+
+    let totals = rep
+        .flows
+        .expect("firewall run carries a flow report")
+        .totals();
+    assert!(
+        totals.evict_embryonic > 0,
+        "flood entries were never reaped: {totals:?}"
+    );
+    assert_eq!(
+        totals.evict_idle, 0,
+        "an established connection idled out of the table: {totals:?}"
+    );
+    assert_eq!(totals.evict_death, 0, "no worker died in this drill");
+    assert_eq!(
+        totals.table_full_drops, 0,
+        "the flood displaced table capacity: {totals:?}"
+    );
+    assert_eq!(
+        totals.out_of_state_drops, 0,
+        "an established flow lost state mid-connection: {totals:?}"
+    );
+    // The overload ledger balances exactly: every offered packet was
+    // transmitted, shed at IO, or dropped by an element.
+    assert_eq!(
+        rep.tx_capture.len() as u64 + shed + rep.totals.dropped,
+        BUDGET,
+        "flood ledger does not balance"
+    );
 }
 
 /// The CI chaos gate: kill worker 2 of 4 under continuous load, then gate
